@@ -1,0 +1,83 @@
+// E10 (paper §8 preview): graph analytics on transaction-consistent
+// snapshots — the long-running HTAP workloads the paper defers to ongoing
+// work. Compares snapshot construction + algorithm runtimes on emulated
+// PMem vs pure DRAM, mirroring the Sage-style semi-asymmetric design the
+// paper discusses (read-only analytical copy + concurrent updates).
+
+#include "bench/bench_common.h"
+
+#include "analytics/algorithms.h"
+
+namespace poseidon::bench {
+namespace {
+
+int Main() {
+  std::printf("=== Analytics preview (E10, §8): snapshot + algorithms ===\n");
+  std::printf("scale: %llu persons\n\n",
+              static_cast<unsigned long long>(BenchPersons()));
+  BENCH_ASSIGN(auto pmem_env, MakeEnv(true, "ana", false));
+  BENCH_ASSIGN(auto dram_env, MakeEnv(false, "anad", false));
+
+  std::printf("%-28s %12s %12s\n", "step", "PMem (ms)", "DRAM (ms)");
+  auto bench_env = [&](BenchEnv* env, double out[6]) {
+    auto tx = env->db->Begin();
+    analytics::SnapshotOptions options;
+    options.rel_label = env->ds.schema.knows;
+    options.node_label = env->ds.schema.person;
+    StopWatch w;
+    auto snap = analytics::GraphSnapshot::Build(tx.get(), env->db->store(),
+                                                options);
+    if (!snap.ok()) Die(snap.status(), "snapshot");
+    out[0] = w.ElapsedMs();
+
+    w.Reset();
+    auto dist = analytics::Bfs(*snap, 0);
+    out[1] = w.ElapsedMs();
+
+    w.Reset();
+    auto pr = analytics::PageRank(*snap, 20);
+    out[2] = w.ElapsedMs();
+
+    w.Reset();
+    uint32_t components = 0;
+    auto comp = analytics::WeaklyConnectedComponents(*snap, &components);
+    out[3] = w.ElapsedMs();
+
+    w.Reset();
+    uint64_t triangles = analytics::CountTriangles(*snap);
+    out[4] = w.ElapsedMs();
+    out[5] = static_cast<double>(triangles);
+
+    uint32_t reachable = 0;
+    for (uint32_t d : dist) reachable += d != analytics::kUnreachable;
+    std::printf("  [graph: %u persons, %llu knows-edges; bfs reaches %u; "
+                "%u components; %llu triangles]\n",
+                snap->num_vertices(),
+                static_cast<unsigned long long>(snap->num_edges()),
+                reachable, components,
+                static_cast<unsigned long long>(triangles));
+    BENCH_CHECK(tx->Commit());
+    (void)pr;
+    (void)comp;
+  };
+
+  double pmem[6], dram[6];
+  bench_env(pmem_env.get(), pmem);
+  bench_env(dram_env.get(), dram);
+
+  const char* steps[] = {"snapshot build (CSR)", "BFS", "PageRank (20 it)",
+                         "connected components", "triangle count"};
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-28s %12.2f %12.2f\n", steps[i], pmem[i], dram[i]);
+  }
+  std::printf(
+      "\nexpected shape: snapshot construction pays the PMem read latency "
+      "once; the algorithms themselves run at identical DRAM speed on both "
+      "(the semi-asymmetric pay-off).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace poseidon::bench
+
+int main() { return poseidon::bench::Main(); }

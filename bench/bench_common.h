@@ -1,0 +1,117 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md, per-experiment index). Environment knobs:
+//   POSEIDON_BENCH_PERSONS  SNB scale (default 1000 persons)
+//   POSEIDON_BENCH_RUNS     hot-run repetitions per query (default 50,
+//                           as in the paper)
+//   POSEIDON_PMEM_*         emulated PMem latency model (see latency_model.h)
+//   POSEIDON_DISK_MISS_US   SSD miss latency for the DISK baseline
+//   POSEIDON_DISK_HIT_NS    buffer-manager per-page overhead (see below)
+//   POSEIDON_DISK_FSYNC_US  commit fsync latency floor
+
+#ifndef POSEIDON_BENCH_BENCH_COMMON_H_
+#define POSEIDON_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/graph_db.h"
+#include "ldbc/queries.h"
+#include "util/spin_timer.h"
+
+namespace poseidon::bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? fallback : static_cast<uint64_t>(parsed);
+}
+
+inline uint64_t BenchPersons() { return EnvU64("POSEIDON_BENCH_PERSONS", 1000); }
+inline uint64_t BenchRuns() { return EnvU64("POSEIDON_BENCH_RUNS", 50); }
+
+struct BenchEnv {
+  std::unique_ptr<core::GraphDb> db;
+  ldbc::SnbDataset ds;
+  std::string path;  // pool file (pmem mode), removed on destruction
+
+  ~BenchEnv() {
+    db.reset();
+    if (!path.empty()) std::filesystem::remove(path);
+  }
+};
+
+/// Builds a database + SNB dataset. `pmem_mode` selects the emulated-PMem
+/// configuration vs the pure-DRAM baseline (paper §7.3).
+inline Result<std::unique_ptr<BenchEnv>> MakeEnv(bool pmem_mode,
+                                                 const std::string& tag,
+                                                 bool with_indexes) {
+  auto env = std::make_unique<BenchEnv>();
+  core::GraphDbOptions options;
+  options.capacity = 4ull << 30;
+  options.query_threads = EnvU64("POSEIDON_BENCH_THREADS", 4);
+  if (pmem_mode) {
+    env->path = "/tmp/poseidon_bench_" + tag + "_" +
+                std::to_string(::getpid()) + ".pmem";
+    std::filesystem::remove(env->path);
+    options.path = env->path;
+  }
+  POSEIDON_ASSIGN_OR_RETURN(env->db, core::GraphDb::Create(options));
+
+  ldbc::SnbConfig cfg;
+  cfg.persons = BenchPersons();
+  POSEIDON_ASSIGN_OR_RETURN(
+      env->ds, ldbc::GenerateSnb(env->db->txm(), env->db->store(), cfg));
+  if (with_indexes) {
+    POSEIDON_RETURN_IF_ERROR(ldbc::CreateSnbIndexes(
+        env->db->indexes(), env->ds.schema,
+        pmem_mode ? index::Placement::kHybrid : index::Placement::kVolatile));
+  }
+  return env;
+}
+
+/// Mean over `runs` timed invocations of `fn` (microseconds). `fn` is also
+/// invoked once untimed as warm-up.
+template <typename F>
+double MeanUs(uint64_t runs, F&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (uint64_t i = 0; i < runs; ++i) {
+    StopWatch w;
+    fn();
+    samples.push_back(w.ElapsedUs());
+  }
+  double sum = 0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+inline void Die(const Status& s, const char* what) {
+  std::fprintf(stderr, "FATAL (%s): %s\n", what, s.ToString().c_str());
+  std::exit(1);
+}
+
+#define BENCH_CHECK(expr)                          \
+  do {                                             \
+    ::poseidon::Status _st = (expr);               \
+    if (!_st.ok()) ::poseidon::bench::Die(_st, #expr); \
+  } while (0)
+
+#define BENCH_ASSIGN(decl, expr) \
+  BENCH_ASSIGN_IMPL(POSEIDON_STATUS_CONCAT(_bench_res_, __LINE__), decl, expr)
+#define BENCH_ASSIGN_IMPL(tmp, decl, expr)          \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) ::poseidon::bench::Die(tmp.status(), #expr); \
+  decl = std::move(tmp).value()
+
+}  // namespace poseidon::bench
+
+#endif  // POSEIDON_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,103 @@
+// Reproduces Fig. 5 (paper §7.3): LDBC-SNB Interactive Short Read execution
+// times, averaged over hot runs with varying input ids, for:
+//   PMem-s / PMem-p / PMem-i  — this engine on emulated PMem
+//                               (single-threaded, parallel, indexed)
+//   DRAM-s / DRAM-p / DRAM-i  — the same engine in pure volatile mode
+//   DISK-i                    — the disk baseline with a DRAM index
+//
+// Expected shape (paper): indexes dominate; PMem is close to DRAM
+// (the PMem-conscious design bridges most of the latency gap); both beat
+// DISK-i on every query.
+
+#include "bench/bench_common.h"
+#include "diskgraph/snb_disk.h"
+
+namespace poseidon::bench {
+namespace {
+
+using jit::ExecutionMode;
+
+int Main() {
+  uint64_t runs = BenchRuns();
+  std::printf("=== Fig. 5: Interactive Short Reads (avg of %llu hot runs, us)"
+              " ===\n",
+              static_cast<unsigned long long>(runs));
+  std::printf("scale: %llu persons\n\n",
+              static_cast<unsigned long long>(BenchPersons()));
+
+  BENCH_ASSIGN(auto pmem_env, MakeEnv(/*pmem_mode=*/true, "fig5", true));
+  BENCH_ASSIGN(auto dram_env, MakeEnv(/*pmem_mode=*/false, "fig5d", true));
+
+  // DISK baseline: copy of the PMem graph + DRAM index.
+  diskgraph::DiskGraphOptions disk_options;
+  disk_options.dir = "/tmp/poseidon_bench_fig5_disk";
+  std::filesystem::remove_all(disk_options.dir);
+  BENCH_ASSIGN(auto disk,
+               diskgraph::LoadDiskSnbFromStore(pmem_env->db->store(),
+                                               pmem_env->db->txm(),
+                                               pmem_env->ds, disk_options));
+
+  auto scan_queries = ldbc::BuildShortReads(pmem_env->ds.schema, false);
+  auto index_queries = ldbc::BuildShortReads(pmem_env->ds.schema, true);
+
+  std::printf("%-9s %10s %10s %10s %10s %10s %10s %10s\n", "query",
+              "PMem-s", "PMem-p", "PMem-i", "DRAM-s", "DRAM-p", "DRAM-i",
+              "DISK-i");
+
+  for (size_t q = 0; q < scan_queries.size(); ++q) {
+    const std::string& name = scan_queries[q].name;
+    Rng rng(1234 + q);
+    // One parameter sequence shared by all configurations.
+    std::vector<std::vector<query::Value>> params;
+    for (uint64_t i = 0; i < runs + 1; ++i) {
+      params.push_back(ldbc::DrawShortReadParams(pmem_env->ds, name, &rng));
+    }
+
+    auto run_engine = [&](BenchEnv* env, const query::Plan& plan,
+                          ExecutionMode mode) {
+      size_t i = 0;
+      return MeanUs(runs, [&] {
+        auto tx = env->db->Begin();
+        auto r = env->db->ExecuteIn(plan, tx.get(),
+                                    params[i++ % params.size()], mode);
+        if (!r.ok()) Die(r.status(), name.c_str());
+        BENCH_CHECK(tx->Commit());
+      });
+    };
+
+    double pmem_s = run_engine(pmem_env.get(), scan_queries[q].plan,
+                               ExecutionMode::kInterpret);
+    double pmem_p = run_engine(pmem_env.get(), scan_queries[q].plan,
+                               ExecutionMode::kInterpretParallel);
+    double pmem_i = run_engine(pmem_env.get(), index_queries[q].plan,
+                               ExecutionMode::kInterpret);
+    double dram_s = run_engine(dram_env.get(), scan_queries[q].plan,
+                               ExecutionMode::kInterpret);
+    double dram_p = run_engine(dram_env.get(), scan_queries[q].plan,
+                               ExecutionMode::kInterpretParallel);
+    double dram_i = run_engine(dram_env.get(), index_queries[q].plan,
+                               ExecutionMode::kInterpret);
+
+    size_t i = 0;
+    double disk_i = MeanUs(runs, [&] {
+      auto rows = diskgraph::RunDiskShortRead(
+          disk.get(), name, params[i++ % params.size()][0].AsInt());
+      if (!rows.ok()) Die(rows.status(), name.c_str());
+    });
+
+    std::printf("%-9s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                name.c_str(), pmem_s, pmem_p, pmem_i, dram_s, dram_p, dram_i,
+                disk_i);
+  }
+
+  std::printf(
+      "\nexpected shape: *-i << *-s; PMem-i close to DRAM-i; DISK-i "
+      "slowest per query.\n");
+  std::filesystem::remove_all(disk_options.dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace poseidon::bench
+
+int main() { return poseidon::bench::Main(); }

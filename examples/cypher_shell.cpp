@@ -1,0 +1,142 @@
+// Interactive Cypher shell over a Poseidon database.
+//
+//   ./examples/cypher_shell [pool-file]
+//
+// Commands:
+//   MATCH ...            run a query (executed with the adaptive engine)
+//   :explain MATCH ...   show the compiled plan instead of running it
+//   :mode aot|jit|adaptive   switch the execution mode
+//   :seed N              generate an SNB-like dataset with N persons
+//   :stats               storage statistics
+//   :quit
+//
+// When invoked with input on stdin (non-interactive), reads one command per
+// line, which makes the shell scriptable:
+//   echo 'MATCH (p:Person) RETURN COUNT(*)' | ./examples/cypher_shell
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/graph_db.h"
+#include "ldbc/snb_gen.h"
+#include "query/cypher.h"
+#include "util/spin_timer.h"
+
+using namespace poseidon;  // NOLINT(build/namespaces) — example code
+
+int main(int argc, char** argv) {
+  core::GraphDbOptions options;
+  options.capacity = 2ull << 30;
+  if (argc > 1) options.path = argv[1];
+
+  Result<std::unique_ptr<core::GraphDb>> db_or = Status::Ok();
+  if (!options.path.empty() && std::ifstream(options.path).good()) {
+    db_or = core::GraphDb::Open(options);
+  } else {
+    db_or = core::GraphDb::Create(options);
+  }
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  core::GraphDb* db = db_or->get();
+  jit::ExecutionMode mode = jit::ExecutionMode::kAdaptive;
+
+  std::printf("poseidon shell — %s mode, %llu nodes, %llu relationships\n",
+              options.path.empty() ? "DRAM" : "PMem",
+              static_cast<unsigned long long>(db->store()->nodes().size()),
+              static_cast<unsigned long long>(
+                  db->store()->relationships().size()));
+  std::printf("type a MATCH query, :explain <q>, :mode, :seed N, :stats or "
+              ":quit\n");
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+
+    if (line.rfind(":mode", 0) == 0) {
+      if (line.find("aot") != std::string::npos) {
+        mode = jit::ExecutionMode::kInterpret;
+      } else if (line.find("adaptive") != std::string::npos) {
+        mode = jit::ExecutionMode::kAdaptive;
+      } else if (line.find("jit") != std::string::npos) {
+        mode = jit::ExecutionMode::kJit;
+      }
+      std::printf("mode set\n");
+      continue;
+    }
+    if (line.rfind(":seed", 0) == 0) {
+      ldbc::SnbConfig cfg;
+      cfg.persons = std::strtoull(line.c_str() + 5, nullptr, 10);
+      if (cfg.persons == 0) cfg.persons = 500;
+      StopWatch w;
+      auto ds = ldbc::GenerateSnb(db->txm(), db->store(), cfg);
+      if (!ds.ok()) {
+        std::printf("error: %s\n", ds.status().ToString().c_str());
+        continue;
+      }
+      std::printf("generated %llu nodes, %llu relationships in %.0f ms\n",
+                  static_cast<unsigned long long>(ds->total_nodes),
+                  static_cast<unsigned long long>(ds->total_relationships),
+                  w.ElapsedMs());
+      continue;
+    }
+    if (line == ":stats") {
+      std::printf("nodes=%llu relationships=%llu properties=%llu "
+                  "dictionary=%llu pool=%llu MiB used\n",
+                  static_cast<unsigned long long>(db->store()->nodes().size()),
+                  static_cast<unsigned long long>(
+                      db->store()->relationships().size()),
+                  static_cast<unsigned long long>(
+                      db->store()->properties().table()->size()),
+                  static_cast<unsigned long long>(db->store()->dict().size()),
+                  static_cast<unsigned long long>(
+                      db->pool()->bytes_used() >> 20));
+      continue;
+    }
+
+    bool explain = line.rfind(":explain", 0) == 0;
+    std::string text = explain ? line.substr(8) : line;
+    auto plan = query::ParseCypher(text, &db->store()->dict());
+    if (!plan.ok()) {
+      std::printf("parse error: %s\n", plan.status().ToString().c_str());
+      continue;
+    }
+    if (explain) {
+      std::printf("%s", plan->ToString(&db->store()->dict()).c_str());
+      continue;
+    }
+    StopWatch w;
+    jit::ExecStats stats;
+    auto result = db->Execute(*plan, mode, {}, &stats);
+    double ms = w.ElapsedMs();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    size_t shown = 0;
+    for (const auto& row : result->rows) {
+      if (++shown > 25) {
+        std::printf("  ... (%zu more rows)\n", result->rows.size() - 25);
+        break;
+      }
+      std::string rendered;
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) rendered += " | ";
+        rendered += row[c].ToString(&db->store()->dict());
+      }
+      std::printf("  %s\n", rendered.c_str());
+    }
+    std::printf("%zu row(s) in %.2f ms%s\n", result->rows.size(), ms,
+                stats.used_jit ? " (jit)" : "");
+  }
+  db->engine()->WaitForBackgroundCompiles();
+  std::printf("bye.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Crash-recovery walkthrough: demonstrates the PMem durability story end to
+// end — failure-atomic commits (redo log), invisibility of in-flight
+// transactions after a crash, near-instant recovery (lock release + hybrid
+// index inner rebuild), and the persistent JIT code cache surviving
+// restarts.
+//
+// The "crash" uses the pool's shadow mode: every store that was not
+// explicitly flushed is discarded, exactly as a power failure would.
+//
+//   ./examples/recovery_demo
+
+#include <cstdio>
+
+#include "core/graph_db.h"
+#include "util/spin_timer.h"
+
+using namespace poseidon;  // NOLINT(build/namespaces) — example code
+using query::Expr;
+using query::Plan;
+using query::PlanBuilder;
+using query::Value;
+using storage::PVal;
+
+int main() {
+  std::string path = "/tmp/poseidon_recovery_demo.pmem";
+  std::remove(path.c_str());
+
+  core::GraphDbOptions options;
+  options.path = path;
+  options.capacity = 256ull << 20;
+
+  storage::DictCode account, balance;
+  // --- Session 1: commit data, then crash mid-transaction ---------------
+  {
+    auto db_or = core::GraphDb::Create(options);
+    if (!db_or.ok()) return 1;
+    core::GraphDb* db = db_or->get();
+    account = *db->Code("Account");
+    balance = *db->Code("balance");
+
+    {
+      auto tx = db->Begin();
+      for (int i = 0; i < 1000; ++i) {
+        (void)*tx->CreateNode(account, {{balance, PVal::Int(100)}});
+      }
+      if (!tx->Commit().ok()) return 1;
+      std::printf("session 1: committed 1000 accounts (balance 100 each)\n");
+    }
+    if (!db->CreateIndex("Account", "balance").ok()) return 1;
+
+    // Warm the JIT cache so session 2 can demonstrate reuse.
+    Plan count = PlanBuilder().NodeScan(account).Count().Build();
+    (void)db->Execute(count, jit::ExecutionMode::kJit);
+    std::printf("session 1: compiled + persisted one query (cache size %llu)\n",
+                static_cast<unsigned long long>(db->query_cache()->size()));
+
+    // An in-flight transfer that will never commit:
+    auto tx = db->Begin();
+    (void)tx->SetNodeProperty(0, balance, PVal::Int(0));
+    (void)tx->SetNodeProperty(1, balance, PVal::Int(200));
+    (void)*tx->CreateNode(account, {{balance, PVal::Int(777)}});
+    std::printf("session 1: transfer in flight (NOT committed)... ");
+    // Hard crash: leak the transaction and the database object so no
+    // destructor writes a clean-shutdown marker.
+    (void)tx.release();
+    (void)db_or->release();
+    std::printf("CRASH\n");
+  }
+
+  // --- Session 2: open + recover -----------------------------------------
+  {
+    StopWatch w;
+    auto db_or = core::GraphDb::Open(options);
+    if (!db_or.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   db_or.status().ToString().c_str());
+      return 1;
+    }
+    core::GraphDb* db = db_or->get();
+    std::printf("session 2: opened in %.2f ms (recovered_from_crash=%d)\n",
+                w.ElapsedMs(), db->recovered_from_crash() ? 1 : 0);
+
+    auto tx = db->Begin();
+    auto b0 = tx->GetNodeProperty(0, balance);
+    auto b1 = tx->GetNodeProperty(1, balance);
+    std::printf("  balances after recovery: acct0=%lld acct1=%lld "
+                "(both must be 100)\n",
+                static_cast<long long>(b0->AsInt()),
+                static_cast<long long>(b1->AsInt()));
+    std::printf("  accounts: %llu (the in-flight insert is gone)\n",
+                static_cast<unsigned long long>(db->store()->nodes().size()));
+
+    // The record is writable again — the crashed transaction's lock was
+    // released during recovery.
+    if (Status s = tx->SetNodeProperty(0, balance, PVal::Int(150)); !s.ok()) {
+      std::fprintf(stderr, "  unexpected: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!tx->Commit().ok()) return 1;
+    std::printf("  re-locked and updated acct0 successfully\n");
+
+    // JIT cache survived the crash: the query links instantly.
+    Plan count = PlanBuilder().NodeScan(account).Count().Build();
+    jit::ExecStats stats;
+    auto r = db->Execute(count, jit::ExecutionMode::kJit, {}, &stats);
+    if (!r.ok()) return 1;
+    std::printf("  JIT cache hit after crash: %s (count=%lld, "
+                "compile_ms=%.2f)\n",
+                stats.cache_hit ? "yes" : "no",
+                static_cast<long long>(r->rows[0][0].AsInt()),
+                stats.compile_ms);
+  }
+  std::remove(path.c_str());
+  std::printf("done.\n");
+  return 0;
+}

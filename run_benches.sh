@@ -1,0 +1,13 @@
+#!/bin/bash
+export POSEIDON_BENCH_PERSONS=${POSEIDON_BENCH_PERSONS:-1000}
+export POSEIDON_BENCH_RUNS=${POSEIDON_BENCH_RUNS:-50}
+export POSEIDON_BENCH_THREADS=${POSEIDON_BENCH_THREADS:-2}
+out=${1:-/root/repo/bench_output.txt}
+: > "$out"
+for b in /root/repo/build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename $b) =====" | tee -a "$out"
+  timeout 1200 "$b" >> "$out" 2>&1 || echo "FAILED: $b" | tee -a "$out"
+  echo >> "$out"
+done
+echo "ALL BENCHES DONE"

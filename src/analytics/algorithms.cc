@@ -1,0 +1,137 @@
+#include "analytics/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+
+namespace poseidon::analytics {
+
+std::vector<uint32_t> Bfs(const GraphSnapshot& g, uint32_t source) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return dist;
+  std::deque<uint32_t> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    uint32_t v = frontier.front();
+    frontier.pop_front();
+    for (const uint32_t* t = g.OutBegin(v); t != g.OutEnd(v); ++t) {
+      if (dist[*t] != kUnreachable) continue;
+      dist[*t] = dist[v] + 1;
+      frontier.push_back(*t);
+    }
+  }
+  return dist;
+}
+
+std::vector<double> PageRank(const GraphSnapshot& g, int iterations,
+                             double damping) {
+  uint32_t n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (uint32_t v = 0; v < n; ++v) {
+      uint32_t deg = g.OutDegree(v);
+      if (deg == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      double share = rank[v] / deg;
+      for (const uint32_t* t = g.OutBegin(v); t != g.OutEnd(v); ++t) {
+        next[*t] += share;
+      }
+    }
+    double base = (1.0 - damping) / n + damping * dangling / n;
+    for (uint32_t v = 0; v < n; ++v) {
+      next[v] = base + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<uint32_t> WeaklyConnectedComponents(const GraphSnapshot& g,
+                                                uint32_t* num_components) {
+  uint32_t n = g.num_vertices();
+  // Union-find with path halving.
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t v = 0; v < n; ++v) {
+    for (const uint32_t* t = g.OutBegin(v); t != g.OutEnd(v); ++t) {
+      uint32_t a = find(v), b = find(*t);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<uint32_t> component(n);
+  std::set<uint32_t> roots;
+  for (uint32_t v = 0; v < n; ++v) {
+    component[v] = find(v);
+    roots.insert(component[v]);
+  }
+  if (num_components != nullptr) {
+    *num_components = static_cast<uint32_t>(roots.size());
+  }
+  return component;
+}
+
+uint64_t CountTriangles(const GraphSnapshot& g) {
+  uint32_t n = g.num_vertices();
+  // Undirected neighbor sets, deduplicated, self-loops dropped.
+  std::vector<std::vector<uint32_t>> nbr(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (const uint32_t* t = g.OutBegin(v); t != g.OutEnd(v); ++t) {
+      if (*t == v) continue;
+      nbr[v].push_back(*t);
+      nbr[*t].push_back(v);
+    }
+  }
+  for (auto& list : nbr) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  // Count each triangle once via the ordered-triple convention v < a < b.
+  uint64_t triangles = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    const auto& nv = nbr[v];
+    for (uint32_t a : nv) {
+      if (a <= v) continue;
+      // Intersect nbr[v] and nbr[a] above `a`.
+      const auto& na = nbr[a];
+      auto it_v = std::upper_bound(nv.begin(), nv.end(), a);
+      auto it_a = std::upper_bound(na.begin(), na.end(), a);
+      while (it_v != nv.end() && it_a != na.end()) {
+        if (*it_v < *it_a) {
+          ++it_v;
+        } else if (*it_a < *it_v) {
+          ++it_a;
+        } else {
+          ++triangles;
+          ++it_v;
+          ++it_a;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<uint64_t> DegreeHistogram(const GraphSnapshot& g,
+                                      uint32_t max_degree) {
+  std::vector<uint64_t> histogram(max_degree + 1, 0);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    ++histogram[std::min(g.OutDegree(v), max_degree)];
+  }
+  return histogram;
+}
+
+}  // namespace poseidon::analytics

@@ -1,0 +1,44 @@
+// Graph analytics over transaction-consistent snapshots (paper §8 preview):
+// the compute-intensive, long-running workloads the paper defers to future
+// work, implemented on the CSR snapshot so they coexist with transactional
+// updates (HTAP).
+
+#ifndef POSEIDON_ANALYTICS_ALGORITHMS_H_
+#define POSEIDON_ANALYTICS_ALGORITHMS_H_
+
+#include <vector>
+
+#include "analytics/snapshot.h"
+
+namespace poseidon::analytics {
+
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// Single-source BFS over outgoing edges; returns hop distances per dense
+/// vertex (kUnreachable where no path exists).
+std::vector<uint32_t> Bfs(const GraphSnapshot& g, uint32_t source);
+
+/// PageRank with uniform teleport; `iterations` synchronous sweeps.
+/// Dangling mass is redistributed uniformly. Returns one score per vertex,
+/// summing to ~1.
+std::vector<double> PageRank(const GraphSnapshot& g, int iterations = 20,
+                             double damping = 0.85);
+
+/// Weakly connected components (edges treated as undirected); returns the
+/// component id (smallest member's dense id) per vertex and sets
+/// *num_components.
+std::vector<uint32_t> WeaklyConnectedComponents(const GraphSnapshot& g,
+                                                uint32_t* num_components);
+
+/// Counts undirected triangles (each counted once). Edge directions are
+/// ignored; multi-edges and self-loops are skipped.
+uint64_t CountTriangles(const GraphSnapshot& g);
+
+/// Out-degree histogram: result[d] = number of vertices with out-degree d
+/// (the tail is clamped into the last bucket).
+std::vector<uint64_t> DegreeHistogram(const GraphSnapshot& g,
+                                      uint32_t max_degree = 64);
+
+}  // namespace poseidon::analytics
+
+#endif  // POSEIDON_ANALYTICS_ALGORITHMS_H_

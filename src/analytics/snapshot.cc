@@ -1,0 +1,81 @@
+#include "analytics/snapshot.h"
+
+namespace poseidon::analytics {
+
+using storage::kInvalidCode;
+using storage::RecordId;
+
+uint32_t GraphSnapshot::VertexOf(RecordId id) const {
+  if (id >= vertex_of_.size()) return UINT32_MAX;
+  return vertex_of_[id];
+}
+
+Result<GraphSnapshot> GraphSnapshot::Build(tx::Transaction* tx,
+                                           storage::GraphStore* store,
+                                           const SnapshotOptions& options) {
+  GraphSnapshot snap;
+  uint64_t slots = store->nodes().NumSlots();
+  snap.vertex_of_.assign(slots, UINT32_MAX);
+
+  // Pass 1: enumerate visible nodes -> dense ids.
+  for (RecordId id = 0; id < slots; ++id) {
+    if (!store->nodes().IsOccupied(id)) continue;
+    auto n = tx->GetNode(id);
+    if (!n.ok()) {
+      if (n.status().IsNotFound()) continue;
+      return n.status();
+    }
+    if (options.node_label != kInvalidCode &&
+        n->rec.label != options.node_label) {
+      continue;
+    }
+    snap.vertex_of_[id] = static_cast<uint32_t>(snap.record_of_.size());
+    snap.record_of_.push_back(id);
+  }
+
+  // Pass 2: CSR adjacency over visible relationships between snapshot
+  // vertices.
+  uint32_t num_v = snap.num_vertices();
+  snap.offsets_.assign(num_v + 1, 0);
+  std::vector<std::vector<uint32_t>> adj(num_v);
+  for (uint32_t v = 0; v < num_v; ++v) {
+    Status s = tx->ForEachOutgoing(
+        snap.record_of_[v],
+        [&](RecordId, const storage::RelationshipRecord& rel) {
+          if (options.rel_label != kInvalidCode &&
+              rel.label != options.rel_label) {
+            return true;
+          }
+          uint32_t t = snap.VertexOf(rel.dst);
+          if (t != UINT32_MAX) adj[v].push_back(t);
+          return true;
+        });
+    POSEIDON_RETURN_IF_ERROR(s);
+  }
+  for (uint32_t v = 0; v < num_v; ++v) {
+    snap.offsets_[v + 1] = snap.offsets_[v] + adj[v].size();
+  }
+  snap.targets_.reserve(snap.offsets_[num_v]);
+  for (uint32_t v = 0; v < num_v; ++v) {
+    snap.targets_.insert(snap.targets_.end(), adj[v].begin(), adj[v].end());
+  }
+
+  if (options.with_incoming) {
+    snap.in_offsets_.assign(num_v + 1, 0);
+    for (uint32_t t : snap.targets_) snap.in_offsets_[t + 1]++;
+    for (uint32_t v = 0; v < num_v; ++v) {
+      snap.in_offsets_[v + 1] += snap.in_offsets_[v];
+    }
+    snap.in_targets_.resize(snap.targets_.size());
+    std::vector<uint64_t> cursor(snap.in_offsets_.begin(),
+                                 snap.in_offsets_.end() - 1);
+    for (uint32_t v = 0; v < num_v; ++v) {
+      for (const uint32_t* t = snap.OutBegin(v); t != snap.OutEnd(v); ++t) {
+        snap.in_targets_[cursor[*t]++] = v;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace poseidon::analytics

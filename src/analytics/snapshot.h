@@ -1,0 +1,81 @@
+// Analytical graph snapshots (paper §8 "In our ongoing work, we plan to
+// investigate the behavior of complex graph analytics").
+//
+// Analytics need tight loops over adjacency, not per-record MVTO version
+// resolution. Following the semi-asymmetric approach the paper discusses for
+// Sage [9], a GraphSnapshot materializes the transaction-consistent
+// visible subgraph into a compact DRAM CSR (compressed sparse row) image:
+// the persistent tables stay the single source of truth, analytics run at
+// DRAM speed on an immutable copy, and transactional updates continue
+// concurrently (HTAP).
+
+#ifndef POSEIDON_ANALYTICS_SNAPSHOT_H_
+#define POSEIDON_ANALYTICS_SNAPSHOT_H_
+
+#include <vector>
+
+#include "tx/transaction.h"
+
+namespace poseidon::analytics {
+
+struct SnapshotOptions {
+  /// Only nodes with this label (0 = all labels).
+  storage::DictCode node_label = storage::kInvalidCode;
+  /// Only relationships with this label (0 = all).
+  storage::DictCode rel_label = storage::kInvalidCode;
+  /// Also build the reverse (incoming) adjacency.
+  bool with_incoming = false;
+};
+
+/// Immutable CSR image of the subgraph visible to one transaction.
+/// Vertices are dense ids [0, num_vertices); `record_of` maps back to the
+/// storage-level record ids.
+class GraphSnapshot {
+ public:
+  /// Materializes the snapshot; O(V + E) reads through the MVTO read path.
+  static Result<GraphSnapshot> Build(tx::Transaction* tx,
+                                     storage::GraphStore* store,
+                                     const SnapshotOptions& options = {});
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(record_of_.size());
+  }
+  uint64_t num_edges() const { return targets_.size(); }
+
+  /// Dense vertex id for a record id; UINT32_MAX when not in the snapshot.
+  uint32_t VertexOf(storage::RecordId id) const;
+  storage::RecordId RecordOf(uint32_t v) const { return record_of_[v]; }
+
+  /// Outgoing neighbors of dense vertex `v`.
+  const uint32_t* OutBegin(uint32_t v) const {
+    return targets_.data() + offsets_[v];
+  }
+  const uint32_t* OutEnd(uint32_t v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+  uint32_t OutDegree(uint32_t v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Incoming neighbors (only when built with_incoming).
+  const uint32_t* InBegin(uint32_t v) const {
+    return in_targets_.data() + in_offsets_[v];
+  }
+  const uint32_t* InEnd(uint32_t v) const {
+    return in_targets_.data() + in_offsets_[v + 1];
+  }
+  bool has_incoming() const { return !in_offsets_.empty(); }
+
+ private:
+  std::vector<storage::RecordId> record_of_;   // dense -> record id
+  std::vector<uint64_t> offsets_;              // CSR row offsets (V+1)
+  std::vector<uint32_t> targets_;              // CSR column indices (E)
+  std::vector<uint64_t> in_offsets_;
+  std::vector<uint32_t> in_targets_;
+  // record id -> dense id (sparse map; record ids are table slots).
+  std::vector<uint32_t> vertex_of_;
+};
+
+}  // namespace poseidon::analytics
+
+#endif  // POSEIDON_ANALYTICS_SNAPSHOT_H_

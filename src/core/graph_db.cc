@@ -1,0 +1,104 @@
+#include "core/graph_db.h"
+
+namespace poseidon::core {
+
+GraphDb::~GraphDb() {
+  if (engine_ != nullptr) engine_->WaitForBackgroundCompiles();
+}
+
+Result<std::unique_ptr<GraphDb>> GraphDb::Create(
+    const GraphDbOptions& options) {
+  return Init(options, /*create=*/true);
+}
+
+Result<std::unique_ptr<GraphDb>> GraphDb::Open(const GraphDbOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("volatile databases cannot be reopened");
+  }
+  return Init(options, /*create=*/false);
+}
+
+Result<std::unique_ptr<GraphDb>> GraphDb::Init(const GraphDbOptions& options,
+                                               bool create) {
+  auto db = std::unique_ptr<GraphDb>(new GraphDb());
+
+  pmem::PoolOptions pool_options;
+  pool_options.capacity = options.capacity;
+  pool_options.mode =
+      options.path.empty() ? pmem::PoolMode::kDram : pmem::PoolMode::kPmem;
+  pool_options.crash_shadow = options.crash_shadow;
+  pool_options.has_latency_override = options.has_latency_override;
+  pool_options.latency_override = options.latency_override;
+
+  if (create) {
+    POSEIDON_ASSIGN_OR_RETURN(db->pool_,
+                              pmem::Pool::Create(options.path, pool_options));
+    POSEIDON_ASSIGN_OR_RETURN(db->store_,
+                              storage::GraphStore::Create(db->pool_.get()));
+  } else {
+    POSEIDON_ASSIGN_OR_RETURN(db->pool_,
+                              pmem::Pool::Open(options.path, pool_options));
+    POSEIDON_ASSIGN_OR_RETURN(db->store_,
+                              storage::GraphStore::Open(db->pool_.get()));
+  }
+  db->recovered_ = db->pool_->recovered_from_crash();
+
+  db->indexes_ = std::make_unique<index::IndexManager>(db->store_.get());
+  if (!create) {
+    // Hybrid/persistent indexes recover by rebuilding DRAM inner levels.
+    POSEIDON_RETURN_IF_ERROR(db->indexes_->LoadPersistent());
+  }
+
+  db->txm_ = std::make_unique<tx::TransactionManager>(db->store_.get(),
+                                                      db->indexes_.get());
+  if (db->recovered_) {
+    POSEIDON_RETURN_IF_ERROR(db->txm_->RecoverInFlight());
+  }
+
+  if (options.enable_query_cache &&
+      db->pool_->mode() == pmem::PoolMode::kPmem) {
+    auto* root = db->store_->root();
+    if (root->qcache_meta != 0) {
+      POSEIDON_ASSIGN_OR_RETURN(
+          db->qcache_, jit::QueryCache::Open(db->pool_.get(),
+                                             root->qcache_meta));
+    } else {
+      POSEIDON_ASSIGN_OR_RETURN(db->qcache_,
+                                jit::QueryCache::Create(db->pool_.get()));
+      root->qcache_meta = db->qcache_->meta_offset();
+      db->pool_->Persist(&root->qcache_meta, sizeof(pmem::Offset));
+    }
+  }
+
+  POSEIDON_ASSIGN_OR_RETURN(
+      db->engine_,
+      jit::JitQueryEngine::Create(db->store_.get(), db->indexes_.get(),
+                                  options.query_threads, db->qcache_.get()));
+  return db;
+}
+
+Result<query::QueryResult> GraphDb::Execute(
+    const query::Plan& plan, jit::ExecutionMode mode,
+    const std::vector<query::Value>& params, jit::ExecStats* stats) {
+  auto tx = Begin();
+  POSEIDON_ASSIGN_OR_RETURN(query::QueryResult result,
+                            ExecuteIn(plan, tx.get(), params, mode, stats));
+  POSEIDON_RETURN_IF_ERROR(tx->Commit());
+  return result;
+}
+
+Result<query::QueryResult> GraphDb::ExecuteIn(
+    const query::Plan& plan, tx::Transaction* tx,
+    const std::vector<query::Value>& params, jit::ExecutionMode mode,
+    jit::ExecStats* stats, const jit::JitOptions& options) {
+  return engine_->Execute(plan, tx, params, mode, stats, options);
+}
+
+Status GraphDb::CreateIndex(std::string_view label, std::string_view key,
+                            index::Placement placement) {
+  POSEIDON_ASSIGN_OR_RETURN(storage::DictCode label_code, Code(label));
+  POSEIDON_ASSIGN_OR_RETURN(storage::DictCode key_code, Code(key));
+  return indexes_->CreateIndex(label_code, key_code, placement).status();
+}
+
+}  // namespace poseidon::core

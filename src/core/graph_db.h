@@ -1,0 +1,118 @@
+// GraphDb: the public entry point of the engine — one object wiring the
+// PMem pool, graph storage, MVTO transactions, secondary indexes, and the
+// AOT/JIT/adaptive query engines together (the full architecture of the
+// paper).
+//
+// Typical usage:
+//
+//   core::GraphDbOptions options;
+//   options.path = "/mnt/pmem/social.graph";    // "" = pure DRAM mode
+//   auto db = core::GraphDb::Create(options);   // or Open() to recover
+//   auto tx = (*db)->Begin();
+//   auto alice = tx->CreateNode(*(*db)->Code("Person"),
+//                               {{*(*db)->Code("name"), PVal::Int(1)}});
+//   tx->Commit();
+//
+//   query::Plan plan = query::PlanBuilder().NodeScan(person).Count().Build();
+//   auto result = (*db)->Execute(plan, jit::ExecutionMode::kAdaptive);
+
+#ifndef POSEIDON_CORE_GRAPH_DB_H_
+#define POSEIDON_CORE_GRAPH_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "jit/jit_query_engine.h"
+
+namespace poseidon::core {
+
+struct GraphDbOptions {
+  /// Pool file path. Empty = volatile DRAM mode (the paper's DRAM
+  /// baseline: no persistence, no PMem latency emulation).
+  std::string path;
+  uint64_t capacity = 1ull << 30;
+  /// Worker threads for parallel / adaptive execution.
+  size_t query_threads = 4;
+  /// Persist compiled query code in the pool (pmem mode only).
+  bool enable_query_cache = true;
+  /// Track flushes so tests can SimulateCrash().
+  bool crash_shadow = false;
+  /// Override the emulated-PMem latency model (e.g. LatencyModel::Dram()
+  /// to measure pure software overhead).
+  bool has_latency_override = false;
+  pmem::LatencyModel latency_override;
+};
+
+class GraphDb {
+ public:
+  /// Creates a new database. Fails if a pmem file already exists at path.
+  static Result<std::unique_ptr<GraphDb>> Create(const GraphDbOptions& options);
+
+  /// Opens an existing database, running crash recovery when the previous
+  /// session did not shut down cleanly: redo-log replay (pool open),
+  /// in-flight transaction rollback, and hybrid index inner rebuild.
+  static Result<std::unique_ptr<GraphDb>> Open(const GraphDbOptions& options);
+
+  GraphDb(const GraphDb&) = delete;
+  GraphDb& operator=(const GraphDb&) = delete;
+  ~GraphDb();
+
+  /// Starts an MVTO transaction (snapshot isolation, §5).
+  std::unique_ptr<tx::Transaction> Begin() { return txm_->Begin(); }
+
+  /// Interns a label / property-key / string value.
+  Result<storage::DictCode> Code(std::string_view s) {
+    return store_->Code(s);
+  }
+  Result<std::string_view> Decode(storage::DictCode code) const {
+    return store_->dict().Decode(code);
+  }
+
+  /// Executes a plan in its own transaction (committed on success).
+  Result<query::QueryResult> Execute(
+      const query::Plan& plan,
+      jit::ExecutionMode mode = jit::ExecutionMode::kInterpret,
+      const std::vector<query::Value>& params = {},
+      jit::ExecStats* stats = nullptr);
+
+  /// Executes a plan inside a caller-managed transaction.
+  Result<query::QueryResult> ExecuteIn(
+      const query::Plan& plan, tx::Transaction* tx,
+      const std::vector<query::Value>& params,
+      jit::ExecutionMode mode = jit::ExecutionMode::kInterpret,
+      jit::ExecStats* stats = nullptr,
+      const jit::JitOptions& options = {});
+
+  /// Creates (and bulk-loads) a secondary index on (label, property).
+  Status CreateIndex(std::string_view label, std::string_view key,
+                     index::Placement placement = index::Placement::kHybrid);
+
+  /// True if Open() had to recover from an unclean shutdown.
+  bool recovered_from_crash() const { return recovered_; }
+
+  // Component access for benchmarks, tests, and advanced users.
+  pmem::Pool* pool() { return pool_.get(); }
+  storage::GraphStore* store() { return store_.get(); }
+  tx::TransactionManager* txm() { return txm_.get(); }
+  index::IndexManager* indexes() { return indexes_.get(); }
+  jit::JitQueryEngine* engine() { return engine_.get(); }
+  jit::QueryCache* query_cache() { return qcache_.get(); }
+
+ private:
+  GraphDb() = default;
+
+  static Result<std::unique_ptr<GraphDb>> Init(const GraphDbOptions& options,
+                                               bool create);
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<storage::GraphStore> store_;
+  std::unique_ptr<index::IndexManager> indexes_;
+  std::unique_ptr<tx::TransactionManager> txm_;
+  std::unique_ptr<jit::QueryCache> qcache_;
+  std::unique_ptr<jit::JitQueryEngine> engine_;
+  bool recovered_ = false;
+};
+
+}  // namespace poseidon::core
+
+#endif  // POSEIDON_CORE_GRAPH_DB_H_

@@ -1,0 +1,322 @@
+#include "diskgraph/disk_graph.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/spin_timer.h"
+
+namespace poseidon::diskgraph {
+
+namespace {
+constexpr int kNodeFile = 0;
+constexpr int kRelFile = 1;
+constexpr int kPropFile = 2;
+}  // namespace
+
+Result<std::unique_ptr<DiskGraph>> DiskGraph::Create(
+    const DiskGraphOptions& options) {
+  ::mkdir(options.dir.c_str(), 0755);
+  auto g = std::unique_ptr<DiskGraph>(new DiskGraph());
+  POSEIDON_ASSIGN_OR_RETURN(g->node_file_,
+                            PageFile::Open(options.dir + "/nodes.db"));
+  POSEIDON_ASSIGN_OR_RETURN(g->rel_file_,
+                            PageFile::Open(options.dir + "/rels.db"));
+  POSEIDON_ASSIGN_OR_RETURN(g->prop_file_,
+                            PageFile::Open(options.dir + "/props.db"));
+  g->node_pool_ = std::make_unique<BufferPool>(g->node_file_.get(),
+                                               options.buffer_pages);
+  g->rel_pool_ =
+      std::make_unique<BufferPool>(g->rel_file_.get(), options.buffer_pages);
+  g->prop_pool_ = std::make_unique<BufferPool>(g->prop_file_.get(),
+                                               options.buffer_pages);
+  std::string wal = options.dir + "/wal.log";
+  g->wal_fd_ = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (g->wal_fd_ < 0) {
+    return Status::IoError("open WAL failed: " + std::string(strerror(errno)));
+  }
+  std::string dict = options.dir + "/dict.log";
+  g->dict_fd_ = ::open(dict.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (g->dict_fd_ < 0) {
+    return Status::IoError("open dict log failed: " +
+                           std::string(strerror(errno)));
+  }
+  g->dict_reverse_.push_back("");  // code 0 = invalid
+  return g;
+}
+
+DiskGraph::~DiskGraph() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+  if (dict_fd_ >= 0) ::close(dict_fd_);
+}
+
+uint64_t DiskGraph::buffer_misses() const {
+  return node_pool_->misses() + rel_pool_->misses() + prop_pool_->misses();
+}
+
+Result<DiskNode*> DiskGraph::NodeAt(RecordId id, bool for_write) {
+  uint64_t page = id / kNodesPerPage;
+  POSEIDON_ASSIGN_OR_RETURN(char* data, node_pool_->FetchPage(page));
+  if (for_write) {
+    node_pool_->MarkDirty(page);
+    dirty_pages_.emplace_back(kNodeFile, page);
+  }
+  return reinterpret_cast<DiskNode*>(data) + id % kNodesPerPage;
+}
+
+Result<DiskRel*> DiskGraph::RelAt(RecordId id, bool for_write) {
+  uint64_t page = id / kRelsPerPage;
+  POSEIDON_ASSIGN_OR_RETURN(char* data, rel_pool_->FetchPage(page));
+  if (for_write) {
+    rel_pool_->MarkDirty(page);
+    dirty_pages_.emplace_back(kRelFile, page);
+  }
+  return reinterpret_cast<DiskRel*>(data) + id % kRelsPerPage;
+}
+
+Result<DiskProp*> DiskGraph::PropAt(RecordId id, bool for_write) {
+  uint64_t page = id / kPropsPerPage;
+  POSEIDON_ASSIGN_OR_RETURN(char* data, prop_pool_->FetchPage(page));
+  if (for_write) {
+    prop_pool_->MarkDirty(page);
+    dirty_pages_.emplace_back(kPropFile, page);
+  }
+  return reinterpret_cast<DiskProp*>(data) + id % kPropsPerPage;
+}
+
+Result<RecordId> DiskGraph::WritePropChain(
+    RecordId owner, const std::vector<Property>& props) {
+  if (props.empty()) return storage::kNullId;
+  RecordId next = storage::kNullId;
+  size_t remaining = props.size();
+  while (remaining > 0) {
+    size_t batch = remaining % 3 == 0 ? 3 : remaining % 3;
+    RecordId id = num_props_++;
+    POSEIDON_ASSIGN_OR_RETURN(DiskProp * rec, PropAt(id, /*for_write=*/true));
+    *rec = DiskProp{};
+    rec->owner = owner;
+    rec->next = next;
+    for (size_t i = 0; i < batch; ++i) {
+      const Property& p = props[remaining - batch + i];
+      rec->entries[i].set(p.key, p.value);
+    }
+    next = id;
+    remaining -= batch;
+  }
+  return next;
+}
+
+Result<RecordId> DiskGraph::CreateNode(DictCode label,
+                                       const std::vector<Property>& props) {
+  RecordId id = num_nodes_++;
+  POSEIDON_ASSIGN_OR_RETURN(RecordId chain, WritePropChain(id, props));
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode * rec, NodeAt(id, /*for_write=*/true));
+  *rec = DiskNode{};
+  rec->label = label;
+  rec->in_use = 1;
+  rec->props = chain;
+  return id;
+}
+
+Result<RecordId> DiskGraph::CreateRelationship(
+    RecordId src, RecordId dst, DictCode label,
+    const std::vector<Property>& props) {
+  RecordId id = num_rels_++;
+  POSEIDON_ASSIGN_OR_RETURN(RecordId chain, WritePropChain(id, props));
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode * src_rec, NodeAt(src, true));
+  RecordId src_head = src_rec->first_out;
+  src_rec->first_out = id;
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode * dst_rec, NodeAt(dst, true));
+  RecordId dst_head = dst_rec->first_in;
+  dst_rec->first_in = id;
+  POSEIDON_ASSIGN_OR_RETURN(DiskRel * rec, RelAt(id, true));
+  *rec = DiskRel{};
+  rec->label = label;
+  rec->in_use = 1;
+  rec->src = src;
+  rec->dst = dst;
+  rec->next_src = src_head;
+  rec->next_dst = dst_head;
+  rec->props = chain;
+  return id;
+}
+
+Status DiskGraph::SetNodeProperty(RecordId id, DictCode key, PVal value) {
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode * rec, NodeAt(id, true));
+  // In-place update within the chain; append a record when absent.
+  RecordId cur = rec->props;
+  while (cur != storage::kNullId) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskProp * p, PropAt(cur, true));
+    for (auto& e : p->entries) {
+      if (e.key == key) {
+        e.set(key, value);
+        return Status::Ok();
+      }
+    }
+    cur = p->next;
+  }
+  POSEIDON_ASSIGN_OR_RETURN(
+      RecordId chain, WritePropChain(id, {Property{key, value}}));
+  // Re-fetch: the node's frame may have been evicted while the chain pages
+  // were pulled in.
+  POSEIDON_ASSIGN_OR_RETURN(rec, NodeAt(id, true));
+  RecordId old_head = rec->props;
+  rec->props = chain;
+  POSEIDON_ASSIGN_OR_RETURN(DiskProp * head, PropAt(chain, true));
+  head->next = old_head;
+  return Status::Ok();
+}
+
+Status DiskGraph::WalAppend() {
+  // Write-ahead image of every dirty page, then a commit marker.
+  std::vector<char> buf(kPageSize);
+  for (auto [file, page] : dirty_pages_) {
+    BufferPool* pool = file == kNodeFile  ? node_pool_.get()
+                       : file == kRelFile ? rel_pool_.get()
+                                          : prop_pool_.get();
+    POSEIDON_ASSIGN_OR_RETURN(char* data, pool->FetchPage(page));
+    uint64_t header[2] = {static_cast<uint64_t>(file), page};
+    if (::write(wal_fd_, header, sizeof(header)) !=
+            static_cast<ssize_t>(sizeof(header)) ||
+        ::write(wal_fd_, data, kPageSize) !=
+            static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("WAL write failed");
+    }
+  }
+  uint64_t marker[2] = {~0ull, dirty_pages_.size()};
+  if (::write(wal_fd_, marker, sizeof(marker)) !=
+      static_cast<ssize_t>(sizeof(marker))) {
+    return Status::IoError("WAL marker write failed");
+  }
+  if (::fdatasync(wal_fd_) != 0) {
+    return Status::IoError("WAL fsync failed");
+  }
+  return Status::Ok();
+}
+
+Status DiskGraph::Commit() {
+  if (dirty_pages_.empty()) return Status::Ok();
+  StopWatch watch;
+  POSEIDON_RETURN_IF_ERROR(WalAppend());
+  dirty_pages_.clear();
+  // fsync latency floor: the bench filesystem may be tmpfs, where
+  // fdatasync is free; a durable SSD commit is not.
+  static const uint64_t kFsyncFloorUs = [] {
+    const char* v = std::getenv("POSEIDON_DISK_FSYNC_US");
+    if (v == nullptr || *v == '\0') return 500ull;
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    return end == v ? 500ull : parsed;
+  }();
+  uint64_t elapsed_us = static_cast<uint64_t>(watch.ElapsedUs());
+  if (elapsed_us < kFsyncFloorUs) SpinWaitNs((kFsyncFloorUs - elapsed_us) * 1000);
+  return Status::Ok();
+}
+
+Status DiskGraph::DropCaches() {
+  POSEIDON_RETURN_IF_ERROR(node_pool_->DropCaches());
+  POSEIDON_RETURN_IF_ERROR(rel_pool_->DropCaches());
+  return prop_pool_->DropCaches();
+}
+
+Result<DiskNode> DiskGraph::GetNode(RecordId id) {
+  if (id >= num_nodes_) return Status::NotFound("no such node");
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode * rec, NodeAt(id, false));
+  if (rec->in_use == 0) return Status::NotFound("node not in use");
+  return *rec;
+}
+
+Result<DiskRel> DiskGraph::GetRelationship(RecordId id) {
+  if (id >= num_rels_) return Status::NotFound("no such relationship");
+  POSEIDON_ASSIGN_OR_RETURN(DiskRel * rec, RelAt(id, false));
+  if (rec->in_use == 0) return Status::NotFound("relationship not in use");
+  return *rec;
+}
+
+Result<PVal> DiskGraph::ChainGet(RecordId head, DictCode key) {
+  RecordId cur = head;
+  while (cur != storage::kNullId) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskProp * p, PropAt(cur, false));
+    for (const auto& e : p->entries) {
+      if (e.key == key) return e.val();
+    }
+    cur = p->next;
+  }
+  return PVal::Null();
+}
+
+Result<PVal> DiskGraph::GetNodeProperty(RecordId id, DictCode key) {
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode rec, GetNode(id));
+  return ChainGet(rec.props, key);
+}
+
+Result<PVal> DiskGraph::GetRelationshipProperty(RecordId id, DictCode key) {
+  POSEIDON_ASSIGN_OR_RETURN(DiskRel rec, GetRelationship(id));
+  return ChainGet(rec.props, key);
+}
+
+Status DiskGraph::ForEachOutgoing(
+    RecordId node, const std::function<bool(RecordId, const DiskRel&)>& fn) {
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode rec, GetNode(node));
+  RecordId cur = rec.first_out;
+  while (cur != storage::kNullId) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskRel rel, GetRelationship(cur));
+    if (!fn(cur, rel)) return Status::Ok();
+    cur = rel.next_src;
+  }
+  return Status::Ok();
+}
+
+Status DiskGraph::ForEachIncoming(
+    RecordId node, const std::function<bool(RecordId, const DiskRel&)>& fn) {
+  POSEIDON_ASSIGN_OR_RETURN(DiskNode rec, GetNode(node));
+  RecordId cur = rec.first_in;
+  while (cur != storage::kNullId) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskRel rel, GetRelationship(cur));
+    if (!fn(cur, rel)) return Status::Ok();
+    cur = rel.next_dst;
+  }
+  return Status::Ok();
+}
+
+Status DiskGraph::ForEachNode(
+    const std::function<bool(RecordId, const DiskNode&)>& fn) {
+  for (RecordId id = 0; id < num_nodes_; ++id) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskNode * rec, NodeAt(id, false));
+    if (rec->in_use == 0) continue;
+    if (!fn(id, *rec)) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Result<DictCode> DiskGraph::Code(const std::string& s) {
+  auto it = dict_.find(s);
+  if (it != dict_.end()) return it->second;
+  auto code = static_cast<DictCode>(dict_reverse_.size());
+  dict_[s] = code;
+  dict_reverse_.push_back(s);
+  uint32_t len = static_cast<uint32_t>(s.size());
+  if (::write(dict_fd_, &len, sizeof(len)) !=
+          static_cast<ssize_t>(sizeof(len)) ||
+      ::write(dict_fd_, s.data(), s.size()) !=
+          static_cast<ssize_t>(s.size())) {
+    return Status::IoError("dictionary log write failed");
+  }
+  return code;
+}
+
+void DiskGraph::IndexPut(DictCode label, int64_t key, RecordId id) {
+  index_[HashCombine(label, static_cast<uint64_t>(key))] = id;
+}
+
+Result<RecordId> DiskGraph::IndexLookup(DictCode label, int64_t key) const {
+  auto it = index_.find(HashCombine(label, static_cast<uint64_t>(key)));
+  if (it == index_.end()) return Status::NotFound("not in DRAM index");
+  return it->second;
+}
+
+}  // namespace poseidon::diskgraph

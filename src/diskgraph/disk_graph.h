@@ -1,0 +1,154 @@
+// DISK baseline graph store (paper §7.3): a native disk-resident property
+// graph with paged record files, an LRU buffer pool, write-ahead logging
+// with fsync on commit, and a DRAM id-index — the architecture class the
+// paper compares its PMem engine against ("disk" / "DISK-i" series).
+//
+// Records deliberately mirror the PMem engine's layout minus the MVTO
+// fields (the baseline is single-writer with WAL durability, like classic
+// disk graph stores). Strings are dictionary-encoded in DRAM with an
+// append-only persistence log.
+
+#ifndef POSEIDON_DISKGRAPH_DISK_GRAPH_H_
+#define POSEIDON_DISKGRAPH_DISK_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "diskgraph/page_store.h"
+#include "storage/property_store.h"
+
+namespace poseidon::diskgraph {
+
+using storage::DictCode;
+using storage::Property;
+using storage::PVal;
+using storage::RecordId;
+
+/// 32-byte disk node record (no MVCC fields).
+struct DiskNode {
+  DictCode label = storage::kInvalidCode;
+  uint32_t in_use = 0;
+  RecordId first_in = storage::kNullId;
+  RecordId first_out = storage::kNullId;
+  RecordId props = storage::kNullId;
+};
+static_assert(sizeof(DiskNode) == 32);
+
+/// 48-byte disk relationship record.
+struct DiskRel {
+  DictCode label = storage::kInvalidCode;
+  uint32_t in_use = 0;
+  RecordId src = storage::kNullId;
+  RecordId dst = storage::kNullId;
+  RecordId next_src = storage::kNullId;
+  RecordId next_dst = storage::kNullId;
+  RecordId props = storage::kNullId;
+};
+static_assert(sizeof(DiskRel) == 48);
+
+/// 64-byte chained property record (same shape as the PMem engine's).
+struct DiskProp {
+  RecordId owner = storage::kNullId;
+  RecordId next = storage::kNullId;
+  storage::PropertyEntry entries[3];
+};
+static_assert(sizeof(DiskProp) == 64);
+
+struct DiskGraphOptions {
+  std::string dir;            ///< directory for the data/WAL files
+  size_t buffer_pages = 4096;  ///< pool capacity per file
+};
+
+class DiskGraph {
+ public:
+  static Result<std::unique_ptr<DiskGraph>> Create(
+      const DiskGraphOptions& options);
+
+  DiskGraph(const DiskGraph&) = delete;
+  DiskGraph& operator=(const DiskGraph&) = delete;
+  ~DiskGraph();
+
+  // --- Writes (buffered; durable at Commit) -------------------------------
+
+  Result<RecordId> CreateNode(DictCode label,
+                              const std::vector<Property>& props);
+  Result<RecordId> CreateRelationship(RecordId src, RecordId dst,
+                                      DictCode label,
+                                      const std::vector<Property>& props);
+  Status SetNodeProperty(RecordId id, DictCode key, PVal value);
+
+  /// WAL-append every dirty page and fsync (the disk commit cost the paper
+  /// measures in Fig. 6). A POSEIDON_DISK_FSYNC_US floor (default 500 µs,
+  /// one SSD fsync) is enforced because the bench filesystem may be tmpfs.
+  Status Commit();
+
+  /// Empties every buffer pool so the next accesses run "cold".
+  Status DropCaches();
+
+  // --- Reads ------------------------------------------------------------
+
+  Result<DiskNode> GetNode(RecordId id);
+  Result<DiskRel> GetRelationship(RecordId id);
+  Result<PVal> GetNodeProperty(RecordId id, DictCode key);
+  Result<PVal> GetRelationshipProperty(RecordId id, DictCode key);
+  Status ForEachOutgoing(
+      RecordId node, const std::function<bool(RecordId, const DiskRel&)>& fn);
+  Status ForEachIncoming(
+      RecordId node, const std::function<bool(RecordId, const DiskRel&)>& fn);
+
+  /// Full node-table scan (non-indexed lookups).
+  Status ForEachNode(const std::function<bool(RecordId, const DiskNode&)>& fn);
+
+  // --- Dictionary (DRAM maps + append-only persistence) -----------------
+
+  Result<DictCode> Code(const std::string& s);
+
+  // --- DRAM index on (label, id-property) — the paper's "additional DRAM
+  // index" for the disk baseline ------------------------------------------
+
+  void IndexPut(DictCode label, int64_t key, RecordId id);
+  Result<RecordId> IndexLookup(DictCode label, int64_t key) const;
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_relationships() const { return num_rels_; }
+  uint64_t buffer_misses() const;
+
+ private:
+  DiskGraph() = default;
+
+  static constexpr uint64_t kNodesPerPage = kPageSize / sizeof(DiskNode);
+  static constexpr uint64_t kRelsPerPage = kPageSize / sizeof(DiskRel);
+  static constexpr uint64_t kPropsPerPage = kPageSize / sizeof(DiskProp);
+
+  Result<DiskNode*> NodeAt(RecordId id, bool for_write);
+  Result<DiskRel*> RelAt(RecordId id, bool for_write);
+  Result<DiskProp*> PropAt(RecordId id, bool for_write);
+  Result<RecordId> WritePropChain(RecordId owner,
+                                  const std::vector<Property>& props);
+  Result<PVal> ChainGet(RecordId head, DictCode key);
+  Status WalAppend();
+
+  std::unique_ptr<PageFile> node_file_, rel_file_, prop_file_;
+  std::unique_ptr<BufferPool> node_pool_, rel_pool_, prop_pool_;
+  int wal_fd_ = -1;
+
+  uint64_t num_nodes_ = 0;
+  uint64_t num_rels_ = 0;
+  uint64_t num_props_ = 0;
+
+  // Dirty page tracking per table for the WAL (page numbers).
+  std::vector<std::pair<int, uint64_t>> dirty_pages_;
+
+  std::unordered_map<std::string, DictCode> dict_;
+  std::vector<std::string> dict_reverse_;
+  int dict_fd_ = -1;
+
+  std::unordered_map<uint64_t, RecordId> index_;  // (label<<40) ^ key
+};
+
+}  // namespace poseidon::diskgraph
+
+#endif  // POSEIDON_DISKGRAPH_DISK_GRAPH_H_

@@ -1,0 +1,96 @@
+// Paged disk storage for the DISK baseline (paper §7.3).
+//
+// The paper compares against "an open-source native graph database where we
+// stored all the primary data on SSD and created an additional DRAM index".
+// This module provides the disk substrate for our equivalent baseline: 8 KiB
+// page files accessed through an LRU buffer pool. Because this machine has
+// no dedicated SSD under test, a configurable per-miss latency
+// (POSEIDON_DISK_MISS_US, default 80 µs ≈ one SSD random read) is injected
+// on buffer misses; hot pages are served from the pool like any buffer
+// manager would.
+
+#ifndef POSEIDON_DISKGRAPH_PAGE_STORE_H_
+#define POSEIDON_DISKGRAPH_PAGE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poseidon::diskgraph {
+
+inline constexpr uint64_t kPageSize = 8192;
+
+/// A growable file of 8 KiB pages.
+class PageFile {
+ public:
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  Status ReadPage(uint64_t page_no, void* buf) const;
+  Status WritePage(uint64_t page_no, const void* buf);
+  Status Sync();
+
+  uint64_t num_pages() const { return num_pages_; }
+
+ private:
+  PageFile() = default;
+
+  int fd_ = -1;
+  uint64_t num_pages_ = 0;
+};
+
+/// LRU buffer pool over one PageFile with write-back caching.
+class BufferPool {
+ public:
+  /// `capacity` pages are cached; misses pay `miss_latency_us`
+  /// (env POSEIDON_DISK_MISS_US overrides).
+  BufferPool(PageFile* file, size_t capacity);
+
+  /// Returns a pinned-by-convention pointer to the page image (valid until
+  /// the next Fetch). Pages beyond EOF read as zeroes.
+  Result<char*> FetchPage(uint64_t page_no);
+
+  /// Marks the (cached) page dirty for write-back.
+  void MarkDirty(uint64_t page_no);
+
+  /// Writes back every dirty page and fsyncs the file.
+  Status FlushAll();
+
+  /// Drops every clean cached page (dirty ones are written back first);
+  /// subsequent fetches pay the miss latency again ("cold" runs).
+  Status DropCaches();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    uint64_t page_no;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  Status Evict();
+
+  PageFile* file_;
+  size_t capacity_;
+  uint64_t miss_latency_us_;
+  uint64_t hit_latency_ns_;
+  // page_no -> iterator into lru_ (front = most recent).
+  std::list<Frame> lru_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace poseidon::diskgraph
+
+#endif  // POSEIDON_DISKGRAPH_PAGE_STORE_H_

@@ -1,0 +1,415 @@
+#include "diskgraph/snb_disk.h"
+
+#include <algorithm>
+
+namespace poseidon::diskgraph {
+
+using storage::kNullId;
+
+namespace {
+
+/// Re-encodes a property list from the PMem dictionary into the disk one.
+Result<std::vector<Property>> ReencodeProps(
+    const std::vector<Property>& props, const storage::Dictionary& src_dict,
+    DiskGraph* g) {
+  std::vector<Property> out;
+  out.reserve(props.size());
+  for (const Property& p : props) {
+    POSEIDON_ASSIGN_OR_RETURN(std::string_view key_str, src_dict.Decode(p.key));
+    POSEIDON_ASSIGN_OR_RETURN(DictCode key, g->Code(std::string(key_str)));
+    PVal v = p.value;
+    if (v.type == storage::PType::kString) {
+      POSEIDON_ASSIGN_OR_RETURN(std::string_view s,
+                                src_dict.Decode(v.AsString()));
+      POSEIDON_ASSIGN_OR_RETURN(DictCode code, g->Code(std::string(s)));
+      v = PVal::String(code);
+    }
+    out.push_back(Property{key, v});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskSnb>> LoadDiskSnbFromStore(
+    storage::GraphStore* store, tx::TransactionManager* mgr,
+    const ldbc::SnbDataset& ds, const DiskGraphOptions& options) {
+  auto snb = std::make_unique<DiskSnb>();
+  POSEIDON_ASSIGN_OR_RETURN(snb->graph, DiskGraph::Create(options));
+  DiskGraph* g = snb->graph.get();
+  const auto& src_dict = store->dict();
+
+  // Resolve the schema in the disk dictionary.
+  struct NameSlot {
+    DictCode* slot;
+    DictCode src;
+  };
+  ldbc::SnbSchema& s = snb->schema;
+  const ldbc::SnbSchema& ss = ds.schema;
+  const NameSlot slots[] = {
+      {&s.person, ss.person},         {&s.forum, ss.forum},
+      {&s.post, ss.post},             {&s.comment, ss.comment},
+      {&s.tag, ss.tag},               {&s.tag_class, ss.tag_class},
+      {&s.city, ss.city},             {&s.country, ss.country},
+      {&s.continent, ss.continent},   {&s.university, ss.university},
+      {&s.company, ss.company},       {&s.knows, ss.knows},
+      {&s.has_creator, ss.has_creator}, {&s.likes, ss.likes},
+      {&s.has_tag, ss.has_tag},       {&s.has_member, ss.has_member},
+      {&s.has_moderator, ss.has_moderator},
+      {&s.container_of, ss.container_of},
+      {&s.reply_of, ss.reply_of},     {&s.is_located_in, ss.is_located_in},
+      {&s.is_part_of, ss.is_part_of}, {&s.study_at, ss.study_at},
+      {&s.work_at, ss.work_at},       {&s.has_interest, ss.has_interest},
+      {&s.has_type, ss.has_type},     {&s.id, ss.id},
+      {&s.creation_date, ss.creation_date},
+      {&s.first_name, ss.first_name}, {&s.last_name, ss.last_name},
+      {&s.gender, ss.gender},         {&s.birthday, ss.birthday},
+      {&s.browser_used, ss.browser_used},
+      {&s.location_ip, ss.location_ip},
+      {&s.content, ss.content},       {&s.image_file, ss.image_file},
+      {&s.length, ss.length},         {&s.language, ss.language},
+      {&s.name, ss.name},             {&s.title, ss.title},
+      {&s.class_year, ss.class_year}, {&s.work_from, ss.work_from},
+      {&s.join_date, ss.join_date},
+  };
+  for (const NameSlot& n : slots) {
+    POSEIDON_ASSIGN_OR_RETURN(std::string_view str, src_dict.Decode(n.src));
+    POSEIDON_ASSIGN_OR_RETURN(*n.slot, g->Code(std::string(str)));
+  }
+
+  // Copy nodes (committed snapshot), then relationships.
+  auto tx = mgr->Begin();
+  std::unordered_map<RecordId, RecordId> node_map;
+  Status status = Status::Ok();
+  store->nodes().ForEach([&](RecordId id, storage::NodeRecord&) {
+    if (!status.ok()) return;
+    auto n = tx->GetNode(id);
+    if (!n.ok()) return;  // invisible (in-flight)
+    auto props = tx->GetNodeProperties(id);
+    if (!props.ok()) {
+      status = props.status();
+      return;
+    }
+    auto reenc = ReencodeProps(*props, src_dict, g);
+    if (!reenc.ok()) {
+      status = reenc.status();
+      return;
+    }
+    std::string_view label_str = *src_dict.Decode(n->rec.label);
+    auto label = g->Code(std::string(label_str));
+    if (!label.ok()) {
+      status = label.status();
+      return;
+    }
+    auto new_id = g->CreateNode(*label, *reenc);
+    if (!new_id.ok()) {
+      status = new_id.status();
+      return;
+    }
+    node_map[id] = *new_id;
+    // DRAM index on the id property for the entity classes the queries use.
+    for (const Property& p : *reenc) {
+      if (p.key == s.id && p.value.type == storage::PType::kInt) {
+        g->IndexPut(*label, p.value.AsInt(), *new_id);
+      }
+    }
+  });
+  POSEIDON_RETURN_IF_ERROR(status);
+
+  store->relationships().ForEach(
+      [&](RecordId id, storage::RelationshipRecord&) {
+        if (!status.ok()) return;
+        auto r = tx->GetRelationship(id);
+        if (!r.ok()) return;
+        auto props = tx->GetRelationshipProperties(id);
+        if (!props.ok()) {
+          status = props.status();
+          return;
+        }
+        auto reenc = ReencodeProps(*props, src_dict, g);
+        if (!reenc.ok()) {
+          status = reenc.status();
+          return;
+        }
+        std::string_view label_str = *src_dict.Decode(r->rec.label);
+        auto label = g->Code(std::string(label_str));
+        if (!label.ok()) {
+          status = label.status();
+          return;
+        }
+        auto created = g->CreateRelationship(node_map[r->rec.src],
+                                             node_map[r->rec.dst], *label,
+                                             *reenc);
+        if (!created.ok()) status = created.status();
+      });
+  POSEIDON_RETURN_IF_ERROR(status);
+  POSEIDON_RETURN_IF_ERROR(tx->Commit());
+  POSEIDON_RETURN_IF_ERROR(g->Commit());
+
+  snb->next_person_id = ds.max_person_id + 1'000'000;
+  snb->next_message_id = ds.max_message_id + 1'000'000;
+  snb->next_forum_id = ds.max_forum_id + 1'000'000;
+  return snb;
+}
+
+namespace {
+
+/// Follows replyOf edges until a Post node; returns kNullId on dead ends.
+Result<RecordId> RootPost(DiskSnb* snb, RecordId msg) {
+  DiskGraph* g = snb->graph.get();
+  RecordId cur = msg;
+  for (int hop = 0; hop < 4096; ++hop) {
+    POSEIDON_ASSIGN_OR_RETURN(DiskNode n, g->GetNode(cur));
+    if (n.label == snb->schema.post) return cur;
+    RecordId next = kNullId;
+    POSEIDON_RETURN_IF_ERROR(g->ForEachOutgoing(
+        cur, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != snb->schema.reply_of) return true;
+          next = rel.dst;
+          return false;
+        }));
+    if (next == kNullId) return kNullId;
+    cur = next;
+  }
+  return Status::Internal("replyOf chain exceeded hop limit");
+}
+
+}  // namespace
+
+Result<uint64_t> RunDiskShortRead(DiskSnb* snb, const std::string& name,
+                                  int64_t param) {
+  DiskGraph* g = snb->graph.get();
+  const ldbc::SnbSchema& s = snb->schema;
+  bool is_post = name.find("-post") != std::string::npos;
+  DictCode msg_label = is_post ? s.post : s.comment;
+
+  if (name == "IS1") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p, g->IndexLookup(s.person, param));
+    for (DictCode key : {s.first_name, s.last_name, s.birthday,
+                         s.location_ip, s.browser_used, s.gender,
+                         s.creation_date}) {
+      POSEIDON_RETURN_IF_ERROR(g->GetNodeProperty(p, key).status());
+    }
+    uint64_t rows = 0;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachOutgoing(p, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != s.is_located_in) return true;
+          (void)g->GetNodeProperty(rel.dst, s.id);
+          ++rows;
+          return true;
+        }));
+    return rows;
+  }
+
+  if (name.rfind("IS2", 0) == 0) {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p, g->IndexLookup(s.person, param));
+    std::vector<std::pair<int64_t, RecordId>> messages;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachIncoming(p, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != s.has_creator) return true;
+          auto n = g->GetNode(rel.src);
+          if (!n.ok() || n->label != msg_label) return true;
+          auto date = g->GetNodeProperty(rel.src, s.creation_date);
+          messages.emplace_back(date.ok() ? date->AsInt() : 0, rel.src);
+          return true;
+        }));
+    std::sort(messages.begin(), messages.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (messages.size() > 10) messages.resize(10);
+    for (const auto& [date, msg] : messages) {
+      (void)g->GetNodeProperty(msg, s.id);
+      (void)g->GetNodeProperty(msg, s.content);
+      if (!is_post) {
+        POSEIDON_ASSIGN_OR_RETURN(RecordId root, RootPost(snb, msg));
+        if (root != kNullId) {
+          (void)g->GetNodeProperty(root, s.id);
+          POSEIDON_RETURN_IF_ERROR(g->ForEachOutgoing(
+              root, [&](RecordId, const DiskRel& rel) {
+                if (rel.label != s.has_creator) return true;
+                (void)g->GetNodeProperty(rel.dst, s.first_name);
+                (void)g->GetNodeProperty(rel.dst, s.last_name);
+                return false;
+              }));
+        }
+      }
+    }
+    return messages.size();
+  }
+
+  if (name == "IS3") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p, g->IndexLookup(s.person, param));
+    std::vector<std::pair<int64_t, RecordId>> friends;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachOutgoing(p, [&](RecordId rel_id, const DiskRel& rel) {
+          if (rel.label != s.knows) return true;
+          auto date = g->GetRelationshipProperty(rel_id, s.creation_date);
+          friends.emplace_back(date.ok() ? date->AsInt() : 0, rel.dst);
+          return true;
+        }));
+    std::sort(friends.begin(), friends.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [date, f] : friends) {
+      (void)g->GetNodeProperty(f, s.id);
+      (void)g->GetNodeProperty(f, s.first_name);
+      (void)g->GetNodeProperty(f, s.last_name);
+    }
+    return friends.size();
+  }
+
+  if (name.rfind("IS4", 0) == 0) {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId m, g->IndexLookup(msg_label, param));
+    POSEIDON_RETURN_IF_ERROR(g->GetNodeProperty(m, s.creation_date).status());
+    POSEIDON_RETURN_IF_ERROR(g->GetNodeProperty(m, s.content).status());
+    return 1;
+  }
+
+  if (name.rfind("IS5", 0) == 0) {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId m, g->IndexLookup(msg_label, param));
+    uint64_t rows = 0;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachOutgoing(m, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != s.has_creator) return true;
+          (void)g->GetNodeProperty(rel.dst, s.id);
+          (void)g->GetNodeProperty(rel.dst, s.first_name);
+          (void)g->GetNodeProperty(rel.dst, s.last_name);
+          ++rows;
+          return true;
+        }));
+    return rows;
+  }
+
+  if (name.rfind("IS6", 0) == 0) {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId m, g->IndexLookup(msg_label, param));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId root, RootPost(snb, m));
+    if (root == kNullId) return 0;
+    uint64_t rows = 0;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachIncoming(root, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != s.container_of) return true;
+          RecordId forum = rel.src;
+          (void)g->GetNodeProperty(forum, s.id);
+          (void)g->GetNodeProperty(forum, s.title);
+          (void)g->ForEachOutgoing(forum, [&](RecordId, const DiskRel& mr) {
+            if (mr.label != s.has_moderator) return true;
+            (void)g->GetNodeProperty(mr.dst, s.id);
+            (void)g->GetNodeProperty(mr.dst, s.first_name);
+            (void)g->GetNodeProperty(mr.dst, s.last_name);
+            ++rows;
+            return true;
+          });
+          return true;
+        }));
+    return rows;
+  }
+
+  if (name.rfind("IS7", 0) == 0) {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId m, g->IndexLookup(msg_label, param));
+    std::vector<std::pair<int64_t, RecordId>> replies;
+    POSEIDON_RETURN_IF_ERROR(
+        g->ForEachIncoming(m, [&](RecordId, const DiskRel& rel) {
+          if (rel.label != s.reply_of) return true;
+          auto date = g->GetNodeProperty(rel.src, s.creation_date);
+          replies.emplace_back(date.ok() ? date->AsInt() : 0, rel.src);
+          return true;
+        }));
+    std::sort(replies.begin(), replies.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    uint64_t rows = 0;
+    for (const auto& [date, c] : replies) {
+      (void)g->GetNodeProperty(c, s.id);
+      (void)g->GetNodeProperty(c, s.content);
+      POSEIDON_RETURN_IF_ERROR(
+          g->ForEachOutgoing(c, [&](RecordId, const DiskRel& rel) {
+            if (rel.label != s.has_creator) return true;
+            (void)g->GetNodeProperty(rel.dst, s.id);
+            (void)g->GetNodeProperty(rel.dst, s.first_name);
+            (void)g->GetNodeProperty(rel.dst, s.last_name);
+            ++rows;
+            return true;
+          }));
+    }
+    return rows;
+  }
+
+  return Status::InvalidArgument("unknown short-read query: " + name);
+}
+
+Status RunDiskUpdate(DiskSnb* snb, const std::string& name,
+                     const std::vector<int64_t>& params) {
+  DiskGraph* g = snb->graph.get();
+  const ldbc::SnbSchema& s = snb->schema;
+
+  if (name == "IU1") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId city, g->IndexLookup(s.city, params[1]));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId p,
+        g->CreateNode(s.person, {{s.id, PVal::Int(params[0])},
+                                 {s.creation_date, PVal::Int(params[2])}}));
+    g->IndexPut(s.person, params[0], p);
+    return g->CreateRelationship(p, city, s.is_located_in, {}).status();
+  }
+  if (name == "IU2" || name == "IU3") {
+    DictCode msg_label = name == "IU2" ? s.post : s.comment;
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p, g->IndexLookup(s.person, params[0]));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId m, g->IndexLookup(msg_label, params[1]));
+    return g->CreateRelationship(p, m, s.likes,
+                                 {{s.creation_date, PVal::Int(params[2])}})
+        .status();
+  }
+  if (name == "IU4") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId mod,
+                              g->IndexLookup(s.person, params[1]));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId f,
+        g->CreateNode(s.forum, {{s.id, PVal::Int(params[0])},
+                                {s.creation_date, PVal::Int(params[2])}}));
+    g->IndexPut(s.forum, params[0], f);
+    return g->CreateRelationship(f, mod, s.has_moderator, {}).status();
+  }
+  if (name == "IU5") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId f, g->IndexLookup(s.forum, params[0]));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p, g->IndexLookup(s.person, params[1]));
+    return g->CreateRelationship(f, p, s.has_member,
+                                 {{s.join_date, PVal::Int(params[2])}})
+        .status();
+  }
+  if (name == "IU6") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId f, g->IndexLookup(s.forum, params[1]));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId a, g->IndexLookup(s.person, params[2]));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId post,
+        g->CreateNode(s.post, {{s.id, PVal::Int(params[0])},
+                               {s.creation_date, PVal::Int(params[3])}}));
+    g->IndexPut(s.post, params[0], post);
+    POSEIDON_RETURN_IF_ERROR(
+        g->CreateRelationship(f, post, s.container_of, {}).status());
+    return g->CreateRelationship(post, a, s.has_creator, {}).status();
+  }
+  if (name == "IU7") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId parent,
+                              g->IndexLookup(s.post, params[1]));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId a, g->IndexLookup(s.person, params[2]));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId c,
+        g->CreateNode(s.comment, {{s.id, PVal::Int(params[0])},
+                                  {s.creation_date, PVal::Int(params[3])}}));
+    g->IndexPut(s.comment, params[0], c);
+    POSEIDON_RETURN_IF_ERROR(
+        g->CreateRelationship(c, parent, s.reply_of, {}).status());
+    return g->CreateRelationship(c, a, s.has_creator, {}).status();
+  }
+  if (name == "IU8") {
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p1, g->IndexLookup(s.person, params[0]));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId p2, g->IndexLookup(s.person, params[1]));
+    POSEIDON_RETURN_IF_ERROR(
+        g->CreateRelationship(p1, p2, s.knows,
+                              {{s.creation_date, PVal::Int(params[2])}})
+            .status());
+    return g->CreateRelationship(p2, p1, s.knows,
+                                 {{s.creation_date, PVal::Int(params[2])}})
+        .status();
+  }
+  return Status::InvalidArgument("unknown update query: " + name);
+}
+
+}  // namespace poseidon::diskgraph

@@ -1,0 +1,47 @@
+// SNB workload support for the DISK baseline: loads a copy of a generated
+// PMem graph into the disk store and provides hand-written implementations
+// of the LDBC short reads (indexed, "DISK-i") and updates, mirroring the
+// semantics of the algebra plans in ldbc/queries.h.
+
+#ifndef POSEIDON_DISKGRAPH_SNB_DISK_H_
+#define POSEIDON_DISKGRAPH_SNB_DISK_H_
+
+#include <memory>
+#include <string>
+
+#include "diskgraph/disk_graph.h"
+#include "ldbc/queries.h"
+#include "tx/transaction.h"
+
+namespace poseidon::diskgraph {
+
+struct DiskSnb {
+  std::unique_ptr<DiskGraph> graph;
+  ldbc::SnbSchema schema;  ///< codes valid in the disk dictionary
+  int64_t next_person_id = 0;
+  int64_t next_message_id = 0;
+  int64_t next_forum_id = 0;
+};
+
+/// Copies the committed graph in `store` (as seen by a fresh transaction of
+/// `mgr`) into a new disk store under `options.dir`, re-encoding all
+/// dictionary strings, and builds the DRAM id-index for persons, posts,
+/// comments, forums, and cities.
+Result<std::unique_ptr<DiskSnb>> LoadDiskSnbFromStore(
+    storage::GraphStore* store, tx::TransactionManager* mgr,
+    const ldbc::SnbDataset& ds, const DiskGraphOptions& options);
+
+/// Executes one short-read query (names as in ldbc::BuildShortReads) with
+/// the given id parameter. Returns the number of result rows.
+Result<uint64_t> RunDiskShortRead(DiskSnb* snb, const std::string& name,
+                                  int64_t param);
+
+/// Executes one update query (IU1..IU8). Does NOT commit — call
+/// snb->graph->Commit() separately so execute and commit can be timed apart
+/// (Fig. 6 reports both).
+Status RunDiskUpdate(DiskSnb* snb, const std::string& name,
+                     const std::vector<int64_t>& params);
+
+}  // namespace poseidon::diskgraph
+
+#endif  // POSEIDON_DISKGRAPH_SNB_DISK_H_

@@ -1,0 +1,457 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace poseidon::index {
+
+using storage::RecordId;
+
+struct BPlusTree::LeafNode {
+  struct Entry {
+    BTreeKey key;
+    uint64_t value;
+  };
+
+  uint32_t count;
+  uint32_t pad;
+  uint64_t next;  // ref of the next leaf (0 = end of chain)
+  Entry entries[kLeafEntries];
+
+  static void CheckLayout() {
+    static_assert(sizeof(LeafNode) == 1024,
+                  "leaf must stay a multiple of the 256 B PMem block");
+  }
+};
+
+struct BPlusTree::InnerNode {
+  uint32_t count;  // number of separator keys; children = count + 1
+  uint32_t pad;
+  BTreeKey keys[kInnerEntries];
+  uint64_t children[kInnerEntries + 1];
+};
+
+struct BPlusTree::Meta {
+  uint64_t first_leaf;
+};
+
+namespace {
+
+uint64_t PtrRef(void* p) { return reinterpret_cast<uint64_t>(p); }
+
+}  // namespace
+
+// --- Node resolution ---------------------------------------------------------
+
+BPlusTree::LeafNode* BPlusTree::ResolveLeaf(uint64_t ref) const {
+  if (placement_ == Placement::kVolatile) {
+    return reinterpret_cast<LeafNode*>(ref);
+  }
+  auto* leaf = pool_->ToPtr<LeafNode>(ref);
+  // One 256 B block per visited PMem node approximates the partial node
+  // access of a lookup (binary search does not touch the whole 1 KiB).
+  pool_->TouchRead(leaf, pmem::kPmemBlockSize);
+  return leaf;
+}
+
+BPlusTree::InnerNode* BPlusTree::ResolveInner(uint64_t ref) const {
+  if (placement_ == Placement::kPersistent) {
+    auto* inner = pool_->ToPtr<InnerNode>(ref);
+    pool_->TouchRead(inner, pmem::kPmemBlockSize);
+    return inner;
+  }
+  return reinterpret_cast<InnerNode*>(ref);
+}
+
+uint64_t BPlusTree::LeafRef(LeafNode* leaf) const {
+  if (placement_ == Placement::kVolatile) return PtrRef(leaf);
+  return pool_->ToOffset(leaf);
+}
+
+Result<uint64_t> BPlusTree::NewLeaf() {
+  if (placement_ == Placement::kVolatile) {
+    return PtrRef(new LeafNode{});
+  }
+  POSEIDON_ASSIGN_OR_RETURN(
+      pmem::Offset off,
+      pool_->AllocateZeroed(sizeof(LeafNode), pmem::kPmemBlockSize));
+  return static_cast<uint64_t>(off);
+}
+
+Result<uint64_t> BPlusTree::NewInner() {
+  if (placement_ == Placement::kPersistent) {
+    POSEIDON_ASSIGN_OR_RETURN(
+        pmem::Offset off,
+        pool_->AllocateZeroed(sizeof(InnerNode), pmem::kPmemBlockSize));
+    return static_cast<uint64_t>(off);
+  }
+  return PtrRef(new InnerNode{});
+}
+
+void BPlusTree::PersistLeaf(LeafNode* leaf, const void* addr, uint64_t len) {
+  if (placement_ == Placement::kVolatile) return;
+  (void)leaf;
+  pool_->Persist(addr, len);
+}
+
+// --- Lifecycle --------------------------------------------------------------
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(pmem::Pool* pool,
+                                                     Placement placement) {
+  if (placement != Placement::kVolatile && pool == nullptr) {
+    return Status::InvalidArgument("pool required for persistent placements");
+  }
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree());
+  tree->pool_ = pool;
+  tree->placement_ = placement;
+  POSEIDON_ASSIGN_OR_RETURN(tree->root_, tree->NewLeaf());
+  tree->first_leaf_ = tree->root_;
+  tree->height_ = 1;
+  if (placement != Placement::kVolatile) {
+    POSEIDON_ASSIGN_OR_RETURN(tree->meta_off_,
+                              pool->AllocateZeroed(sizeof(Meta)));
+    auto* meta = pool->ToPtr<Meta>(tree->meta_off_);
+    meta->first_leaf = tree->first_leaf_;
+    pool->Persist(meta, sizeof(Meta));
+  }
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(pmem::Pool* pool,
+                                                   Placement placement,
+                                                   pmem::Offset meta_off) {
+  if (placement == Placement::kVolatile) {
+    return Status::InvalidArgument("volatile trees cannot be reopened");
+  }
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree());
+  tree->pool_ = pool;
+  tree->placement_ = placement;
+  tree->meta_off_ = meta_off;
+  const auto* meta = pool->ToPtr<Meta>(meta_off);
+  tree->first_leaf_ = meta->first_leaf;
+  POSEIDON_RETURN_IF_ERROR(tree->RebuildInner());
+  return tree;
+}
+
+void BPlusTree::FreeInnerRecursive(uint64_t ref, int level) {
+  // level counts down; level == 1 means children are leaves.
+  if (placement_ == Placement::kPersistent) return;  // pool nodes stay
+  auto* inner = reinterpret_cast<InnerNode*>(ref);
+  if (level > 1) {
+    for (uint32_t i = 0; i <= inner->count; ++i) {
+      FreeInnerRecursive(inner->children[i], level - 1);
+    }
+  } else if (placement_ == Placement::kVolatile) {
+    for (uint32_t i = 0; i <= inner->count; ++i) {
+      delete reinterpret_cast<LeafNode*>(inner->children[i]);
+    }
+  }
+  delete inner;
+}
+
+BPlusTree::~BPlusTree() {
+  if (placement_ == Placement::kPersistent) return;
+  if (height_ == 1) {
+    if (placement_ == Placement::kVolatile) {
+      delete reinterpret_cast<LeafNode*>(root_);
+    }
+    return;
+  }
+  FreeInnerRecursive(root_, height_ - 1);
+}
+
+// --- Descent -----------------------------------------------------------------
+
+uint64_t BPlusTree::FindLeaf(
+    BTreeKey key, std::vector<std::pair<uint64_t, int>>* path) const {
+  uint64_t ref = root_;
+  for (int level = height_; level > 1; --level) {
+    InnerNode* inner = ResolveInner(ref);
+    // First separator strictly greater than key -> child index.
+    uint32_t lo = 0, hi = inner->count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (key < inner->keys[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (path != nullptr) path->emplace_back(ref, static_cast<int>(lo));
+    ref = inner->children[lo];
+  }
+  return ref;
+}
+
+// --- Insert ------------------------------------------------------------------
+
+Status BPlusTree::Insert(BTreeKey key, RecordId value) {
+  std::unique_lock lock(mu_);
+  std::vector<std::pair<uint64_t, int>> path;
+  uint64_t leaf_ref = FindLeaf(key, &path);
+  LeafNode* leaf = ResolveLeaf(leaf_ref);
+
+  auto* begin = leaf->entries;
+  auto* end = leaf->entries + leaf->count;
+  auto* pos = std::lower_bound(
+      begin, end, key,
+      [](const LeafNode::Entry& e, const BTreeKey& k) { return e.key < k; });
+  if (pos != end && pos->key == key) {
+    return Status::AlreadyExists("duplicate index key");
+  }
+
+  if (leaf->count < kLeafEntries) {
+    std::memmove(pos + 1, pos, (end - pos) * sizeof(LeafNode::Entry));
+    pos->key = key;
+    pos->value = value;
+    ++leaf->count;
+    PersistLeaf(leaf, leaf, sizeof(LeafNode));
+    ++size_;
+    return Status::Ok();
+  }
+
+  // Split: upper half moves to a new right sibling.
+  POSEIDON_ASSIGN_OR_RETURN(uint64_t new_ref, NewLeaf());
+  LeafNode* right = placement_ == Placement::kVolatile
+                        ? reinterpret_cast<LeafNode*>(new_ref)
+                        : pool_->ToPtr<LeafNode>(new_ref);
+  uint32_t split = kLeafEntries / 2;
+  right->count = kLeafEntries - split;
+  std::memcpy(right->entries, leaf->entries + split,
+              right->count * sizeof(LeafNode::Entry));
+  right->next = leaf->next;
+  PersistLeaf(right, right, sizeof(LeafNode));
+  leaf->count = split;
+  leaf->next = new_ref;
+  PersistLeaf(leaf, leaf, sizeof(LeafNode));
+
+  // Re-insert into the correct half.
+  BTreeKey sep = right->entries[0].key;
+  LeafNode* target = key < sep ? leaf : right;
+  auto* tbegin = target->entries;
+  auto* tend = target->entries + target->count;
+  auto* tpos = std::lower_bound(
+      tbegin, tend, key,
+      [](const LeafNode::Entry& e, const BTreeKey& k) { return e.key < k; });
+  std::memmove(tpos + 1, tpos, (tend - tpos) * sizeof(LeafNode::Entry));
+  tpos->key = key;
+  tpos->value = value;
+  ++target->count;
+  PersistLeaf(target, target, sizeof(LeafNode));
+  ++size_;
+
+  return InsertIntoParent(path, sep, new_ref);
+}
+
+Status BPlusTree::InsertIntoParent(
+    std::vector<std::pair<uint64_t, int>>& path, BTreeKey sep,
+    uint64_t new_child) {
+  while (!path.empty()) {
+    auto [ref, slot] = path.back();
+    path.pop_back();
+    InnerNode* inner = ResolveInner(ref);
+    if (inner->count < kInnerEntries) {
+      std::memmove(&inner->keys[slot + 1], &inner->keys[slot],
+                   (inner->count - slot) * sizeof(BTreeKey));
+      std::memmove(&inner->children[slot + 2], &inner->children[slot + 1],
+                   (inner->count - slot) * sizeof(uint64_t));
+      inner->keys[slot] = sep;
+      inner->children[slot + 1] = new_child;
+      ++inner->count;
+      if (placement_ == Placement::kPersistent) {
+        pool_->Persist(inner, sizeof(InnerNode));
+      }
+      return Status::Ok();
+    }
+    // Split inner node; middle key moves up.
+    POSEIDON_ASSIGN_OR_RETURN(uint64_t new_ref, NewInner());
+    InnerNode* right = placement_ == Placement::kPersistent
+                           ? pool_->ToPtr<InnerNode>(new_ref)
+                           : reinterpret_cast<InnerNode*>(new_ref);
+    uint32_t mid = kInnerEntries / 2;
+
+    // Conceptually insert (sep, new_child) at `slot` into the full node,
+    // then split around the middle. Do it via a scratch copy for clarity.
+    BTreeKey keys[kInnerEntries + 1];
+    uint64_t children[kInnerEntries + 2];
+    std::memcpy(keys, inner->keys, slot * sizeof(BTreeKey));
+    keys[slot] = sep;
+    std::memcpy(keys + slot + 1, inner->keys + slot,
+                (kInnerEntries - slot) * sizeof(BTreeKey));
+    std::memcpy(children, inner->children, (slot + 1) * sizeof(uint64_t));
+    children[slot + 1] = new_child;
+    std::memcpy(children + slot + 2, inner->children + slot + 1,
+                (kInnerEntries - slot) * sizeof(uint64_t));
+
+    BTreeKey up = keys[mid];
+    inner->count = mid;
+    std::memcpy(inner->keys, keys, mid * sizeof(BTreeKey));
+    std::memcpy(inner->children, children, (mid + 1) * sizeof(uint64_t));
+    right->count = kInnerEntries - mid;
+    std::memcpy(right->keys, keys + mid + 1,
+                right->count * sizeof(BTreeKey));
+    std::memcpy(right->children, children + mid + 1,
+                (right->count + 1) * sizeof(uint64_t));
+    if (placement_ == Placement::kPersistent) {
+      pool_->Persist(inner, sizeof(InnerNode));
+      pool_->Persist(right, sizeof(InnerNode));
+    }
+    sep = up;
+    new_child = new_ref;
+  }
+
+  // Root split.
+  POSEIDON_ASSIGN_OR_RETURN(uint64_t new_root_ref, NewInner());
+  InnerNode* new_root = placement_ == Placement::kPersistent
+                            ? pool_->ToPtr<InnerNode>(new_root_ref)
+                            : reinterpret_cast<InnerNode*>(new_root_ref);
+  new_root->count = 1;
+  new_root->keys[0] = sep;
+  new_root->children[0] = root_;
+  new_root->children[1] = new_child;
+  if (placement_ == Placement::kPersistent) {
+    pool_->Persist(new_root, sizeof(InnerNode));
+  }
+  root_ = new_root_ref;
+  ++height_;
+  return Status::Ok();
+}
+
+// --- Lookup / scan -----------------------------------------------------------
+
+Result<RecordId> BPlusTree::Lookup(BTreeKey key) const {
+  std::shared_lock lock(mu_);
+  uint64_t leaf_ref = FindLeaf(key, nullptr);
+  const LeafNode* leaf = ResolveLeaf(leaf_ref);
+  const auto* end = leaf->entries + leaf->count;
+  const auto* pos = std::lower_bound(
+      leaf->entries + 0, end, key,
+      [](const LeafNode::Entry& e, const BTreeKey& k) { return e.key < k; });
+  if (pos == end || !(pos->key == key)) {
+    return Status::NotFound("index key not found");
+  }
+  return static_cast<RecordId>(pos->value);
+}
+
+void BPlusTree::ScanRange(
+    BTreeKey lo, BTreeKey hi,
+    const std::function<bool(const BTreeKey&, RecordId)>& fn) const {
+  std::shared_lock lock(mu_);
+  uint64_t leaf_ref = FindLeaf(lo, nullptr);
+  while (leaf_ref != 0) {
+    LeafNode* leaf = ResolveLeaf(leaf_ref);
+    for (uint32_t i = 0; i < leaf->count; ++i) {
+      const auto& e = leaf->entries[i];
+      if (e.key < lo) continue;
+      if (hi < e.key) return;
+      if (!fn(e.key, e.value)) return;
+    }
+    leaf_ref = leaf->next;
+  }
+}
+
+// --- Remove ------------------------------------------------------------------
+
+Status BPlusTree::Remove(BTreeKey key) {
+  std::unique_lock lock(mu_);
+  uint64_t leaf_ref = FindLeaf(key, nullptr);
+  LeafNode* leaf = ResolveLeaf(leaf_ref);
+  auto* end = leaf->entries + leaf->count;
+  auto* pos = std::lower_bound(
+      leaf->entries, end, key,
+      [](const LeafNode::Entry& e, const BTreeKey& k) { return e.key < k; });
+  if (pos == end || !(pos->key == key)) {
+    return Status::NotFound("index key not found");
+  }
+  std::memmove(pos, pos + 1, (end - pos - 1) * sizeof(LeafNode::Entry));
+  --leaf->count;
+  PersistLeaf(leaf, leaf, sizeof(LeafNode));
+  --size_;
+  return Status::Ok();
+}
+
+uint64_t BPlusTree::size() const {
+  std::shared_lock lock(mu_);
+  return size_;
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+Status BPlusTree::RebuildInner() {
+  std::unique_lock lock(mu_);
+  if (placement_ == Placement::kVolatile) {
+    return Status::InvalidArgument("volatile trees have no persistent leaves");
+  }
+  // Drop existing DRAM inner levels (hybrid only).
+  if (height_ > 1 && placement_ == Placement::kHybrid) {
+    // Inner nodes only; leaves are pool-resident and must survive.
+    std::vector<uint64_t> level{root_};
+    for (int l = height_; l > 1; --l) {
+      std::vector<uint64_t> next_level;
+      for (uint64_t ref : level) {
+        auto* inner = reinterpret_cast<InnerNode*>(ref);
+        if (l > 2) {
+          for (uint32_t i = 0; i <= inner->count; ++i) {
+            next_level.push_back(inner->children[i]);
+          }
+        }
+        delete inner;
+      }
+      level = std::move(next_level);
+    }
+  }
+
+  // Collect (first key, ref) of every non-empty leaf in chain order.
+  std::vector<std::pair<BTreeKey, uint64_t>> level;
+  size_ = 0;
+  uint64_t ref = first_leaf_;
+  bool first = true;
+  while (ref != 0) {
+    LeafNode* leaf = ResolveLeaf(ref);
+    size_ += leaf->count;
+    if (leaf->count > 0 || first) {
+      BTreeKey k = leaf->count > 0 ? leaf->entries[0].key : BTreeKey{};
+      level.emplace_back(k, ref);
+    }
+    first = false;
+    ref = leaf->next;
+  }
+  if (level.size() == 1) {
+    root_ = level[0].second;
+    height_ = 1;
+    return Status::Ok();
+  }
+
+  // Bulk-build inner levels bottom-up.
+  int h = 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<BTreeKey, uint64_t>> parents;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t take = std::min<size_t>(kInnerEntries + 1, level.size() - i);
+      if (level.size() - (i + take) == 1) --take;  // avoid a 1-child parent
+      POSEIDON_ASSIGN_OR_RETURN(uint64_t iref, NewInner());
+      InnerNode* inner = placement_ == Placement::kPersistent
+                             ? pool_->ToPtr<InnerNode>(iref)
+                             : reinterpret_cast<InnerNode*>(iref);
+      inner->count = static_cast<uint32_t>(take - 1);
+      for (size_t c = 0; c < take; ++c) {
+        inner->children[c] = level[i + c].second;
+        if (c > 0) inner->keys[c - 1] = level[i + c].first;
+      }
+      if (placement_ == Placement::kPersistent) {
+        pool_->Persist(inner, sizeof(InnerNode));
+      }
+      parents.emplace_back(level[i].first, iref);
+      i += take;
+    }
+    level = std::move(parents);
+    ++h;
+  }
+  root_ = level[0].second;
+  height_ = h;
+  return Status::Ok();
+}
+
+}  // namespace poseidon::index

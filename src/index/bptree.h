@@ -1,0 +1,158 @@
+// B+-Tree secondary index with three node-placement policies (paper §4.2
+// "Hybrid Indexes" and §7.4 / Fig. 8):
+//
+//   * kVolatile   — all nodes in DRAM (the paper's DRAM baseline index);
+//                   lost on restart, rebuilt from primary data.
+//   * kPersistent — all nodes in the PMem pool (every lookup level pays
+//                   PMem latency).
+//   * kHybrid     — leaves in PMem, inner nodes in DRAM (selective
+//                   persistence à la FPTree): at most one PMem node is read
+//                   per lookup, and recovery only rebuilds the inner levels
+//                   from the persistent leaf chain.
+//
+// Keys are (int64 primary, uint64 tiebreak) pairs; the tiebreak (usually the
+// indexed record id) makes duplicate property values unique. Leaf nodes are
+// 1 KiB (a multiple of the 256 B DCPMM block, DG3), cache-line aligned, and
+// singly linked for range scans and recovery.
+//
+// Being a secondary structure, the tree favors simplicity over full crash
+// atomicity: leaves are persisted as they change, and the documented
+// recovery story is RebuildInner() (hybrid) or a full rebuild from primary
+// data (volatile/persistent) — exactly the trade-off §7.4 evaluates.
+
+#ifndef POSEIDON_INDEX_BPTREE_H_
+#define POSEIDON_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace poseidon::index {
+
+struct BTreeKey {
+  int64_t k = 0;
+  uint64_t tie = 0;
+
+  friend bool operator==(const BTreeKey& a, const BTreeKey& b) {
+    return a.k == b.k && a.tie == b.tie;
+  }
+  friend bool operator<(const BTreeKey& a, const BTreeKey& b) {
+    if (a.k != b.k) return a.k < b.k;
+    return a.tie < b.tie;
+  }
+};
+
+enum class Placement { kVolatile, kPersistent, kHybrid };
+
+class BPlusTree {
+ public:
+  /// Leaf layout: 16-byte header + kLeafEntries * 24 B = 1024 bytes.
+  static constexpr uint32_t kLeafEntries = 42;
+  /// Inner fanout.
+  static constexpr uint32_t kInnerEntries = 64;
+
+  /// Creates an empty tree. `pool` is required unless placement is
+  /// kVolatile. For persistent/hybrid trees, meta_offset() is the durable
+  /// handle for recovery.
+  static Result<std::unique_ptr<BPlusTree>> Create(pmem::Pool* pool,
+                                                   Placement placement);
+
+  /// Recovers a persistent or hybrid tree from its durable handle:
+  /// walks the leaf chain and rebuilds the in-DRAM inner levels.
+  static Result<std::unique_ptr<BPlusTree>> Open(pmem::Pool* pool,
+                                                 Placement placement,
+                                                 pmem::Offset meta_off);
+
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts key -> value. Duplicate exact keys are rejected.
+  Status Insert(BTreeKey key, storage::RecordId value);
+
+  /// Exact-key lookup.
+  Result<storage::RecordId> Lookup(BTreeKey key) const;
+
+  /// Invokes fn(key, value) for every entry with key.k == k (any tiebreak).
+  /// Returns the number of matches.
+  template <typename F>
+  uint64_t LookupAll(int64_t k, F&& fn) const {
+    uint64_t n = 0;
+    ScanRange(BTreeKey{k, 0}, BTreeKey{k, ~0ull},
+              [&](const BTreeKey& key, storage::RecordId v) {
+                ++n;
+                fn(key, v);
+                return true;
+              });
+    return n;
+  }
+
+  /// Invokes fn(key, value) for entries in [lo, hi] in key order until fn
+  /// returns false.
+  void ScanRange(BTreeKey lo, BTreeKey hi,
+                 const std::function<bool(const BTreeKey&,
+                                          storage::RecordId)>& fn) const;
+
+  /// Removes an exact key. NotFound if absent. (No node merging — freed
+  /// space is reused by later inserts, matching DG5's reuse-over-dealloc.)
+  Status Remove(BTreeKey key);
+
+  uint64_t size() const;
+  int height() const { return height_; }
+  Placement placement() const { return placement_; }
+  pmem::Offset meta_offset() const { return meta_off_; }
+
+  /// Rebuilds the DRAM inner levels from the persistent leaf chain (the
+  /// hybrid recovery path measured in Fig. 8). Also usable on persistent
+  /// trees to refresh the volatile root pointer cache.
+  Status RebuildInner();
+
+ private:
+  struct LeafNode;
+  struct InnerNode;
+  struct Meta;
+
+  BPlusTree() = default;
+
+  // Node references are uint64: pool offsets for PMem-resident nodes,
+  // raw pointers for DRAM-resident nodes (distinguished by placement +
+  // level, never mixed within one level).
+  LeafNode* ResolveLeaf(uint64_t ref) const;
+  InnerNode* ResolveInner(uint64_t ref) const;
+  uint64_t LeafRef(LeafNode* leaf) const;
+
+  Result<uint64_t> NewLeaf();
+  Result<uint64_t> NewInner();
+  void FreeInnerRecursive(uint64_t ref, int level);
+  void PersistLeaf(LeafNode* leaf, const void* addr, uint64_t len);
+
+  /// Descends to the leaf that owns `key`; records the path when `path` is
+  /// non-null (for splits).
+  uint64_t FindLeaf(BTreeKey key,
+                    std::vector<std::pair<uint64_t, int>>* path) const;
+
+  Status InsertIntoParent(std::vector<std::pair<uint64_t, int>>& path,
+                          BTreeKey sep, uint64_t new_child);
+
+  pmem::Pool* pool_ = nullptr;
+  Placement placement_ = Placement::kVolatile;
+  pmem::Offset meta_off_ = 0;  // persistent Meta (0 for volatile trees)
+
+  uint64_t root_ = 0;  // node ref; a leaf when height_ == 1
+  int height_ = 1;
+  uint64_t size_ = 0;
+  uint64_t first_leaf_ = 0;  // leftmost leaf ref
+
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace poseidon::index
+
+#endif  // POSEIDON_INDEX_BPTREE_H_

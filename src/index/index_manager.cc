@@ -1,0 +1,150 @@
+#include "index/index_manager.h"
+
+#include <cstring>
+
+namespace poseidon::index {
+
+using storage::DictCode;
+using storage::PVal;
+using storage::RecordId;
+
+namespace {
+constexpr uint64_t kDirCapacity = 64;
+}
+
+/// Persistent directory: a count followed by kDirCapacity fixed slots.
+struct IndexManager::DirEntry {
+  uint32_t label;
+  uint32_t key;
+  uint32_t placement;  // Placement enum value; volatile indexes not listed
+  uint32_t pad;
+  uint64_t meta;  // BPlusTree durable handle
+};
+
+struct Directory {
+  uint64_t count;
+  IndexManager::DirEntry slots[kDirCapacity];
+};
+
+int64_t IndexKeyOf(const PVal& v) {
+  switch (v.type) {
+    case storage::PType::kInt:
+      return v.AsInt();
+    case storage::PType::kString:
+      return static_cast<int64_t>(v.AsString());
+    case storage::PType::kBool:
+      return v.AsBool() ? 1 : 0;
+    case storage::PType::kDouble:
+      return static_cast<int64_t>(v.AsDouble());
+    case storage::PType::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+Status IndexManager::EnsureDirectory() {
+  auto* root = store_->root();
+  if (root->index_dir != 0) return Status::Ok();
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset dir,
+                            store_->pool()->AllocateZeroed(sizeof(Directory)));
+  root->index_dir = dir;
+  store_->pool()->Persist(&root->index_dir, sizeof(pmem::Offset));
+  return Status::Ok();
+}
+
+Status IndexManager::LoadPersistent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* root = store_->root();
+  if (root->index_dir == 0) return Status::Ok();
+  auto* dir = store_->pool()->ToPtr<Directory>(root->index_dir);
+  for (uint64_t i = 0; i < dir->count; ++i) {
+    const DirEntry& slot = dir->slots[i];
+    auto placement = static_cast<Placement>(slot.placement);
+    POSEIDON_ASSIGN_OR_RETURN(
+        auto tree, BPlusTree::Open(store_->pool(), placement, slot.meta));
+    entries_.push_back(Entry{slot.label, slot.key, placement, std::move(tree)});
+  }
+  return Status::Ok();
+}
+
+Result<BPlusTree*> IndexManager::CreateIndex(DictCode label, DictCode key,
+                                             Placement placement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e.label == label && e.key == key) {
+      return Status::AlreadyExists("index already exists");
+    }
+  }
+  pmem::Pool* pool = placement == Placement::kVolatile ? nullptr : store_->pool();
+  POSEIDON_ASSIGN_OR_RETURN(auto tree, BPlusTree::Create(pool, placement));
+  BPlusTree* raw = tree.get();
+  POSEIDON_RETURN_IF_ERROR(BulkLoad(raw, label, key));
+
+  if (placement != Placement::kVolatile) {
+    POSEIDON_RETURN_IF_ERROR(EnsureDirectory());
+    auto* dir = store_->pool()->ToPtr<Directory>(store_->root()->index_dir);
+    if (dir->count >= kDirCapacity) {
+      return Status::ResourceExhausted("index directory full");
+    }
+    DirEntry& slot = dir->slots[dir->count];
+    slot.label = label;
+    slot.key = key;
+    slot.placement = static_cast<uint32_t>(placement);
+    slot.meta = raw->meta_offset();
+    store_->pool()->Persist(&slot, sizeof(DirEntry));
+    ++dir->count;
+    store_->pool()->Persist(&dir->count, sizeof(uint64_t));
+  }
+  entries_.push_back(Entry{label, key, placement, std::move(tree)});
+  return raw;
+}
+
+Status IndexManager::BulkLoad(BPlusTree* tree, DictCode label, DictCode key) {
+  Status status = Status::Ok();
+  store_->nodes().ForEach([&](RecordId id, storage::NodeRecord& rec) {
+    if (!status.ok()) return;
+    if (rec.label != label) return;
+    // Index the latest committed version only; uncommitted inserts
+    // (txn_id != 0 with bts == 0) are skipped and will be reported through
+    // the post-commit hook.
+    if (rec.tx.txn_id != storage::kUnlocked && rec.tx.bts == 0) return;
+    if (rec.tx.ets != storage::kInfinityTs) return;  // deleted
+    PVal v = store_->properties().Get(rec.props, key);
+    if (v.is_null()) return;
+    Status s = tree->Insert(BTreeKey{IndexKeyOf(v), id}, id);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) status = s;
+  });
+  return status;
+}
+
+BPlusTree* IndexManager::Find(DictCode label, DictCode key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e.label == label && e.key == key) return e.tree.get();
+  }
+  return nullptr;
+}
+
+void IndexManager::OnNodeUpserted(RecordId id, DictCode label, DictCode key,
+                                  const PVal& old_value,
+                                  const PVal& new_value) {
+  BPlusTree* tree = Find(label, key);
+  if (tree == nullptr) return;
+  if (!old_value.is_null()) {
+    (void)tree->Remove(BTreeKey{IndexKeyOf(old_value), id});
+  }
+  if (!new_value.is_null()) {
+    (void)tree->Insert(BTreeKey{IndexKeyOf(new_value), id}, id);
+  }
+}
+
+void IndexManager::OnNodeDeleted(RecordId id, DictCode label,
+                                 const std::vector<storage::Property>& props) {
+  for (const auto& p : props) {
+    BPlusTree* tree = Find(label, p.key);
+    if (tree == nullptr) continue;
+    (void)tree->Remove(BTreeKey{IndexKeyOf(p.value), id});
+  }
+}
+
+}  // namespace poseidon::index

@@ -1,0 +1,81 @@
+// Index registry: creates, persists, recovers, and maintains the secondary
+// B+-Tree indexes over node properties ("An index can be constructed on
+// nodes with a given label and for a property", paper §4.2).
+//
+// A persistent index directory (referenced from GraphRoot::index_dir) records
+// every non-volatile index so Open() can recover hybrid indexes by
+// rebuilding only their DRAM inner levels; volatile indexes must be fully
+// re-created from primary data (the recovery trade-off of Fig. 8).
+//
+// Index maintenance is post-commit: the transaction layer reports committed
+// property changes via OnNodeUpserted/OnNodeDeleted. Indexes are secondary
+// structures, so a crash between data commit and index update at worst
+// requires an index rebuild, never affects primary-data consistency.
+
+#ifndef POSEIDON_INDEX_INDEX_MANAGER_H_
+#define POSEIDON_INDEX_INDEX_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "index/bptree.h"
+#include "storage/graph_store.h"
+
+namespace poseidon::index {
+
+/// Maps a property value onto the tree's int64 key space. Strings index by
+/// dictionary code (equality lookups), doubles by truncation.
+int64_t IndexKeyOf(const storage::PVal& v);
+
+class IndexManager {
+ public:
+  explicit IndexManager(storage::GraphStore* store) : store_(store) {}
+
+  /// Recovers all persistent/hybrid indexes listed in the directory.
+  Status LoadPersistent();
+
+  /// Creates an index on nodes labelled `label` for property `key` and
+  /// bulk-loads it from the current table contents (committed records).
+  Result<BPlusTree*> CreateIndex(storage::DictCode label,
+                                 storage::DictCode key, Placement placement);
+
+  /// Returns the index for (label, key) or nullptr.
+  BPlusTree* Find(storage::DictCode label, storage::DictCode key) const;
+
+  /// Post-commit hook: property `key` of node `id` (labelled `label`)
+  /// changed from `old_value` to `new_value` (either may be null for
+  /// insert/removal).
+  void OnNodeUpserted(storage::RecordId id, storage::DictCode label,
+                      storage::DictCode key, const storage::PVal& old_value,
+                      const storage::PVal& new_value);
+
+  /// Post-commit hook: node deleted; removes all its index entries.
+  void OnNodeDeleted(storage::RecordId id, storage::DictCode label,
+                     const std::vector<storage::Property>& props);
+
+  struct DirEntry;  // persistent directory slot (defined in .cc)
+
+  /// All registered indexes (for tests / stats).
+  struct Entry {
+    storage::DictCode label;
+    storage::DictCode key;
+    Placement placement;
+    std::unique_ptr<BPlusTree> tree;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  Status EnsureDirectory();
+  Status BulkLoad(BPlusTree* tree, storage::DictCode label,
+                  storage::DictCode key);
+
+  storage::GraphStore* store_;
+  std::vector<Entry> entries_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace poseidon::index
+
+#endif  // POSEIDON_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,93 @@
+// Execution façade unifying the AOT interpreter and the JIT compiler, with
+// the paper's adaptive mode (§6.2 "Adaptive Execution"):
+//
+//   * kInterpret / kInterpretParallel — push-based AOT engine (§6.1).
+//   * kJit — compile first (memo / persistent cache / fresh), then execute
+//     the compiled function over the morsels.
+//   * kAdaptive — execution starts immediately in interpretation mode while
+//     a background thread compiles the plan; when compilation finishes, the
+//     task function is atomically redirected and the next pulled morsel
+//     runs machine code. Short queries may finish entirely in AOT mode —
+//     the compiled code still lands in the cache for subsequent runs.
+//
+// Both execution paths share one PipelineExecutor, so pipeline-breaker
+// state (order-by buffers, counters, join tables) and results are identical
+// regardless of where the mode switch happens.
+
+#ifndef POSEIDON_JIT_JIT_QUERY_ENGINE_H_
+#define POSEIDON_JIT_JIT_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <set>
+
+#include "jit/jit_engine.h"
+#include "jit/runtime.h"
+#include "query/engine.h"
+
+namespace poseidon::jit {
+
+enum class ExecutionMode {
+  kInterpret,
+  kInterpretParallel,
+  kJit,
+  kAdaptive,
+};
+
+struct ExecStats {
+  double compile_ms = 0;  ///< blocking compile cost (kJit; 0 on memo hits)
+  bool used_jit = false;  ///< at least one morsel ran compiled code
+  bool cache_hit = false;
+  bool memo_hit = false;
+  uint64_t jit_morsels = 0;
+  uint64_t interpreted_morsels = 0;
+};
+
+class JitQueryEngine {
+ public:
+  /// `cache` may be null (no persistent compiled-code cache).
+  static Result<std::unique_ptr<JitQueryEngine>> Create(
+      storage::GraphStore* store, index::IndexManager* indexes,
+      size_t num_threads, QueryCache* cache);
+
+  /// Executes `plan` inside `tx`. The plan only needs to live for the
+  /// duration of this call: adaptive background compilation operates on a
+  /// self-contained module generated synchronously (JitEngine::BeginCompile).
+  Result<query::QueryResult> Execute(const query::Plan& plan,
+                                     tx::Transaction* tx,
+                                     const std::vector<query::Value>& params,
+                                     ExecutionMode mode,
+                                     ExecStats* stats = nullptr,
+                                     const JitOptions& options = {});
+
+  JitEngine* engine() { return engine_.get(); }
+  ThreadPool* pool() { return &pool_; }
+  storage::GraphStore* store() const { return store_; }
+
+  /// Blocks until background (adaptive) compilations are finished; call
+  /// before tearing down plans or benchmark scopes.
+  void WaitForBackgroundCompiles();
+
+ private:
+  JitQueryEngine(storage::GraphStore* store, index::IndexManager* indexes,
+                 size_t num_threads);
+
+  /// Drives compiled code over all morsels (single-threaded).
+  Status RunCompiledSerial(const CompiledQuery& compiled,
+                           JitRuntimeState* state,
+                           query::PipelineExecutor* exec, ExecStats* stats);
+
+  storage::GraphStore* store_;
+  index::IndexManager* indexes_;
+  ThreadPool pool_;
+  std::unique_ptr<JitEngine> engine_;
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_done_;
+  uint64_t bg_inflight_ = 0;
+  std::set<uint64_t> bg_query_ids_;  // dedupe concurrent compilations
+};
+
+}  // namespace poseidon::jit
+
+#endif  // POSEIDON_JIT_JIT_QUERY_ENGINE_H_

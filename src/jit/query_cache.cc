@@ -1,0 +1,149 @@
+#include "jit/query_cache.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace poseidon::jit {
+
+namespace {
+constexpr uint64_t kInitialBuckets = 64;  // power of two
+}
+
+struct QueryCache::Meta {
+  uint64_t count;
+  uint64_t buckets;          // offset of Bucket array
+  uint64_t bucket_capacity;  // power of two
+};
+
+struct QueryCache::Bucket {
+  uint64_t query_id;  // 0 = empty (query ids of 0 are remapped to 1)
+  uint64_t blob;      // offset of the object bytes
+  uint64_t size;
+};
+
+Result<std::unique_ptr<QueryCache>> QueryCache::Create(pmem::Pool* pool) {
+  auto cache = std::unique_ptr<QueryCache>(new QueryCache());
+  cache->pool_ = pool;
+  POSEIDON_ASSIGN_OR_RETURN(cache->meta_off_,
+                            pool->AllocateZeroed(sizeof(Meta)));
+  auto* m = cache->meta();
+  m->count = 0;
+  m->bucket_capacity = kInitialBuckets;
+  POSEIDON_ASSIGN_OR_RETURN(
+      m->buckets, pool->AllocateZeroed(kInitialBuckets * sizeof(Bucket)));
+  pool->Persist(m, sizeof(Meta));
+  return cache;
+}
+
+Result<std::unique_ptr<QueryCache>> QueryCache::Open(pmem::Pool* pool,
+                                                     pmem::Offset meta_off) {
+  auto cache = std::unique_ptr<QueryCache>(new QueryCache());
+  cache->pool_ = pool;
+  cache->meta_off_ = meta_off;
+  const auto* m = cache->meta();
+  if (m->bucket_capacity == 0 ||
+      (m->bucket_capacity & (m->bucket_capacity - 1)) != 0) {
+    return Status::Corruption("query cache bucket capacity invalid");
+  }
+  return cache;
+}
+
+Status QueryCache::Put(uint64_t query_id, const void* data, uint64_t size) {
+  if (query_id == 0) query_id = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* m = meta();
+  if ((m->count + 1) * 10 >= m->bucket_capacity * 7) {
+    POSEIDON_RETURN_IF_ERROR(GrowLocked());
+    m = meta();
+  }
+  auto* buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = m->bucket_capacity - 1;
+  for (uint64_t i = HashU64(query_id) & mask;; i = (i + 1) & mask) {
+    Bucket& bkt = buckets[i];
+    if (bkt.query_id == query_id) return Status::Ok();  // already cached
+    if (bkt.query_id != 0) continue;
+    POSEIDON_ASSIGN_OR_RETURN(pmem::Offset blob, pool_->Allocate(size));
+    std::memcpy(pool_->ToPtr<void>(blob), data, size);
+    pool_->Persist(pool_->ToPtr<void>(blob), size);
+    bkt.blob = blob;
+    bkt.size = size;
+    pool_->Persist(&bkt.blob, 2 * sizeof(uint64_t));
+    // Publish the id last: a torn insert stays invisible (C4).
+    bkt.query_id = query_id;
+    pool_->Persist(&bkt.query_id, sizeof(uint64_t));
+    ++m->count;
+    pool_->Persist(&m->count, sizeof(uint64_t));
+    return Status::Ok();
+  }
+}
+
+Result<std::vector<char>> QueryCache::Get(uint64_t query_id) const {
+  if (query_id == 0) query_id = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* m = meta();
+  const auto* buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = m->bucket_capacity - 1;
+  for (uint64_t i = HashU64(query_id) & mask;; i = (i + 1) & mask) {
+    const Bucket& bkt = buckets[i];
+    if (bkt.query_id == 0) {
+      ++misses_;
+      return Status::NotFound("query not in compiled-code cache");
+    }
+    if (bkt.query_id != query_id) continue;
+    ++hits_;
+    std::vector<char> out(bkt.size);
+    const char* blob = pool_->ToPtr<char>(bkt.blob);
+    pool_->TouchRead(blob, bkt.size);
+    std::memcpy(out.data(), blob, bkt.size);
+    return out;
+  }
+}
+
+bool QueryCache::Contains(uint64_t query_id) const {
+  if (query_id == 0) query_id = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* m = meta();
+  const auto* buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = m->bucket_capacity - 1;
+  for (uint64_t i = HashU64(query_id) & mask;; i = (i + 1) & mask) {
+    const Bucket& bkt = buckets[i];
+    if (bkt.query_id == 0) return false;
+    if (bkt.query_id == query_id) return true;
+  }
+}
+
+uint64_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return meta()->count;
+}
+
+Status QueryCache::GrowLocked() {
+  auto* m = meta();
+  uint64_t new_cap = m->bucket_capacity * 2;
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset new_off,
+                            pool_->AllocateZeroed(new_cap * sizeof(Bucket)));
+  auto* nb = pool_->ToPtr<Bucket>(new_off);
+  const auto* ob = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = new_cap - 1;
+  for (uint64_t i = 0; i < m->bucket_capacity; ++i) {
+    if (ob[i].query_id == 0) continue;
+    for (uint64_t j = HashU64(ob[i].query_id) & mask;; j = (j + 1) & mask) {
+      if (nb[j].query_id == 0) {
+        nb[j] = ob[i];
+        break;
+      }
+    }
+  }
+  pool_->Persist(nb, new_cap * sizeof(Bucket));
+  pmem::Offset old_off = m->buckets;
+  uint64_t old_cap = m->bucket_capacity;
+  m->buckets = new_off;
+  pool_->Persist(&m->buckets, sizeof(uint64_t));
+  m->bucket_capacity = new_cap;
+  pool_->Persist(&m->bucket_capacity, sizeof(uint64_t));
+  pool_->Free(old_off, old_cap * sizeof(Bucket));
+  return Status::Ok();
+}
+
+}  // namespace poseidon::jit

@@ -1,0 +1,61 @@
+// Persistent compiled-query cache (paper §6.2 "our JIT query engine can
+// persist already compiled code to PMem"): a persistent, concurrent hash
+// map from query identifier (hash of the plan signature) to the compiled
+// object-file bytes, stored in the graph's pmem::Pool. On a cache hit the
+// engine links the stored object directly and skips IR generation,
+// optimization, and compilation entirely — including across restarts.
+
+#ifndef POSEIDON_JIT_QUERY_CACHE_H_
+#define POSEIDON_JIT_QUERY_CACHE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "util/status.h"
+
+namespace poseidon::jit {
+
+class QueryCache {
+ public:
+  /// Creates an empty cache in `pool`; meta_offset() is the durable handle.
+  static Result<std::unique_ptr<QueryCache>> Create(pmem::Pool* pool);
+
+  /// Reopens a cache previously created at `meta_off`.
+  static Result<std::unique_ptr<QueryCache>> Open(pmem::Pool* pool,
+                                                  pmem::Offset meta_off);
+
+  pmem::Offset meta_offset() const { return meta_off_; }
+
+  /// Stores compiled object bytes under `query_id` (no-op if present).
+  Status Put(uint64_t query_id, const void* data, uint64_t size);
+
+  /// Copies the stored object bytes out; NotFound on miss.
+  Result<std::vector<char>> Get(uint64_t query_id) const;
+
+  bool Contains(uint64_t query_id) const;
+  uint64_t size() const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Meta;
+  struct Bucket;
+
+  QueryCache() = default;
+
+  Meta* meta() const { return pool_->ToPtr<Meta>(meta_off_); }
+  Status GrowLocked();
+
+  pmem::Pool* pool_ = nullptr;
+  pmem::Offset meta_off_ = 0;
+  mutable std::mutex mu_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace poseidon::jit
+
+#endif  // POSEIDON_JIT_QUERY_CACHE_H_

@@ -1,0 +1,196 @@
+#include "jit/runtime.h"
+
+#include <cstring>
+
+namespace poseidon::jit {
+namespace {
+
+using query::CmpOp;
+using query::PipelineExecutor;
+using query::Tuple;
+using query::Value;
+using storage::PVal;
+using storage::Property;
+using storage::RecordId;
+
+JitRuntimeState* State(void* p) { return static_cast<JitRuntimeState*>(p); }
+JitHandle* Handle(void* p) { return static_cast<JitHandle*>(p); }
+
+/// Fills `h` from a Resolved record version; snapshot properties move into
+/// the per-thread per-slot storage so the handle stays POD.
+template <typename R>
+void FillHandle(JitRuntimeState* s, uint32_t thread, uint32_t slot,
+                JitHandle* h, RecordId id, tx::Resolved<R>&& r) {
+  h->id = id;
+  h->thread = thread;
+  h->slot = slot;
+  h->props = r.rec.props;
+  std::memcpy(h->copy, &r.rec, sizeof(R));
+  h->rec = h->copy;
+  if (r.from_snapshot) {
+    h->has_snapshot = 1;
+    s->threads[thread]->snapshots[slot] = std::move(r.snapshot);
+  } else {
+    h->has_snapshot = 0;
+  }
+}
+
+}  // namespace
+}  // namespace poseidon::jit
+
+using namespace poseidon;         // NOLINT(build/namespaces)
+using namespace poseidon::jit;    // NOLINT(build/namespaces)
+
+extern "C" {
+
+int32_t poseidon_node_ref(void* state, uint64_t id, void* slot_ptr,
+                          uint32_t thread, uint32_t slot) {
+  auto* s = State(state);
+  if (!s->ctx.store->nodes().IsOccupied(id)) return 0;
+  auto r = s->ctx.tx->GetNode(id);
+  if (!r.ok()) {
+    if (r.status().IsNotFound()) return 0;
+    s->SetError(r.status());
+    return -1;
+  }
+  FillHandle(s, thread, slot, Handle(slot_ptr), id, std::move(*r));
+  return 1;
+}
+
+int32_t poseidon_rel_ref(void* state, uint64_t id, void* slot_ptr,
+                         uint32_t thread, uint32_t slot) {
+  auto* s = State(state);
+  auto* h = Handle(slot_ptr);
+  auto r = s->ctx.tx->GetRelationship(id);
+  if (!r.ok()) {
+    if (!r.status().IsNotFound()) {
+      s->SetError(r.status());
+      return -1;
+    }
+    // Invisible but possibly chained: expose the raw record so the
+    // generated traversal loop can still follow next_src/next_dst
+    // (mirrors Transaction::ForEachOutgoing's defensive path).
+    const auto* raw = s->ctx.store->relationships().At(id);
+    std::memcpy(h->copy, raw, sizeof(storage::RelationshipRecord));
+    h->rec = h->copy;
+    h->id = id;
+    h->thread = thread;
+    h->slot = slot;
+    h->has_snapshot = 0;
+    h->props = storage::kNullId;
+    return 0;
+  }
+  FillHandle(s, thread, slot, h, id, std::move(*r));
+  return 1;
+}
+
+uint32_t poseidon_get_prop(void* state, void* slot_ptr, uint32_t key,
+                           uint64_t* out) {
+  auto* s = State(state);
+  auto* h = Handle(slot_ptr);
+  // Tags returned here are query::Value kinds (what poseidon_compare and
+  // the emitted tuples expect), not storage PType tags.
+  if (h->has_snapshot != 0) {
+    const auto& props = s->threads[h->thread]->snapshots[h->slot];
+    for (const Property& p : props) {
+      if (p.key == key) {
+        Value v = Value::FromPVal(p.value);
+        *out = v.raw();
+        return static_cast<uint32_t>(v.kind());
+      }
+    }
+    *out = 0;
+    return 0;
+  }
+  Value v = Value::FromPVal(s->ctx.store->properties().Get(h->props, key));
+  *out = v.raw();
+  return static_cast<uint32_t>(v.kind());
+}
+
+uint32_t poseidon_param(void* state, uint32_t idx, uint64_t* out) {
+  auto* s = State(state);
+  if (s->ctx.params == nullptr || idx >= s->ctx.params->size()) {
+    s->SetError(Status::InvalidArgument("missing query parameter " +
+                                        std::to_string(idx)));
+    *out = 0;
+    return 0;
+  }
+  const Value& v = (*s->ctx.params)[idx];
+  *out = v.raw();
+  return static_cast<uint32_t>(v.kind());
+}
+
+int32_t poseidon_compare(uint32_t cmp, uint32_t kind_a, uint64_t raw_a,
+                         uint32_t kind_b, uint64_t raw_b) {
+  Value a = Value::FromRaw(static_cast<uint8_t>(kind_a), raw_a);
+  Value b = Value::FromRaw(static_cast<uint8_t>(kind_b), raw_b);
+  return PipelineExecutor::Compare(static_cast<CmpOp>(cmp), a, b) ? 1 : 0;
+}
+
+uint64_t poseidon_index_matches(void* state, uint32_t op_idx,
+                                uint32_t thread) {
+  auto* s = State(state);
+  const query::Op* op = s->ops[op_idx];
+  auto& buffer = s->threads[thread]->index_matches;
+  buffer.clear();
+  if (s->ctx.indexes == nullptr) {
+    s->SetError(Status::FailedPrecondition("no index manager configured"));
+    return 0;
+  }
+  index::BPlusTree* tree = s->ctx.indexes->Find(op->label, op->key);
+  if (tree == nullptr) {
+    s->SetError(Status::FailedPrecondition("no index on (label, key)"));
+    return 0;
+  }
+  Tuple empty;
+  auto lo = PipelineExecutor::Eval(op->value, empty, &s->ctx);
+  if (!lo.ok()) {
+    s->SetError(lo.status());
+    return 0;
+  }
+  int64_t lo_key = index::IndexKeyOf(lo->ToPVal());
+  int64_t hi_key = lo_key;
+  if (op->kind == query::OpKind::kIndexRangeScan) {
+    auto hi = PipelineExecutor::Eval(op->value2, empty, &s->ctx);
+    if (!hi.ok()) {
+      s->SetError(hi.status());
+      return 0;
+    }
+    hi_key = index::IndexKeyOf(hi->ToPVal());
+  }
+  tree->ScanRange(index::BTreeKey{lo_key, 0}, index::BTreeKey{hi_key, ~0ull},
+                  [&](const index::BTreeKey&, RecordId id) {
+                    buffer.push_back(id);
+                    return true;
+                  });
+  return buffer.size();
+}
+
+uint64_t poseidon_index_match_at(void* state, uint32_t thread, uint64_t i) {
+  return State(state)->threads[thread]->index_matches[i];
+}
+
+void poseidon_touch(void* state, const void* ptr, uint64_t len) {
+  State(state)->ctx.store->pool()->TouchRead(ptr, len);
+}
+
+int32_t poseidon_emit(void* state, int32_t tail_idx, uint32_t n,
+                      const uint64_t* vals, const uint8_t* kinds) {
+  auto* s = State(state);
+  Tuple t;
+  t.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    t.push_back(Value::FromRaw(kinds[i], vals[i]));
+  }
+  if (tail_idx < 0) {
+    s->collector->Add(t);
+    return 0;
+  }
+  Status st = s->executor->PushFrom(static_cast<size_t>(tail_idx), t);
+  if (st.ok()) return 0;
+  if (st.code() == StatusCode::kOutOfRange) return 1;  // stop producing
+  s->SetError(st);
+  return -1;
+}
+
+}  // extern "C"

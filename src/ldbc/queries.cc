@@ -1,0 +1,339 @@
+#include "ldbc/queries.h"
+
+namespace poseidon::ldbc {
+
+using query::CmpOp;
+using query::Direction;
+using query::Expr;
+using query::Plan;
+using query::PlanBuilder;
+using query::Value;
+using storage::DictCode;
+
+namespace {
+
+/// Starts a pipeline that resolves one node of `label` by its logical id
+/// (parameter 0): IndexScan when indexed, NodeScan + Filter otherwise.
+void StartLookup(PlanBuilder& b, DictCode label, DictCode id_key,
+                 bool use_index, int param = 0) {
+  if (use_index) {
+    std::move(b).IndexScan(label, id_key, Expr::Param(param));
+  } else {
+    std::move(b).NodeScan(label);
+    std::move(b).FilterProperty(0, id_key, CmpOp::kEq, Expr::Param(param));
+  }
+}
+
+/// Build side for IU joins: node of `label` with id == Param(param),
+/// projected to [node, const 1] so the probe can join on the constant.
+Plan LookupBuildSide(const SnbSchema& s, DictCode label, bool use_index,
+                     int param) {
+  PlanBuilder b;
+  StartLookup(b, label, s.id, use_index, param);
+  std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+std::vector<NamedQuery> BuildShortReads(const SnbSchema& s, bool use_index) {
+  std::vector<NamedQuery> out;
+
+  // IS1: person profile + city.
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index);
+    std::move(b).Expand(0, Direction::kOut, s.is_located_in);
+    std::move(b).Project({Expr::Property(0, s.first_name),
+                          Expr::Property(0, s.last_name),
+                          Expr::Property(0, s.birthday),
+                          Expr::Property(0, s.location_ip),
+                          Expr::Property(0, s.browser_used),
+                          Expr::Property(2, s.id),
+                          Expr::Property(0, s.gender),
+                          Expr::Property(0, s.creation_date)});
+    out.push_back({"IS1", std::move(b).Build()});
+  }
+
+  // IS2: person's 10 most recent messages (variant by message subclass);
+  // the cmt variant additionally resolves the root post and its author.
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index);
+    std::move(b).Expand(0, Direction::kIn, s.has_creator, s.post);
+    std::move(b).Project({Expr::Property(2, s.id),
+                          Expr::Property(2, s.content),
+                          Expr::Property(2, s.creation_date)});
+    std::move(b).OrderBy(2, /*desc=*/true, /*limit=*/10);
+    out.push_back({"IS2-post", std::move(b).Build()});
+  }
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index);
+    std::move(b).Expand(0, Direction::kIn, s.has_creator, s.comment);
+    std::move(b).ExpandTransitive(2, Direction::kOut, s.reply_of, s.post);
+    std::move(b).Expand(3, Direction::kOut, s.has_creator);
+    std::move(b).Project({Expr::Property(2, s.id),
+                          Expr::Property(2, s.content),
+                          Expr::Property(2, s.creation_date),
+                          Expr::Property(3, s.id),
+                          Expr::Property(5, s.id),
+                          Expr::Property(5, s.first_name),
+                          Expr::Property(5, s.last_name)});
+    std::move(b).OrderBy(2, /*desc=*/true, /*limit=*/10);
+    out.push_back({"IS2-cmt", std::move(b).Build()});
+  }
+
+  // IS3: friends of a person with friendship dates, newest first.
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index);
+    std::move(b).Expand(0, Direction::kOut, s.knows);
+    std::move(b).Project({Expr::Property(2, s.id),
+                          Expr::Property(2, s.first_name),
+                          Expr::Property(2, s.last_name),
+                          Expr::Property(1, s.creation_date)});
+    std::move(b).OrderBy(3, /*desc=*/true);
+    out.push_back({"IS3", std::move(b).Build()});
+  }
+
+  // IS4: message content + date.
+  for (bool is_post : {true, false}) {
+    PlanBuilder b;
+    StartLookup(b, is_post ? s.post : s.comment, s.id, use_index);
+    std::move(b).Project(
+        {Expr::Property(0, s.creation_date), Expr::Property(0, s.content)});
+    out.push_back({is_post ? "IS4-post" : "IS4-cmt", std::move(b).Build()});
+  }
+
+  // IS5: creator of a message.
+  for (bool is_post : {true, false}) {
+    PlanBuilder b;
+    StartLookup(b, is_post ? s.post : s.comment, s.id, use_index);
+    std::move(b).Expand(0, Direction::kOut, s.has_creator);
+    std::move(b).Project({Expr::Property(2, s.id),
+                          Expr::Property(2, s.first_name),
+                          Expr::Property(2, s.last_name)});
+    out.push_back({is_post ? "IS5-post" : "IS5-cmt", std::move(b).Build()});
+  }
+
+  // IS6: forum of a message (replyOf* to the root post, then its forum and
+  // the forum's moderator).
+  for (bool is_post : {true, false}) {
+    PlanBuilder b;
+    StartLookup(b, is_post ? s.post : s.comment, s.id, use_index);
+    std::move(b).ExpandTransitive(0, Direction::kOut, s.reply_of, s.post);
+    std::move(b).Expand(1, Direction::kIn, s.container_of, s.forum);
+    std::move(b).Expand(3, Direction::kOut, s.has_moderator);
+    std::move(b).Project({Expr::Property(3, s.id),
+                          Expr::Property(3, s.title),
+                          Expr::Property(5, s.id),
+                          Expr::Property(5, s.first_name),
+                          Expr::Property(5, s.last_name)});
+    out.push_back({is_post ? "IS6-post" : "IS6-cmt", std::move(b).Build()});
+  }
+
+  // IS7: replies to a message with their authors, newest first.
+  for (bool is_post : {true, false}) {
+    PlanBuilder b;
+    StartLookup(b, is_post ? s.post : s.comment, s.id, use_index);
+    std::move(b).Expand(0, Direction::kIn, s.reply_of, s.comment);
+    std::move(b).Expand(2, Direction::kOut, s.has_creator);
+    std::move(b).Project({Expr::Property(2, s.id),
+                          Expr::Property(2, s.content),
+                          Expr::Property(2, s.creation_date),
+                          Expr::Property(4, s.id),
+                          Expr::Property(4, s.first_name),
+                          Expr::Property(4, s.last_name)});
+    std::move(b).OrderBy(2, /*desc=*/true);
+    out.push_back({is_post ? "IS7-post" : "IS7-cmt", std::move(b).Build()});
+  }
+
+  return out;
+}
+
+Result<std::vector<NamedQuery>> BuildUpdates(const SnbSchema& s,
+                                             storage::Dictionary* dict,
+                                             bool use_index) {
+  std::vector<NamedQuery> out;
+  POSEIDON_ASSIGN_OR_RETURN(DictCode new_fn, dict->Encode("new_first_name"));
+  POSEIDON_ASSIGN_OR_RETURN(DictCode new_ln, dict->Encode("new_last_name"));
+  POSEIDON_ASSIGN_OR_RETURN(DictCode new_title, dict->Encode("new forum"));
+  POSEIDON_ASSIGN_OR_RETURN(DictCode new_content,
+                            dict->Encode("freshly inserted content"));
+  POSEIDON_ASSIGN_OR_RETURN(DictCode browser, dict->Encode("Chrome"));
+
+  // IU1: add person (params: new person id, city id, creation date).
+  {
+    PlanBuilder b;
+    std::move(b).CreateNode(
+        s.person, {s.id, s.first_name, s.last_name, s.browser_used,
+                   s.creation_date},
+        {Expr::Param(0), Expr::Literal(Value::String(new_fn)),
+         Expr::Literal(Value::String(new_ln)),
+         Expr::Literal(Value::String(browser)), Expr::Param(2)});
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.city, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.is_located_in, {}, {});
+    out.push_back({"IU1", std::move(b).Build()});
+  }
+
+  // IU2: person likes a post (params: person id, post id, date).
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index, 0);
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.post, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.likes, {s.creation_date},
+                           {Expr::Param(2)});
+    out.push_back({"IU2", std::move(b).Build()});
+  }
+
+  // IU3: person likes a comment.
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index, 0);
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.comment, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.likes, {s.creation_date},
+                           {Expr::Param(2)});
+    out.push_back({"IU3", std::move(b).Build()});
+  }
+
+  // IU4: add forum with moderator (params: new forum id, moderator person
+  // id, date).
+  {
+    PlanBuilder b;
+    std::move(b).CreateNode(
+        s.forum, {s.id, s.title, s.creation_date},
+        {Expr::Param(0), Expr::Literal(Value::String(new_title)),
+         Expr::Param(2)});
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.person, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.has_moderator, {}, {});
+    out.push_back({"IU4", std::move(b).Build()});
+  }
+
+  // IU5: forum membership (params: forum id, person id, join date).
+  {
+    PlanBuilder b;
+    StartLookup(b, s.forum, s.id, use_index, 0);
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.person, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.has_member, {s.join_date},
+                           {Expr::Param(2)});
+    out.push_back({"IU5", std::move(b).Build()});
+  }
+
+  // IU6: add post to a forum by an author (params: new post id, forum id,
+  // author person id, date).
+  {
+    PlanBuilder b;
+    std::move(b).CreateNode(
+        s.post, {s.id, s.content, s.browser_used, s.creation_date},
+        {Expr::Param(0), Expr::Literal(Value::String(new_content)),
+         Expr::Literal(Value::String(browser)), Expr::Param(3)});
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.forum, use_index, 1), 1, 1);
+    // containerOf points forum -> post.
+    std::move(b).CreateRel(2, 0, s.container_of, {}, {});
+    std::move(b).HashJoin(LookupBuildSide(s, s.person, use_index, 2), 1, 1);
+    std::move(b).CreateRel(0, 5, s.has_creator, {}, {});
+    out.push_back({"IU6", std::move(b).Build()});
+  }
+
+  // IU7: add comment replying to a post (params: new comment id, parent
+  // post id, author person id, date).
+  {
+    PlanBuilder b;
+    std::move(b).CreateNode(
+        s.comment, {s.id, s.content, s.browser_used, s.creation_date},
+        {Expr::Param(0), Expr::Literal(Value::String(new_content)),
+         Expr::Literal(Value::String(browser)), Expr::Param(3)});
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.post, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.reply_of, {}, {});
+    std::move(b).HashJoin(LookupBuildSide(s, s.person, use_index, 2), 1, 1);
+    std::move(b).CreateRel(0, 5, s.has_creator, {}, {});
+    out.push_back({"IU7", std::move(b).Build()});
+  }
+
+  // IU8: friendship, both directions (params: person1 id, person2 id,
+  // date).
+  {
+    PlanBuilder b;
+    StartLookup(b, s.person, s.id, use_index, 0);
+    std::move(b).Project({Expr::Column(0), Expr::Literal(Value::Int(1))});
+    std::move(b).HashJoin(LookupBuildSide(s, s.person, use_index, 1), 1, 1);
+    std::move(b).CreateRel(0, 2, s.knows, {s.creation_date},
+                           {Expr::Param(2)});
+    std::move(b).CreateRel(2, 0, s.knows, {s.creation_date},
+                           {Expr::Param(2)});
+    out.push_back({"IU8", std::move(b).Build()});
+  }
+
+  return out;
+}
+
+std::vector<Value> DrawShortReadParams(const SnbDataset& ds,
+                                       const std::string& name, Rng* rng) {
+  bool is_post_variant = name.find("-post") != std::string::npos;
+  bool is_person_query =
+      name == "IS1" || name.rfind("IS2", 0) == 0 || name == "IS3";
+  if (is_person_query) {
+    return {Value::Int(
+        1 + static_cast<int64_t>(rng->Uniform(
+                static_cast<uint64_t>(ds.max_person_id))))};
+  }
+  const auto& ids = is_post_variant ? ds.post_ids : ds.comment_ids;
+  return {Value::Int(ids[rng->Uniform(ids.size())])};
+}
+
+std::vector<Value> DrawUpdateParams(SnbDataset* ds, const std::string& name,
+                                    Rng* rng) {
+  auto person = [&] {
+    return Value::Int(1 + static_cast<int64_t>(rng->Uniform(
+                              static_cast<uint64_t>(ds->max_person_id))));
+  };
+  auto post = [&] {
+    return Value::Int(ds->post_ids[rng->Uniform(ds->post_ids.size())]);
+  };
+  auto comment = [&] {
+    return Value::Int(ds->comment_ids[rng->Uniform(ds->comment_ids.size())]);
+  };
+  auto forum = [&] {
+    return Value::Int(SnbDataset::kForumIdBase +
+                      static_cast<int64_t>(rng->Uniform(static_cast<uint64_t>(
+                          ds->max_forum_id - SnbDataset::kForumIdBase + 1))));
+  };
+  Value date = Value::Int(2'000'000'000 + static_cast<int64_t>(
+                                              rng->Uniform(1'000'000)));
+  if (name == "IU1") return {Value::Int(++ds->max_person_id),
+                             Value::Int(20'000'000), date};
+  if (name == "IU2") return {person(), post(), date};
+  if (name == "IU3") return {person(), comment(), date};
+  if (name == "IU4") return {Value::Int(++ds->max_forum_id), person(), date};
+  if (name == "IU5") return {forum(), person(), date};
+  if (name == "IU6")
+    return {Value::Int(++ds->max_message_id), forum(), person(), date};
+  if (name == "IU7")
+    return {Value::Int(++ds->max_message_id), post(), person(), date};
+  if (name == "IU8") {
+    Value p1 = person(), p2 = person();
+    return {p1, p2, date};
+  }
+  return {};
+}
+
+Status CreateSnbIndexes(index::IndexManager* indexes, const SnbSchema& s,
+                        index::Placement placement) {
+  for (DictCode label : {s.person, s.post, s.comment, s.forum, s.city}) {
+    auto r = indexes->CreateIndex(label, s.id, placement);
+    if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace poseidon::ldbc

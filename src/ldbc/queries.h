@@ -1,0 +1,58 @@
+// LDBC-SNB Interactive Short Read (IS1–IS7) and Interactive Update
+// (IU1–IU8) query plans (paper §7.2), expressed in the graph algebra of
+// query/plan.h.
+//
+// Message-centric short reads come in `post`/`cmt` variants (the paper's
+// "2-post", "7-cmt", ... series in Figs. 5, 7, 10). Each query exists in a
+// non-indexed form (NodeScan + id filter — the configuration of the JIT
+// experiments) and an indexed form (IndexScan on the id property — the
+// "-i" configurations).
+
+#ifndef POSEIDON_LDBC_QUERIES_H_
+#define POSEIDON_LDBC_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index_manager.h"
+#include "ldbc/snb_gen.h"
+#include "query/plan.h"
+#include "util/random.h"
+
+namespace poseidon::ldbc {
+
+struct NamedQuery {
+  std::string name;  ///< e.g. "IS2-post"
+  query::Plan plan;
+};
+
+/// The 12 short-read workload entries:
+/// IS1, IS2-post, IS2-cmt, IS3, IS4-post, IS4-cmt, IS5-post, IS5-cmt,
+/// IS6-post, IS6-cmt, IS7-post, IS7-cmt.
+std::vector<NamedQuery> BuildShortReads(const SnbSchema& s, bool use_index);
+
+/// The 8 update workload entries IU1..IU8. `dict` interns literal strings
+/// used by the insert payloads.
+Result<std::vector<NamedQuery>> BuildUpdates(const SnbSchema& s,
+                                             storage::Dictionary* dict,
+                                             bool use_index);
+
+/// Draws the parameter vector for a short-read query (person id or message
+/// id depending on the query).
+std::vector<query::Value> DrawShortReadParams(const SnbDataset& ds,
+                                              const std::string& name,
+                                              Rng* rng);
+
+/// Draws parameters for an update query. Allocates fresh logical ids by
+/// advancing the dataset counters (hence mutable dataset).
+std::vector<query::Value> DrawUpdateParams(SnbDataset* ds,
+                                           const std::string& name, Rng* rng);
+
+/// Creates the secondary indexes the indexed configurations rely on:
+/// (Person|Post|Comment|Forum|City).id with the given placement.
+Status CreateSnbIndexes(index::IndexManager* indexes, const SnbSchema& s,
+                        index::Placement placement);
+
+}  // namespace poseidon::ldbc
+
+#endif  // POSEIDON_LDBC_QUERIES_H_

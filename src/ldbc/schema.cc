@@ -1,0 +1,61 @@
+#include "ldbc/schema.h"
+
+namespace poseidon::ldbc {
+
+Result<SnbSchema> SnbSchema::Resolve(storage::Dictionary* dict) {
+  SnbSchema s;
+  struct Entry {
+    storage::DictCode* slot;
+    const char* name;
+  };
+  const Entry entries[] = {
+      {&s.person, "Person"},
+      {&s.forum, "Forum"},
+      {&s.post, "Post"},
+      {&s.comment, "Comment"},
+      {&s.tag, "Tag"},
+      {&s.tag_class, "TagClass"},
+      {&s.city, "City"},
+      {&s.country, "Country"},
+      {&s.continent, "Continent"},
+      {&s.university, "University"},
+      {&s.company, "Company"},
+      {&s.knows, "knows"},
+      {&s.has_creator, "hasCreator"},
+      {&s.likes, "likes"},
+      {&s.has_tag, "hasTag"},
+      {&s.has_member, "hasMember"},
+      {&s.has_moderator, "hasModerator"},
+      {&s.container_of, "containerOf"},
+      {&s.reply_of, "replyOf"},
+      {&s.is_located_in, "isLocatedIn"},
+      {&s.is_part_of, "isPartOf"},
+      {&s.study_at, "studyAt"},
+      {&s.work_at, "workAt"},
+      {&s.has_interest, "hasInterest"},
+      {&s.has_type, "hasType"},
+      {&s.id, "id"},
+      {&s.creation_date, "creationDate"},
+      {&s.first_name, "firstName"},
+      {&s.last_name, "lastName"},
+      {&s.gender, "gender"},
+      {&s.birthday, "birthday"},
+      {&s.browser_used, "browserUsed"},
+      {&s.location_ip, "locationIP"},
+      {&s.content, "content"},
+      {&s.image_file, "imageFile"},
+      {&s.length, "length"},
+      {&s.language, "language"},
+      {&s.name, "name"},
+      {&s.title, "title"},
+      {&s.class_year, "classYear"},
+      {&s.work_from, "workFrom"},
+      {&s.join_date, "joinDate"},
+  };
+  for (const Entry& e : entries) {
+    POSEIDON_ASSIGN_OR_RETURN(*e.slot, dict->Encode(e.name));
+  }
+  return s;
+}
+
+}  // namespace poseidon::ldbc

@@ -1,0 +1,33 @@
+// LDBC Social Network Benchmark schema (paper §7.2): dictionary codes for
+// every label, relationship type, and property key used by the synthetic
+// generator and the Interactive Short Read / Update query sets.
+
+#ifndef POSEIDON_LDBC_SCHEMA_H_
+#define POSEIDON_LDBC_SCHEMA_H_
+
+#include "storage/dictionary.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace poseidon::ldbc {
+
+struct SnbSchema {
+  // Node labels.
+  storage::DictCode person, forum, post, comment, tag, tag_class, city,
+      country, continent, university, company;
+  // Relationship types.
+  storage::DictCode knows, has_creator, likes, has_tag, has_member,
+      has_moderator, container_of, reply_of, is_located_in, is_part_of,
+      study_at, work_at, has_interest, has_type;
+  // Property keys.
+  storage::DictCode id, creation_date, first_name, last_name, gender,
+      birthday, browser_used, location_ip, content, image_file, length,
+      language, name, title, class_year, work_from, join_date;
+
+  /// Interns every schema string in `dict`.
+  static Result<SnbSchema> Resolve(storage::Dictionary* dict);
+};
+
+}  // namespace poseidon::ldbc
+
+#endif  // POSEIDON_LDBC_SCHEMA_H_

@@ -1,0 +1,312 @@
+#include "ldbc/snb_gen.h"
+
+#include <string>
+
+#include "util/random.h"
+
+namespace poseidon::ldbc {
+
+using storage::DictCode;
+using storage::Property;
+using storage::PVal;
+using storage::RecordId;
+
+namespace {
+
+/// Commits every `batch` operations so redo-log transactions stay bounded
+/// and the generator exercises the real commit path many times.
+class BatchedTx {
+ public:
+  BatchedTx(tx::TransactionManager* mgr, uint64_t batch)
+      : mgr_(mgr), batch_(batch) {}
+
+  tx::Transaction* get() {
+    if (tx_ == nullptr) tx_ = mgr_->Begin();
+    return tx_.get();
+  }
+
+  Status Tick() {
+    if (++ops_ < batch_) return Status::Ok();
+    return Flush();
+  }
+
+  Status Flush() {
+    ops_ = 0;
+    if (tx_ == nullptr) return Status::Ok();
+    Status s = tx_->Commit();
+    tx_.reset();
+    return s;
+  }
+
+ private:
+  tx::TransactionManager* mgr_;
+  uint64_t batch_;
+  uint64_t ops_ = 0;
+  std::unique_ptr<tx::Transaction> tx_;
+};
+
+}  // namespace
+
+Result<SnbDataset> GenerateSnb(tx::TransactionManager* mgr,
+                               storage::GraphStore* store,
+                               const SnbConfig& cfg) {
+  SnbDataset ds;
+  POSEIDON_ASSIGN_OR_RETURN(ds.schema, SnbSchema::Resolve(&store->dict()));
+  const SnbSchema& S = ds.schema;
+  Rng rng(cfg.seed);
+  BatchedTx bt(mgr, cfg.ops_per_tx);
+
+  auto str = [&](const std::string& s) -> Result<PVal> {
+    POSEIDON_ASSIGN_OR_RETURN(DictCode c, store->dict().Encode(s));
+    return PVal::String(c);
+  };
+  int64_t date_seq = 1'000'000'000;
+  auto next_date = [&] { return PVal::Int(date_seq += 1 + (rng.Next() % 7)); };
+
+  uint64_t rel_count = 0;
+  auto rel = [&](RecordId src, RecordId dst, DictCode label,
+                 std::vector<Property> props = {}) -> Status {
+    POSEIDON_RETURN_IF_ERROR(
+        bt.get()->CreateRelationship(src, dst, label, props).status());
+    ++rel_count;
+    return bt.Tick();
+  };
+
+  // --- Places ---------------------------------------------------------------
+  std::vector<RecordId> continents, countries;
+  for (uint64_t i = 0; i < cfg.continents; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("Continent_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id, bt.get()->CreateNode(S.continent, {{S.name, name}}));
+    continents.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+  }
+  for (uint64_t i = 0; i < cfg.countries; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("Country_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id, bt.get()->CreateNode(S.country, {{S.name, name}}));
+    countries.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, continents[i % continents.size()], S.is_part_of));
+  }
+  for (uint64_t i = 0; i < cfg.cities; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("City_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id,
+        bt.get()->CreateNode(
+            S.city, {{S.name, name}, {S.id, PVal::Int(static_cast<int64_t>(
+                                                20'000'000 + i))}}));
+    ds.cities.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, countries[i % countries.size()], S.is_part_of));
+  }
+
+  // --- Tags -----------------------------------------------------------------
+  std::vector<RecordId> tag_classes;
+  for (uint64_t i = 0; i < cfg.tag_classes; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("TagClass_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id, bt.get()->CreateNode(S.tag_class, {{S.name, name}}));
+    tag_classes.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+  }
+  for (uint64_t i = 0; i < cfg.tags; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("Tag_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(RecordId id,
+                              bt.get()->CreateNode(S.tag, {{S.name, name}}));
+    ds.tags.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, tag_classes[i % tag_classes.size()], S.has_type));
+  }
+
+  // --- Organisations ----------------------------------------------------------
+  std::vector<RecordId> universities, companies;
+  for (uint64_t i = 0; i < cfg.universities; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("University_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id, bt.get()->CreateNode(S.university, {{S.name, name}}));
+    universities.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, ds.cities[i % ds.cities.size()], S.is_located_in));
+  }
+  for (uint64_t i = 0; i < cfg.companies; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(PVal name, str("Company_" + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id, bt.get()->CreateNode(S.company, {{S.name, name}}));
+    companies.push_back(id);
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, countries[i % countries.size()], S.is_located_in));
+  }
+
+  // --- Persons ---------------------------------------------------------------
+  const char* genders[] = {"male", "female"};
+  const char* browsers[] = {"Firefox", "Chrome", "Safari", "Opera"};
+  for (uint64_t i = 0; i < cfg.persons; ++i) {
+    int64_t pid = static_cast<int64_t>(i) + 1;
+    POSEIDON_ASSIGN_OR_RETURN(
+        PVal fn, str("fn_" + std::to_string(rng.Uniform(200))));
+    POSEIDON_ASSIGN_OR_RETURN(
+        PVal ln, str("ln_" + std::to_string(rng.Uniform(500))));
+    POSEIDON_ASSIGN_OR_RETURN(PVal gender, str(genders[rng.Uniform(2)]));
+    POSEIDON_ASSIGN_OR_RETURN(PVal browser, str(browsers[rng.Uniform(4)]));
+    POSEIDON_ASSIGN_OR_RETURN(
+        PVal ip, str("ip_" + std::to_string(rng.Uniform(1 << 20))));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id,
+        bt.get()->CreateNode(
+            S.person,
+            {{S.id, PVal::Int(pid)},
+             {S.first_name, fn},
+             {S.last_name, ln},
+             {S.gender, gender},
+             {S.birthday, PVal::Int(19600101 + static_cast<int64_t>(
+                                                   rng.Uniform(40'0000)))},
+             {S.browser_used, browser},
+             {S.location_ip, ip},
+             {S.creation_date, next_date()}}));
+    ds.persons.push_back(id);
+    ds.max_person_id = pid;
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, ds.cities[rng.Uniform(ds.cities.size())], S.is_located_in));
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, universities[rng.Uniform(universities.size())], S.study_at,
+            {{S.class_year, PVal::Int(2000 + static_cast<int64_t>(
+                                                 rng.Uniform(20)))}}));
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, companies[rng.Uniform(companies.size())], S.work_at,
+            {{S.work_from, PVal::Int(2005 + static_cast<int64_t>(
+                                                rng.Uniform(15)))}}));
+    for (uint64_t k = 0; k < cfg.interests_per_person; ++k) {
+      POSEIDON_RETURN_IF_ERROR(
+          rel(id, ds.tags[rng.Zipf(ds.tags.size())], S.has_interest));
+    }
+  }
+
+  // --- knows (power-law degree, both directions like LDBC's undirected) ----
+  for (uint64_t i = 0; i < cfg.persons; ++i) {
+    uint64_t degree = 1 + rng.Zipf(static_cast<uint64_t>(cfg.avg_friends * 2));
+    for (uint64_t k = 0; k < degree; ++k) {
+      uint64_t j = rng.Uniform(cfg.persons);
+      if (j == i) continue;
+      PVal d = next_date();
+      POSEIDON_RETURN_IF_ERROR(rel(ds.persons[i], ds.persons[j], S.knows,
+                                   {{S.creation_date, d}}));
+      POSEIDON_RETURN_IF_ERROR(rel(ds.persons[j], ds.persons[i], S.knows,
+                                   {{S.creation_date, d}}));
+    }
+  }
+
+  // --- Forums -----------------------------------------------------------------
+  int64_t forum_id = SnbDataset::kForumIdBase;
+  for (uint64_t i = 0; i < cfg.persons * cfg.forums_per_person; ++i) {
+    POSEIDON_ASSIGN_OR_RETURN(
+        PVal title, str("Forum of person " + std::to_string(i)));
+    POSEIDON_ASSIGN_OR_RETURN(
+        RecordId id,
+        bt.get()->CreateNode(S.forum, {{S.id, PVal::Int(forum_id)},
+                                       {S.title, title},
+                                       {S.creation_date, next_date()}}));
+    ds.forums.push_back(id);
+    ds.max_forum_id = forum_id++;
+    POSEIDON_RETURN_IF_ERROR(bt.Tick());
+    RecordId moderator = ds.persons[i % ds.persons.size()];
+    POSEIDON_RETURN_IF_ERROR(rel(id, moderator, S.has_moderator));
+    POSEIDON_RETURN_IF_ERROR(
+        rel(id, ds.tags[rng.Zipf(ds.tags.size())], S.has_tag));
+    for (uint64_t m = 0; m < cfg.members_per_forum; ++m) {
+      POSEIDON_RETURN_IF_ERROR(
+          rel(id, ds.persons[rng.Uniform(ds.persons.size())], S.has_member,
+              {{S.join_date, next_date()}}));
+    }
+  }
+
+  // --- Posts -------------------------------------------------------------------
+  int64_t message_id = SnbDataset::kMessageIdBase;
+  const char* languages[] = {"en", "de", "fr", "es"};
+  for (size_t f = 0; f < ds.forums.size(); ++f) {
+    for (uint64_t p = 0; p < cfg.posts_per_forum; ++p) {
+      int64_t mid = message_id++;
+      POSEIDON_ASSIGN_OR_RETURN(
+          PVal content, str("post content " + std::to_string(mid)));
+      POSEIDON_ASSIGN_OR_RETURN(PVal lang, str(languages[rng.Uniform(4)]));
+      POSEIDON_ASSIGN_OR_RETURN(
+          PVal browser, str(browsers[rng.Uniform(4)]));
+      POSEIDON_ASSIGN_OR_RETURN(
+          RecordId id,
+          bt.get()->CreateNode(
+              S.post, {{S.id, PVal::Int(mid)},
+                       {S.content, content},
+                       {S.length, PVal::Int(static_cast<int64_t>(
+                                      20 + rng.Uniform(200)))},
+                       {S.language, lang},
+                       {S.browser_used, browser},
+                       {S.creation_date, next_date()}}));
+      ds.posts.push_back(id);
+      ds.post_ids.push_back(mid);
+      ds.max_message_id = mid;
+      POSEIDON_RETURN_IF_ERROR(bt.Tick());
+      RecordId creator = ds.persons[rng.Zipf(ds.persons.size())];
+      POSEIDON_RETURN_IF_ERROR(rel(ds.forums[f], id, S.container_of));
+      POSEIDON_RETURN_IF_ERROR(rel(id, creator, S.has_creator));
+      POSEIDON_RETURN_IF_ERROR(
+          rel(id, countries[rng.Uniform(countries.size())], S.is_located_in));
+      POSEIDON_RETURN_IF_ERROR(
+          rel(id, ds.tags[rng.Zipf(ds.tags.size())], S.has_tag));
+
+      // --- Comments under this post (possibly nested) -----------------
+      RecordId reply_target = id;
+      for (uint64_t c = 0; c < cfg.comments_per_post; ++c) {
+        int64_t cid = message_id++;
+        POSEIDON_ASSIGN_OR_RETURN(
+            PVal ccontent, str("comment content " + std::to_string(cid)));
+        POSEIDON_ASSIGN_OR_RETURN(
+            PVal cbrowser, str(browsers[rng.Uniform(4)]));
+        POSEIDON_ASSIGN_OR_RETURN(
+            RecordId com,
+            bt.get()->CreateNode(
+                S.comment, {{S.id, PVal::Int(cid)},
+                            {S.content, ccontent},
+                            {S.length, PVal::Int(static_cast<int64_t>(
+                                           5 + rng.Uniform(100)))},
+                            {S.browser_used, cbrowser},
+                            {S.creation_date, next_date()}}));
+        ds.comments.push_back(com);
+        ds.comment_ids.push_back(cid);
+        ds.max_message_id = cid;
+        POSEIDON_RETURN_IF_ERROR(bt.Tick());
+        POSEIDON_RETURN_IF_ERROR(rel(com, reply_target, S.reply_of));
+        POSEIDON_RETURN_IF_ERROR(
+            rel(com, ds.persons[rng.Zipf(ds.persons.size())], S.has_creator));
+        POSEIDON_RETURN_IF_ERROR(rel(
+            com, countries[rng.Uniform(countries.size())], S.is_located_in));
+        // Alternate between replying to the post and nesting one deeper.
+        if (rng.Uniform(2) == 0) reply_target = com;
+      }
+    }
+  }
+
+  // --- Likes -------------------------------------------------------------------
+  for (uint64_t i = 0; i < cfg.persons; ++i) {
+    for (uint64_t k = 0; k < cfg.likes_per_person; ++k) {
+      bool like_post = rng.Uniform(2) == 0 || ds.comments.empty();
+      RecordId msg = like_post
+                         ? ds.posts[rng.Zipf(ds.posts.size())]
+                         : ds.comments[rng.Zipf(ds.comments.size())];
+      POSEIDON_RETURN_IF_ERROR(rel(ds.persons[i], msg, S.likes,
+                                   {{S.creation_date, next_date()}}));
+    }
+  }
+
+  POSEIDON_RETURN_IF_ERROR(bt.Flush());
+  ds.total_nodes = store->nodes().size();
+  ds.total_relationships = store->relationships().size();
+  return ds;
+}
+
+}  // namespace poseidon::ldbc

@@ -1,0 +1,74 @@
+// Deterministic synthetic LDBC-SNB-like data generator (paper §7.2).
+//
+// The paper benchmarks against LDBC-SNB data at SF10. The official generator
+// (Hadoop-based) is not available offline, so this module produces a graph
+// with the same schema, the same entity/relationship mix, power-law `knows`
+// degrees, and dictionary-encoded string properties. Scale is controlled by
+// the person count; all other entity counts derive from LDBC-like ratios.
+
+#ifndef POSEIDON_LDBC_SNB_GEN_H_
+#define POSEIDON_LDBC_SNB_GEN_H_
+
+#include <vector>
+
+#include "ldbc/schema.h"
+#include "tx/transaction.h"
+
+namespace poseidon::ldbc {
+
+struct SnbConfig {
+  uint64_t persons = 1000;
+  uint64_t seed = 42;
+  double avg_friends = 10.0;        ///< mean knows-degree (zipf-skewed)
+  uint64_t forums_per_person = 1;   ///< each person moderates one forum
+  uint64_t posts_per_forum = 3;
+  uint64_t comments_per_post = 2;
+  uint64_t likes_per_person = 4;
+  uint64_t members_per_forum = 6;
+  uint64_t interests_per_person = 3;
+  uint64_t tags = 100;
+  uint64_t tag_classes = 10;
+  uint64_t cities = 50;
+  uint64_t countries = 20;
+  uint64_t continents = 6;
+  uint64_t universities = 30;
+  uint64_t companies = 40;
+  uint64_t ops_per_tx = 512;  ///< generation batch size
+};
+
+struct SnbDataset {
+  SnbSchema schema;
+
+  // Physical record ids by entity class (for direct access in tests).
+  std::vector<storage::RecordId> persons;
+  std::vector<storage::RecordId> forums;
+  std::vector<storage::RecordId> posts;
+  std::vector<storage::RecordId> comments;
+  std::vector<storage::RecordId> tags;
+  std::vector<storage::RecordId> cities;
+
+  // Logical-id ranges for parameter generation. Persons get ids
+  // [1, persons]; messages share one id space starting at kMessageIdBase.
+  static constexpr int64_t kMessageIdBase = 1'000'000;
+  static constexpr int64_t kForumIdBase = 10'000'000;
+  int64_t max_person_id = 0;
+  int64_t max_message_id = 0;  // absolute (>= kMessageIdBase)
+  int64_t max_forum_id = 0;    // absolute (>= kForumIdBase)
+
+  // Logical ids of posts / comments (for SR parameter draws).
+  std::vector<int64_t> post_ids;
+  std::vector<int64_t> comment_ids;
+
+  uint64_t total_nodes = 0;
+  uint64_t total_relationships = 0;
+};
+
+/// Generates the dataset in batched transactions through `mgr` (so commit
+/// and index-maintenance paths are exercised exactly as production inserts).
+Result<SnbDataset> GenerateSnb(tx::TransactionManager* mgr,
+                               storage::GraphStore* store,
+                               const SnbConfig& config);
+
+}  // namespace poseidon::ldbc
+
+#endif  // POSEIDON_LDBC_SNB_GEN_H_

@@ -1,0 +1,415 @@
+#include "pmem/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <random>
+
+namespace poseidon::pmem {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x504f534549444f4eull;  // "POSEIDON"
+constexpr uint64_t kVersion = 1;
+constexpr uint64_t kHeaderReserved = 4096;
+constexpr uint64_t kDefaultRedoSize = 8ull << 20;
+constexpr uint64_t kMaxSizeClassBytes = 64ull << 10;
+
+uint64_t AlignUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+struct Pool::Header {
+  uint64_t magic;
+  uint64_t version;
+  uint64_t capacity;
+  uint64_t pool_id;
+  uint64_t clean_shutdown;
+  uint64_t root;
+  uint64_t bump;  // next never-allocated byte
+  uint64_t redo_area;
+  uint64_t redo_size;
+  uint64_t free_lists[kNumSizeClasses];
+};
+
+// --- Lifecycle --------------------------------------------------------------
+
+Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
+                                           const PoolOptions& options) {
+  if (options.capacity < kHeaderReserved + kDefaultRedoSize + (1 << 20)) {
+    return Status::InvalidArgument("pool capacity too small");
+  }
+  auto pool = std::unique_ptr<Pool>(new Pool());
+  pool->mode_ = options.mode;
+  pool->capacity_ = options.capacity;
+  POSEIDON_RETURN_IF_ERROR(pool->MapRegion(path, /*create=*/true));
+  pool->InitHeader(options);
+  if (options.has_latency_override) {
+    pool->latency_ = options.latency_override;
+  } else {
+    pool->latency_ = options.mode == PoolMode::kPmem
+                         ? LatencyModel::EmulatedPmem()
+                         : LatencyModel::Dram();
+  }
+  if (options.crash_shadow) {
+    pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
+    std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
+  }
+  pool->redo_log_ = std::make_unique<RedoLog>(
+      pool.get(), pool->header()->redo_area, pool->header()->redo_size);
+  return pool;
+}
+
+Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
+                                         const PoolOptions& options) {
+  if (options.mode != PoolMode::kPmem) {
+    return Status::InvalidArgument("only pmem pools can be reopened");
+  }
+  auto pool = std::unique_ptr<Pool>(new Pool());
+  pool->mode_ = PoolMode::kPmem;
+  POSEIDON_RETURN_IF_ERROR(pool->MapRegion(path, /*create=*/false));
+  POSEIDON_RETURN_IF_ERROR(pool->ValidateHeader());
+  pool->capacity_ = pool->header()->capacity;
+  pool->recovered_from_crash_ = pool->header()->clean_shutdown == 0;
+  if (options.has_latency_override) {
+    pool->latency_ = options.latency_override;
+  } else {
+    pool->latency_ = LatencyModel::EmulatedPmem();
+  }
+  if (options.crash_shadow) {
+    pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
+    std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
+  }
+  pool->redo_log_ = std::make_unique<RedoLog>(
+      pool.get(), pool->header()->redo_area, pool->header()->redo_size);
+  pool->redo_log_->Recover();
+  pool->header()->clean_shutdown = 0;
+  pool->Persist(&pool->header()->clean_shutdown, sizeof(uint64_t));
+  return pool;
+}
+
+Result<std::unique_ptr<Pool>> Pool::CreateVolatile(uint64_t capacity) {
+  PoolOptions options;
+  options.mode = PoolMode::kDram;
+  options.capacity = capacity;
+  return Create("", options);
+}
+
+Pool::~Pool() {
+  if (base_ == nullptr) return;
+  if (mode_ == PoolMode::kPmem && fd_ >= 0) {
+    header()->clean_shutdown = 1;
+    Persist(&header()->clean_shutdown, sizeof(uint64_t));
+    ::msync(base_, capacity_, MS_SYNC);
+  }
+  ::munmap(base_, capacity_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Pool::MapRegion(const std::string& path, bool create) {
+  void* mem = nullptr;
+  if (mode_ == PoolMode::kDram) {
+    mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      return Status::IoError("mmap(anonymous) failed: " +
+                             std::string(strerror(errno)));
+    }
+    base_ = static_cast<char*>(mem);
+    return Status::Ok();
+  }
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_EXCL;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open(" + path +
+                           ") failed: " + std::string(strerror(errno)));
+  }
+  if (create) {
+    if (::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0) {
+      return Status::IoError("ftruncate failed: " +
+                             std::string(strerror(errno)));
+    }
+  } else {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IoError("fstat failed: " + std::string(strerror(errno)));
+    }
+    capacity_ = static_cast<uint64_t>(st.st_size);
+    if (capacity_ < kHeaderReserved) {
+      return Status::Corruption("pool file too small");
+    }
+  }
+  mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (mem == MAP_FAILED) {
+    return Status::IoError("mmap(file) failed: " +
+                           std::string(strerror(errno)));
+  }
+  base_ = static_cast<char*>(mem);
+  return Status::Ok();
+}
+
+void Pool::InitHeader(const PoolOptions& options) {
+  static_assert(sizeof(Header) <= kHeaderReserved,
+                "header must fit reserved page");
+  auto* h = header();
+  std::memset(h, 0, sizeof(Header));
+  h->magic = kMagic;
+  h->version = kVersion;
+  h->capacity = options.capacity;
+  std::random_device rd;
+  h->pool_id = (static_cast<uint64_t>(rd()) << 32) | rd();
+  h->clean_shutdown = 0;
+  h->root = kNullOffset;
+  h->redo_area = kHeaderReserved;
+  h->redo_size = kDefaultRedoSize;
+  h->bump = AlignUp(kHeaderReserved + kDefaultRedoSize, kPmemBlockSize);
+  // Ensure the redo log starts idle.
+  std::memset(base_ + h->redo_area, 0, 16);
+  Persist(h, sizeof(Header));
+  Persist(base_ + h->redo_area, 16);
+}
+
+Status Pool::ValidateHeader() const {
+  const auto* h = header();
+  if (h->magic != kMagic) return Status::Corruption("bad pool magic");
+  if (h->version != kVersion) return Status::Corruption("bad pool version");
+  if (h->capacity > capacity_) {
+    return Status::Corruption("pool header capacity exceeds file size");
+  }
+  return Status::Ok();
+}
+
+// --- Allocator --------------------------------------------------------------
+
+int Pool::SizeClassFor(uint64_t size) {
+  uint64_t c = kCacheLineSize;
+  for (int i = 0; i < kNumSizeClasses; ++i, c <<= 1) {
+    if (size <= c) return i;
+  }
+  return -1;  // large allocation
+}
+
+uint64_t Pool::SizeClassBytes(int size_class) {
+  return kCacheLineSize << size_class;
+}
+
+Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  if (align < 8 || (align & (align - 1)) != 0) {
+    return Status::InvalidArgument("alignment must be a power of two >= 8");
+  }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  auto* h = header();
+  ++stats_.alloc_calls;
+
+  int size_class = SizeClassFor(size);
+  if (size_class >= 0 && align <= kCacheLineSize) {
+    // Pop from the size-class free list when possible (DG5: reuse blocks).
+    Offset head = h->free_lists[size_class];
+    if (head != kNullOffset) {
+      Offset next;
+      std::memcpy(&next, base_ + head, sizeof(next));
+      h->free_lists[size_class] = next;
+      Persist(&h->free_lists[size_class], sizeof(Offset));
+      ++stats_.alloc_from_free_list;
+      return head;
+    }
+    size = SizeClassBytes(size_class);
+    align = kCacheLineSize;
+  }
+
+  Offset off = AlignUp(h->bump, align);
+  if (off + size > capacity_) {
+    return Status::ResourceExhausted("pool exhausted");
+  }
+  h->bump = off + size;
+  Persist(&h->bump, sizeof(uint64_t));
+  return off;
+}
+
+Result<Offset> Pool::AllocateZeroed(uint64_t size, uint64_t align) {
+  POSEIDON_ASSIGN_OR_RETURN(Offset off, Allocate(size, align));
+  std::memset(base_ + off, 0, size);
+  Persist(base_ + off, size);
+  return off;
+}
+
+void Pool::Free(Offset off, uint64_t size) {
+  assert(off != kNullOffset && off < capacity_);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  ++stats_.free_calls;
+  int size_class = SizeClassFor(size);
+  if (size_class < 0) {
+    // Large blocks are not tracked; higher layers arena-manage them.
+    return;
+  }
+  auto* h = header();
+  Offset old_head = h->free_lists[size_class];
+  std::memcpy(base_ + off, &old_head, sizeof(Offset));
+  Persist(base_ + off, sizeof(Offset));
+  h->free_lists[size_class] = off;
+  Persist(&h->free_lists[size_class], sizeof(Offset));
+}
+
+// --- Persistence primitives ---------------------------------------------
+
+void Pool::Flush(const void* addr, uint64_t len) {
+  if (len == 0) return;
+  auto a = reinterpret_cast<uint64_t>(addr);
+  uint64_t first = a / kCacheLineSize;
+  uint64_t last = (a + len - 1) / kCacheLineSize;
+  uint64_t lines = last - first + 1;
+  stats_.flushed_lines += lines;
+  if (mode_ == PoolMode::kPmem) latency_.OnFlush(lines);
+  if (shadow_ != nullptr) {
+    // Crash simulation: flushed bytes become durable. Whole cache lines are
+    // flushed, matching clwb semantics.
+    uint64_t begin = first * kCacheLineSize;
+    uint64_t end = (last + 1) * kCacheLineSize;
+    auto base_addr = reinterpret_cast<uint64_t>(base_);
+    if (begin < base_addr) begin = base_addr;
+    if (end > base_addr + capacity_) end = base_addr + capacity_;
+    std::memcpy(shadow_.get() + (begin - base_addr),
+                reinterpret_cast<const void*>(begin), end - begin);
+  }
+}
+
+void Pool::Drain() {
+  ++stats_.drains;
+  if (mode_ == PoolMode::kPmem) latency_.OnDrain();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+// --- Root ------------------------------------------------------------------
+
+Offset Pool::root() const { return header()->root; }
+
+void Pool::set_root(Offset off) {
+  header()->root = off;
+  Persist(&header()->root, sizeof(Offset));
+}
+
+// --- Crash simulation -----------------------------------------------------
+
+void Pool::SimulateCrash() {
+  assert(shadow_ != nullptr &&
+         "SimulateCrash requires PoolOptions::crash_shadow");
+  std::memcpy(base_, shadow_.get(), capacity_);
+  recovered_from_crash_ = true;
+}
+
+// --- Introspection ----------------------------------------------------------
+
+uint64_t Pool::bytes_used() const { return header()->bump; }
+uint64_t Pool::pool_id() const { return header()->pool_id; }
+
+// --- RedoLog ---------------------------------------------------------------
+
+// Log area layout:
+//   [0]  u64 state       (0 = idle, 1 = committed)
+//   [8]  u64 num_entries
+//   [16] entries: { u64 target, u64 len, len bytes (padded to 8) } ...
+
+RedoLog::RedoLog(Pool* pool, Offset area, uint64_t area_size)
+    : pool_(pool), area_(area), area_size_(area_size) {}
+
+bool RedoLog::Recover() {
+  char* log = pool_->base_ + area_;
+  uint64_t state;
+  std::memcpy(&state, log, sizeof(state));
+  if (state != 1) {
+    // Crash before the commit marker: the log is ignored; nothing was
+    // applied to home locations, so the update atomically never happened.
+    if (state != 0) {
+      // Arbitrary garbage (e.g. first use): reset to idle.
+      state = 0;
+      std::memcpy(log, &state, sizeof(state));
+      pool_->Persist(log, sizeof(state));
+    }
+    return false;
+  }
+  // Crash after the commit marker: re-apply every entry (idempotent).
+  uint64_t num_entries;
+  std::memcpy(&num_entries, log + 8, sizeof(num_entries));
+  uint64_t pos = 16;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint64_t target, len;
+    std::memcpy(&target, log + pos, sizeof(target));
+    std::memcpy(&len, log + pos + 8, sizeof(len));
+    pos += 16;
+    std::memcpy(pool_->base_ + target, log + pos, len);
+    pool_->Flush(pool_->base_ + target, len);
+    pos += (len + 7) & ~7ull;
+  }
+  pool_->Drain();
+  uint64_t zero = 0;
+  std::memcpy(log, &zero, sizeof(zero));
+  pool_->Persist(log, sizeof(zero));
+  return true;
+}
+
+RedoTx::RedoTx(RedoLog* log) : log_(log) { log_->mu_.lock(); }
+
+RedoTx::~RedoTx() { log_->mu_.unlock(); }
+
+void RedoTx::Stage(Offset target, const void* data, uint64_t len) {
+  assert(!committed_);
+  Entry e;
+  e.target = target;
+  e.len = len;
+  e.data.resize(len);
+  std::memcpy(e.data.data(), data, len);
+  staged_bytes_ += 16 + ((len + 7) & ~7ull);
+  entries_.push_back(std::move(e));
+}
+
+Status RedoTx::Commit() {
+  assert(!committed_);
+  committed_ = true;
+  Pool* pool = log_->pool_;
+  if (16 + staged_bytes_ > log_->area_size_) {
+    return Status::ResourceExhausted("redo log area too small for commit");
+  }
+  char* log = pool->base_ + log_->area_;
+
+  // Phase 1: write entries and count, then persist them.
+  uint64_t pos = 16;
+  for (const Entry& e : entries_) {
+    std::memcpy(log + pos, &e.target, sizeof(e.target));
+    std::memcpy(log + pos + 8, &e.len, sizeof(e.len));
+    pos += 16;
+    std::memcpy(log + pos, e.data.data(), e.len);
+    pos += (e.len + 7) & ~7ull;
+  }
+  uint64_t num_entries = entries_.size();
+  std::memcpy(log + 8, &num_entries, sizeof(num_entries));
+  pool->Persist(log + 8, pos - 8);
+
+  // Phase 2: 8-byte atomic commit marker (C4: the only failure-atomic store
+  // size). Once durable, the transaction is logically committed.
+  uint64_t one = 1;
+  std::memcpy(log, &one, sizeof(one));
+  pool->Persist(log, sizeof(one));
+
+  // Phase 3: apply to home locations and persist.
+  for (const Entry& e : entries_) {
+    std::memcpy(pool->base_ + e.target, e.data.data(), e.len);
+    pool->Flush(pool->base_ + e.target, e.len);
+  }
+  pool->Drain();
+
+  // Phase 4: clear the marker.
+  uint64_t zero = 0;
+  std::memcpy(log, &zero, sizeof(zero));
+  pool->Persist(log, sizeof(zero));
+  return Status::Ok();
+}
+
+}  // namespace poseidon::pmem

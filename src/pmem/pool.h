@@ -1,0 +1,279 @@
+// PMDK-like persistent memory pool.
+//
+// A Pool is a fixed-capacity region backed either by a file mmap ("pmem"
+// mode, the emulated-Optane configuration) or anonymous memory ("dram" mode,
+// the paper's pure-volatile baseline). It provides:
+//
+//   * offset-based addressing (8-byte offsets instead of 16-byte persistent
+//     pointers on hot paths — design goal DG6 / decision DD2),
+//   * a block allocator with persistent size-class free lists so freed
+//     records are reused instead of deallocated (DG5 / C5),
+//   * persistence primitives Flush/Drain/Persist emulating clwb + sfence
+//     with the LatencyModel applied (DG4 / C4),
+//   * a redo log for failure-atomic multi-word updates (the role PMDK
+//     transactions play in the paper's commit path, §5.1),
+//   * optional crash simulation: with `crash_shadow` enabled, only bytes
+//     that were explicitly flushed survive SimulateCrash(), which lets tests
+//     verify failure atomicity without real power loss.
+
+#ifndef POSEIDON_PMEM_POOL_H_
+#define POSEIDON_PMEM_POOL_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pmem/latency_model.h"
+#include "util/status.h"
+
+namespace poseidon::pmem {
+
+/// Byte offset within a pool. Offset 0 addresses the pool header and is
+/// never handed out by the allocator, so 0 doubles as the null offset.
+using Offset = uint64_t;
+inline constexpr Offset kNullOffset = 0;
+
+enum class PoolMode {
+  kPmem,  ///< file-backed, persisted, latency model applied
+  kDram,  ///< anonymous memory, volatile, no latency injection
+};
+
+struct PoolOptions {
+  PoolMode mode = PoolMode::kPmem;
+  /// Total region size. Fixed at creation.
+  uint64_t capacity = 256ull << 20;
+  /// If set, overrides the mode-default latency model.
+  bool has_latency_override = false;
+  LatencyModel latency_override;
+  /// Maintain a shadow copy so SimulateCrash() can drop unflushed stores.
+  bool crash_shadow = false;
+};
+
+/// Number of allocator size classes: 64, 128, 256, 512, 1 KiB ... 64 KiB.
+inline constexpr int kNumSizeClasses = 11;
+
+/// Statistics counters (volatile; informational).
+struct PoolStats {
+  uint64_t alloc_calls = 0;
+  uint64_t alloc_from_free_list = 0;
+  uint64_t free_calls = 0;
+  uint64_t flushed_lines = 0;
+  uint64_t drains = 0;
+};
+
+class RedoLog;
+
+class Pool {
+ public:
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Creates a new pool file at `path` (pmem mode) or an anonymous region
+  /// (dram mode; `path` ignored). Fails if a pmem file already exists.
+  static Result<std::unique_ptr<Pool>> Create(const std::string& path,
+                                              const PoolOptions& options);
+
+  /// Opens an existing pmem pool file and runs redo-log recovery.
+  static Result<std::unique_ptr<Pool>> Open(const std::string& path,
+                                            const PoolOptions& options);
+
+  /// Convenience: volatile pool for the DRAM baseline.
+  static Result<std::unique_ptr<Pool>> CreateVolatile(uint64_t capacity);
+
+  /// Marks clean shutdown (pmem mode) and unmaps.
+  ~Pool();
+
+  // --- Addressing -----------------------------------------------------
+
+  template <typename T = void>
+  T* ToPtr(Offset off) const {
+    assert(off < capacity_);
+    return reinterpret_cast<T*>(base_ + off);
+  }
+
+  Offset ToOffset(const void* p) const {
+    auto d = static_cast<const char*>(p) - base_;
+    assert(d >= 0 && static_cast<uint64_t>(d) < capacity_);
+    return static_cast<Offset>(d);
+  }
+
+  bool Contains(const void* p) const {
+    return p >= base_ && p < base_ + capacity_;
+  }
+
+  // --- Allocation (DG5) -------------------------------------------------
+
+  /// Allocates `size` bytes aligned to `align` (power of two, >= 8).
+  /// Reuses freed blocks of the matching size class when available.
+  Result<Offset> Allocate(uint64_t size, uint64_t align = kCacheLineSize);
+
+  /// Returns a block to its size-class free list (no real deallocation —
+  /// free space is recycled, matching DG5).
+  void Free(Offset off, uint64_t size);
+
+  /// Allocates and zero-fills.
+  Result<Offset> AllocateZeroed(uint64_t size,
+                                uint64_t align = kCacheLineSize);
+
+  // --- Persistence primitives (DG4) ------------------------------------
+
+  /// Emulated clwb over [addr, addr+len): pays the flush latency per dirty
+  /// cache line and, under crash_shadow, marks those bytes as durable.
+  void Flush(const void* addr, uint64_t len);
+
+  /// Emulated sfence.
+  void Drain();
+
+  /// Flush + Drain.
+  void Persist(const void* addr, uint64_t len) {
+    Flush(addr, len);
+    Drain();
+  }
+
+  /// Injects the PMem read latency for a read of [addr, addr+len).
+  /// Storage-layer record accessors call this on their PMem-resident data.
+  void TouchRead(const void* addr, uint64_t len) const {
+    latency_.OnRead(addr, len);
+  }
+
+  // --- Root object -------------------------------------------------------
+
+  /// The root offset is the application's entry point into the pool
+  /// (the GraphStore directory lives there). Persisted atomically.
+  Offset root() const;
+  void set_root(Offset off);
+
+  // --- Failure-atomic multi-word updates --------------------------------
+
+  /// The pool-wide redo log (see RedoLog). Commits are serialized.
+  RedoLog* redo_log() { return redo_log_.get(); }
+
+  // --- Crash simulation ---------------------------------------------------
+
+  /// Reverts every byte that was stored but not flushed since the last
+  /// Flush() covering it, emulating power loss. Requires crash_shadow.
+  /// After this call the pool content equals what a post-crash Open() of the
+  /// file would observe; callers then re-run recovery paths against it.
+  void SimulateCrash();
+
+  /// True if the previous session did not close this pool cleanly.
+  bool recovered_from_crash() const { return recovered_from_crash_; }
+
+  // --- Introspection ------------------------------------------------------
+
+  PoolMode mode() const { return mode_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t bytes_used() const;
+  uint64_t pool_id() const;
+  const LatencyModel& latency() const { return latency_; }
+  const PoolStats& stats() const { return stats_; }
+  /// Resets volatile statistics counters.
+  void ResetStats() { stats_ = PoolStats{}; }
+
+ private:
+  friend class RedoLog;
+  friend class RedoTx;
+
+  Pool() = default;
+
+  struct Header;
+  Header* header() const { return reinterpret_cast<Header*>(base_); }
+
+  Status MapRegion(const std::string& path, bool create);
+  void InitHeader(const PoolOptions& options);
+  Status ValidateHeader() const;
+  static int SizeClassFor(uint64_t size);
+  static uint64_t SizeClassBytes(int size_class);
+
+  char* base_ = nullptr;
+  uint64_t capacity_ = 0;
+  int fd_ = -1;
+  PoolMode mode_ = PoolMode::kPmem;
+  LatencyModel latency_;
+  bool recovered_from_crash_ = false;
+
+  // Crash simulation shadow: bytes flushed so far (i.e. durable content).
+  std::unique_ptr<char[]> shadow_;
+
+  std::unique_ptr<RedoLog> redo_log_;
+  mutable std::mutex alloc_mu_;
+  mutable PoolStats stats_;
+};
+
+/// Failure-atomic multi-word update via redo logging (the mechanism behind
+/// the paper's PMDK-based atomic commit, §5.1). Usage:
+///
+///   RedoTx tx(pool->redo_log());
+///   tx.Stage(offset_a, &a, sizeof(a));
+///   tx.Stage(offset_b, &b, sizeof(b));
+///   tx.Commit();   // all-or-nothing after a crash
+///
+/// Commit persists the staged entries, atomically sets a commit marker,
+/// applies the entries to their home locations, persists them, and clears
+/// the marker. Open() replays a marked log (crash after marker) and discards
+/// an unmarked one (crash before marker).
+class RedoLog {
+ public:
+  explicit RedoLog(Pool* pool, Offset area, uint64_t area_size);
+
+  /// Applies a committed-but-unapplied log if present. Called by Pool::Open.
+  /// Returns true if a replay happened.
+  bool Recover();
+
+  Offset area() const { return area_; }
+  uint64_t area_size() const { return area_size_; }
+
+ private:
+  friend class RedoTx;
+
+  Pool* pool_;
+  Offset area_;
+  uint64_t area_size_;
+  std::mutex mu_;
+};
+
+class RedoTx {
+ public:
+  /// Acquires the pool-wide redo log; commits are serialized.
+  explicit RedoTx(RedoLog* log);
+
+  /// Releases the log. A destructed-but-uncommitted tx has no effect.
+  ~RedoTx();
+
+  RedoTx(const RedoTx&) = delete;
+  RedoTx& operator=(const RedoTx&) = delete;
+
+  /// Stages `len` bytes to be written to pool offset `target` at commit.
+  void Stage(Offset target, const void* data, uint64_t len);
+
+  /// Convenience for single values.
+  template <typename T>
+  void StageValue(Offset target, const T& value) {
+    Stage(target, &value, sizeof(T));
+  }
+
+  /// Atomically applies all staged writes. Fails (without applying) if the
+  /// staged data exceeds the log area.
+  Status Commit();
+
+ private:
+  struct Entry {
+    Offset target;
+    uint64_t len;
+    std::vector<char> data;
+  };
+
+  RedoLog* log_;
+  std::vector<Entry> entries_;
+  uint64_t staged_bytes_ = 0;
+  bool committed_ = false;
+};
+
+}  // namespace poseidon::pmem
+
+#endif  // POSEIDON_PMEM_POOL_H_

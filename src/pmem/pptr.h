@@ -1,0 +1,91 @@
+// 16-byte persistent pointer (PMDK-style): {pool_id, offset}.
+//
+// The paper (C6/DG6) recommends persistent pointers only for initialization
+// paths because every dereference pays a pool-registry lookup and defeats
+// compiler optimizations. This project follows that advice: hot paths use
+// raw 8-byte offsets (pmem::Offset); PPtr exists for cross-pool references,
+// for the chunk linkage the paper mentions, and so the DG6 microbenchmark
+// (bench_pmem_micro) can quantify the dereference overhead.
+
+#ifndef POSEIDON_PMEM_PPTR_H_
+#define POSEIDON_PMEM_PPTR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "pmem/pool.h"
+
+namespace poseidon::pmem {
+
+/// Process-wide registry mapping pool ids to open pools; the analogue of
+/// PMDK's pool lookup by UUID during persistent-pointer dereference.
+class PoolRegistry {
+ public:
+  static PoolRegistry& Instance() {
+    static auto* instance = new PoolRegistry();
+    return *instance;
+  }
+
+  void Register(Pool* pool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pools_[pool->pool_id()] = pool;
+  }
+
+  void Unregister(uint64_t pool_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pools_.erase(pool_id);
+  }
+
+  /// Returns nullptr if the pool is not open.
+  Pool* Lookup(uint64_t pool_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(pool_id);
+    return it == pools_.end() ? nullptr : it->second;
+  }
+
+ private:
+  PoolRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Pool*> pools_;
+};
+
+template <typename T>
+class PPtr {
+ public:
+  PPtr() : pool_id_(0), offset_(kNullOffset) {}
+  PPtr(uint64_t pool_id, Offset offset)
+      : pool_id_(pool_id), offset_(offset) {}
+
+  static PPtr FromPtr(Pool* pool, const T* ptr) {
+    return PPtr(pool->pool_id(), pool->ToOffset(ptr));
+  }
+
+  bool IsNull() const { return offset_ == kNullOffset; }
+
+  /// Dereference through the registry — deliberately the expensive path
+  /// that DG6 tells systems to avoid on hot code.
+  T* get() const {
+    if (IsNull()) return nullptr;
+    Pool* pool = PoolRegistry::Instance().Lookup(pool_id_);
+    if (pool == nullptr) return nullptr;
+    return pool->ToPtr<T>(offset_);
+  }
+
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+
+  uint64_t pool_id() const { return pool_id_; }
+  Offset offset() const { return offset_; }
+
+ private:
+  uint64_t pool_id_;
+  Offset offset_;
+};
+
+static_assert(sizeof(PPtr<int>) == 16, "persistent pointers are 16 bytes");
+
+}  // namespace poseidon::pmem
+
+#endif  // POSEIDON_PMEM_PPTR_H_

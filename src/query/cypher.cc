@@ -1,0 +1,522 @@
+#include "query/cypher.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace poseidon::query {
+
+namespace {
+
+// --- Tokenizer ---------------------------------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,    // identifiers and keywords
+  kInt,      // integer literal
+  kString,   // 'quoted'
+  kParam,    // $N
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kLBracket, // [
+  kRBracket, // ]
+  kColon,    // :
+  kComma,    // ,
+  kDot,      // .
+  kDash,     // -
+  kArrowR,   // ->
+  kArrowL,   // <-
+  kStar,     // *
+  kEq,       // =
+  kNe,       // <>
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // kIdent / kString
+  int64_t number = 0; // kInt / kParam
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  Status error() const { return error_; }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_.ok()) {
+      error_ = Status::InvalidArgument("cypher: " + message + " at offset " +
+                                       std::to_string(pos_));
+    }
+    current_ = Token{};
+  }
+
+  void Advance() {
+    if (!error_.ok()) return;
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = Token{};
+      return;
+    }
+    char c = text_[pos_];
+    auto one = [&](Tok k) {
+      ++pos_;
+      current_ = Token{k, {}, 0};
+    };
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{Tok::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), 0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      current_ = Token{
+          Tok::kInt, {},
+          std::stoll(std::string(text_.substr(start, pos_ - start)))};
+      return;
+    }
+    switch (c) {
+      case '\'': {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+        if (pos_ >= text_.size()) return Fail("unterminated string");
+        current_ = Token{Tok::kString,
+                         std::string(text_.substr(start, pos_ - start)), 0};
+        ++pos_;
+        return;
+      }
+      case '$': {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        if (start == pos_) return Fail("expected parameter index after $");
+        current_ = Token{
+            Tok::kParam, {},
+            std::stoll(std::string(text_.substr(start, pos_ - start)))};
+        return;
+      }
+      case '(': return one(Tok::kLParen);
+      case ')': return one(Tok::kRParen);
+      case '{': return one(Tok::kLBrace);
+      case '}': return one(Tok::kRBrace);
+      case '[': return one(Tok::kLBracket);
+      case ']': return one(Tok::kRBracket);
+      case ':': return one(Tok::kColon);
+      case ',': return one(Tok::kComma);
+      case '.': return one(Tok::kDot);
+      case '*': return one(Tok::kStar);
+      case '=': return one(Tok::kEq);
+      case '-':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          current_ = Token{Tok::kArrowR, {}, 0};
+          return;
+        }
+        return one(Tok::kDash);
+      case '<':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          pos_ += 2;
+          current_ = Token{Tok::kArrowL, {}, 0};
+          return;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          current_ = Token{Tok::kNe, {}, 0};
+          return;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          current_ = Token{Tok::kLe, {}, 0};
+          return;
+        }
+        return one(Tok::kLt);
+      case '>':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          current_ = Token{Tok::kGe, {}, 0};
+          return;
+        }
+        return one(Tok::kGt);
+      default:
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token current_;
+  Status error_ = Status::Ok();
+};
+
+bool KeywordIs(const Token& t, std::string_view kw) {
+  if (t.kind != Tok::kIdent || t.text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Parser -----------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::string_view text, storage::Dictionary* dict)
+      : lexer_(text), dict_(dict) {}
+
+  Result<Plan> Parse();
+
+ private:
+  Status Expect(Tok kind, const char* what) {
+    if (lexer_.peek().kind != kind) {
+      return Status::InvalidArgument(std::string("cypher: expected ") + what);
+    }
+    lexer_.Take();
+    return Status::Ok();
+  }
+
+  Result<storage::DictCode> Intern(const std::string& s) {
+    return dict_->Encode(s);
+  }
+
+  /// Parses a literal / parameter into an Expr.
+  Result<Expr> ParseValue() {
+    Token t = lexer_.Take();
+    switch (t.kind) {
+      case Tok::kInt:
+        return Expr::Literal(Value::Int(t.number));
+      case Tok::kString: {
+        POSEIDON_ASSIGN_OR_RETURN(storage::DictCode code, Intern(t.text));
+        return Expr::Literal(Value::String(code));
+      }
+      case Tok::kParam:
+        return Expr::Param(static_cast<int>(t.number));
+      default:
+        return Status::InvalidArgument("cypher: expected a value");
+    }
+  }
+
+  /// node := '(' var [':' Label] [props] ')'. Returns the variable name and
+  /// label; records pending property-equality filters for the node column.
+  struct NodeSpec {
+    std::string var;
+    storage::DictCode label = storage::kInvalidCode;
+    std::vector<std::pair<storage::DictCode, Expr>> prop_filters;
+  };
+
+  Result<NodeSpec> ParseNode() {
+    NodeSpec spec;
+    POSEIDON_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    if (lexer_.peek().kind == Tok::kIdent) {
+      spec.var = lexer_.Take().text;
+    }
+    if (lexer_.peek().kind == Tok::kColon) {
+      lexer_.Take();
+      if (lexer_.peek().kind != Tok::kIdent) {
+        return Status::InvalidArgument("cypher: expected label");
+      }
+      POSEIDON_ASSIGN_OR_RETURN(spec.label, Intern(lexer_.Take().text));
+    }
+    if (lexer_.peek().kind == Tok::kLBrace) {
+      lexer_.Take();
+      while (lexer_.peek().kind != Tok::kRBrace) {
+        if (lexer_.peek().kind != Tok::kIdent) {
+          return Status::InvalidArgument("cypher: expected property key");
+        }
+        POSEIDON_ASSIGN_OR_RETURN(storage::DictCode key,
+                                  Intern(lexer_.Take().text));
+        POSEIDON_RETURN_IF_ERROR(Expect(Tok::kColon, "':'"));
+        POSEIDON_ASSIGN_OR_RETURN(Expr value, ParseValue());
+        spec.prop_filters.emplace_back(key, value);
+        if (lexer_.peek().kind == Tok::kComma) lexer_.Take();
+      }
+      POSEIDON_RETURN_IF_ERROR(Expect(Tok::kRBrace, "'}'"));
+    }
+    POSEIDON_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    return spec;
+  }
+
+  /// Resolves `var` to its tuple column.
+  Result<int> ColumnOf(const std::string& var) {
+    auto it = columns_.find(var);
+    if (it == columns_.end()) {
+      return Status::InvalidArgument("cypher: unknown variable '" + var +
+                                     "'");
+    }
+    return it->second;
+  }
+
+  /// operand := var | var '.' key | id(var) | label(var)
+  Result<Expr> ParseOperand() {
+    if (lexer_.peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("cypher: expected identifier");
+    }
+    Token head = lexer_.Take();
+    if ((KeywordIs(head, "ID") || KeywordIs(head, "LABEL")) &&
+        lexer_.peek().kind == Tok::kLParen) {
+      lexer_.Take();
+      if (lexer_.peek().kind != Tok::kIdent) {
+        return Status::InvalidArgument("cypher: expected variable");
+      }
+      std::string var = lexer_.Take().text;
+      POSEIDON_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      POSEIDON_ASSIGN_OR_RETURN(int col, ColumnOf(var));
+      return KeywordIs(head, "ID") ? Expr::RecordId(col) : Expr::Label(col);
+    }
+    POSEIDON_ASSIGN_OR_RETURN(int col, ColumnOf(head.text));
+    if (lexer_.peek().kind == Tok::kDot) {
+      lexer_.Take();
+      if (lexer_.peek().kind != Tok::kIdent) {
+        return Status::InvalidArgument("cypher: expected property key");
+      }
+      POSEIDON_ASSIGN_OR_RETURN(storage::DictCode key,
+                                Intern(lexer_.Take().text));
+      return Expr::Property(col, key);
+    }
+    return Expr::Column(col);
+  }
+
+  Result<CmpOp> ParseCmp() {
+    switch (lexer_.Take().kind) {
+      case Tok::kEq: return CmpOp::kEq;
+      case Tok::kNe: return CmpOp::kNe;
+      case Tok::kLt: return CmpOp::kLt;
+      case Tok::kLe: return CmpOp::kLe;
+      case Tok::kGt: return CmpOp::kGt;
+      case Tok::kGe: return CmpOp::kGe;
+      default:
+        return Status::InvalidArgument("cypher: expected comparison");
+    }
+  }
+
+  Lexer lexer_;
+  storage::Dictionary* dict_;
+  PlanBuilder builder_;
+  std::map<std::string, int> columns_;
+  int width_ = 0;
+};
+
+Result<Plan> Parser::Parse() {
+  if (!KeywordIs(lexer_.peek(), "MATCH")) {
+    return Status::InvalidArgument("cypher: query must start with MATCH");
+  }
+  lexer_.Take();
+
+  // --- pattern ------------------------------------------------------------
+  POSEIDON_ASSIGN_OR_RETURN(NodeSpec first, ParseNode());
+  std::move(builder_).NodeScan(first.label);
+  if (!first.var.empty()) columns_[first.var] = 0;
+  width_ = 1;
+  for (auto& [key, value] : first.prop_filters) {
+    std::move(builder_).FilterProperty(0, key, CmpOp::kEq, value);
+  }
+
+  while (lexer_.peek().kind == Tok::kDash ||
+         lexer_.peek().kind == Tok::kArrowL) {
+    bool outgoing = lexer_.Take().kind == Tok::kDash;  // kArrowL = incoming
+    std::string rel_var;
+    storage::DictCode rel_label = storage::kInvalidCode;
+    if (lexer_.peek().kind == Tok::kLBracket) {
+      lexer_.Take();
+      if (lexer_.peek().kind == Tok::kIdent) rel_var = lexer_.Take().text;
+      if (lexer_.peek().kind == Tok::kColon) {
+        lexer_.Take();
+        if (lexer_.peek().kind != Tok::kIdent) {
+          return Status::InvalidArgument("cypher: expected relationship type");
+        }
+        POSEIDON_ASSIGN_OR_RETURN(rel_label, Intern(lexer_.Take().text));
+      }
+      POSEIDON_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+    }
+    if (outgoing) {
+      POSEIDON_RETURN_IF_ERROR(Expect(Tok::kArrowR, "'->'"));
+    } else {
+      POSEIDON_RETURN_IF_ERROR(Expect(Tok::kDash, "'-'"));
+    }
+    int src_col = width_ - 1;  // the most recent node column
+    POSEIDON_ASSIGN_OR_RETURN(NodeSpec node, ParseNode());
+    std::move(builder_).Expand(src_col,
+                               outgoing ? Direction::kOut : Direction::kIn,
+                               rel_label, node.label);
+    int rel_col = width_;
+    int node_col = width_ + 1;
+    width_ += 2;
+    if (!rel_var.empty()) columns_[rel_var] = rel_col;
+    if (!node.var.empty()) columns_[node.var] = node_col;
+    for (auto& [key, value] : node.prop_filters) {
+      std::move(builder_).FilterProperty(node_col, key, CmpOp::kEq, value);
+    }
+  }
+
+  // --- WHERE ---------------------------------------------------------------
+  if (KeywordIs(lexer_.peek(), "WHERE")) {
+    lexer_.Take();
+    for (;;) {
+      POSEIDON_ASSIGN_OR_RETURN(Expr lhs, ParseOperand());
+      POSEIDON_ASSIGN_OR_RETURN(CmpOp cmp, ParseCmp());
+      POSEIDON_ASSIGN_OR_RETURN(Expr rhs, ParseValue());
+      switch (lhs.kind) {
+        case Expr::Kind::kProperty:
+          std::move(builder_).FilterProperty(lhs.column, lhs.key, cmp, rhs);
+          break;
+        case Expr::Kind::kRecordId: {
+          if (cmp != CmpOp::kEq) {
+            return Status::Unimplemented(
+                "cypher: id() predicates support '=' only");
+          }
+          std::move(builder_).FilterRecordId(lhs.column, rhs);
+          break;
+        }
+        default:
+          return Status::Unimplemented(
+              "cypher: unsupported WHERE operand");
+      }
+      if (!KeywordIs(lexer_.peek(), "AND")) break;
+      lexer_.Take();
+    }
+  }
+
+  // --- RETURN ----------------------------------------------------------------
+  if (!KeywordIs(lexer_.peek(), "RETURN")) {
+    return Status::InvalidArgument("cypher: expected RETURN");
+  }
+  lexer_.Take();
+
+  if (KeywordIs(lexer_.peek(), "COUNT")) {
+    lexer_.Take();
+    POSEIDON_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    POSEIDON_RETURN_IF_ERROR(Expect(Tok::kStar, "'*'"));
+    POSEIDON_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    std::move(builder_).Count();
+    if (lexer_.peek().kind != Tok::kEnd) {
+      return Status::InvalidArgument("cypher: COUNT(*) must end the query");
+    }
+    POSEIDON_RETURN_IF_ERROR(lexer_.error());
+    return std::move(builder_).Build();
+  }
+
+  std::vector<Expr> items;
+  std::vector<std::string> item_texts;  // for ORDER BY matching
+  for (;;) {
+    size_t before = items.size();
+    (void)before;
+    std::string text;
+    if (lexer_.peek().kind == Tok::kIdent) text = lexer_.peek().text;
+    POSEIDON_ASSIGN_OR_RETURN(Expr item, ParseOperand());
+    // Rebuild the canonical item text "var.key" for ORDER BY matching.
+    if (item.kind == Expr::Kind::kProperty) {
+      auto name = dict_->Decode(item.key);
+      text += ".";
+      text += name.ok() ? std::string(*name) : "?";
+    }
+    items.push_back(item);
+    item_texts.push_back(text);
+    if (lexer_.peek().kind != Tok::kComma) break;
+    lexer_.Take();
+  }
+  std::move(builder_).Project(items);
+
+  // --- ORDER BY / LIMIT -----------------------------------------------------
+  bool have_order = false;
+  int order_col = -1;
+  bool desc = false;
+  if (KeywordIs(lexer_.peek(), "ORDER")) {
+    lexer_.Take();
+    if (!KeywordIs(lexer_.peek(), "BY")) {
+      return Status::InvalidArgument("cypher: expected BY after ORDER");
+    }
+    lexer_.Take();
+    // The sort key must be one of the returned items.
+    std::string text;
+    if (lexer_.peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("cypher: expected ORDER BY item");
+    }
+    text = lexer_.Take().text;
+    if (lexer_.peek().kind == Tok::kDot) {
+      lexer_.Take();
+      if (lexer_.peek().kind != Tok::kIdent) {
+        return Status::InvalidArgument("cypher: expected property key");
+      }
+      text += "." + lexer_.Take().text;
+    }
+    for (size_t i = 0; i < item_texts.size(); ++i) {
+      if (item_texts[i] == text) order_col = static_cast<int>(i);
+    }
+    if (order_col < 0) {
+      return Status::InvalidArgument(
+          "cypher: ORDER BY key must appear in RETURN");
+    }
+    if (KeywordIs(lexer_.peek(), "DESC")) {
+      desc = true;
+      lexer_.Take();
+    } else if (KeywordIs(lexer_.peek(), "ASC")) {
+      lexer_.Take();
+    }
+    have_order = true;
+  }
+  uint64_t limit = 0;
+  if (KeywordIs(lexer_.peek(), "LIMIT")) {
+    lexer_.Take();
+    if (lexer_.peek().kind != Tok::kInt) {
+      return Status::InvalidArgument("cypher: expected LIMIT count");
+    }
+    limit = static_cast<uint64_t>(lexer_.Take().number);
+  }
+  if (have_order) {
+    std::move(builder_).OrderBy(order_col, desc, limit);
+  } else if (limit > 0) {
+    std::move(builder_).Limit(limit);
+  }
+
+  if (lexer_.peek().kind != Tok::kEnd) {
+    return Status::InvalidArgument("cypher: trailing tokens after query");
+  }
+  POSEIDON_RETURN_IF_ERROR(lexer_.error());
+  return std::move(builder_).Build();
+}
+
+}  // namespace
+
+Result<Plan> ParseCypher(std::string_view text, storage::Dictionary* dict) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("cypher: dictionary required");
+  }
+  Parser parser(text, dict);
+  return parser.Parse();
+}
+
+}  // namespace poseidon::query

@@ -1,0 +1,45 @@
+// Cypher-like query frontend (paper §1: "we support Cypher-like
+// navigational queries"). Parses a navigational subset of Cypher into the
+// graph algebra of plan.h; the plan then runs on any execution mode
+// (interpreted, JIT, adaptive).
+//
+// Supported grammar (keywords case-insensitive):
+//
+//   query    := MATCH pattern
+//               [WHERE pred (AND pred)*]
+//               RETURN items
+//               [ORDER BY item [DESC|ASC]] [LIMIT n]
+//   pattern  := node (edge node)*
+//   node     := '(' var [':' Label] [ '{' key ':' value (',' ...)* '}' ] ')'
+//   edge     := '-[' [var] [':' TYPE] ']->'  |  '<-[' [var] [':' TYPE] ']-'
+//   pred     := operand cmp value            cmp := = <> < <= > >=
+//   operand  := var '.' key | id(var)
+//   items    := item (',' item)*  |  count(*)
+//   item     := var | var '.' key | id(var) | label(var)
+//   value    := integer | 'string' | $N (parameter)
+//
+// Example:
+//   MATCH (p:Person {id: $0})-[k:knows]->(f:Person)
+//   WHERE f.age >= 30
+//   RETURN f.firstName, k.creationDate
+//   ORDER BY k.creationDate DESC LIMIT 10
+
+#ifndef POSEIDON_QUERY_CYPHER_H_
+#define POSEIDON_QUERY_CYPHER_H_
+
+#include <string_view>
+
+#include "query/plan.h"
+#include "storage/dictionary.h"
+
+namespace poseidon::query {
+
+/// Parses `text` into an executable plan. Labels, relationship types, and
+/// property keys are interned in `dict` (so a first-seen label simply
+/// matches nothing rather than failing). String literals are dictionary-
+/// encoded for comparison against stored values.
+Result<Plan> ParseCypher(std::string_view text, storage::Dictionary* dict);
+
+}  // namespace poseidon::query
+
+#endif  // POSEIDON_QUERY_CYPHER_H_

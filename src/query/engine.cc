@@ -1,0 +1,47 @@
+#include "query/engine.h"
+
+namespace poseidon::query {
+
+QueryEngine::QueryEngine(storage::GraphStore* store,
+                         index::IndexManager* indexes, size_t num_threads)
+    : store_(store), indexes_(indexes), pool_(num_threads) {}
+
+Result<QueryResult> QueryEngine::Execute(const Plan& plan,
+                                         tx::Transaction* tx,
+                                         const std::vector<Value>& params,
+                                         bool parallel) {
+  ResultCollector out;
+  ExecContext ctx;
+  ctx.tx = tx;
+  ctx.store = store_;
+  ctx.indexes = indexes_;
+  ctx.params = &params;
+  PipelineExecutor exec(plan, ctx, &out);
+  POSEIDON_RETURN_IF_ERROR(exec.Prepare());
+
+  uint64_t slots = exec.SourceCardinality();
+  if (!parallel || slots == 0) {
+    POSEIDON_RETURN_IF_ERROR(exec.Run());
+  } else {
+    std::mutex status_mu;
+    Status first_error;
+    for (uint64_t begin = 0; begin < slots; begin += kMorselSize) {
+      uint64_t end = std::min(begin + kMorselSize, slots);
+      pool_.Submit([&exec, &status_mu, &first_error, begin, end] {
+        Status s = exec.RunMorsel(begin, end);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (first_error.ok()) first_error = s;
+        }
+      });
+    }
+    pool_.WaitIdle();
+    POSEIDON_RETURN_IF_ERROR(first_error);
+    POSEIDON_RETURN_IF_ERROR(exec.Finish());
+  }
+  QueryResult result;
+  result.rows = out.TakeRows();
+  return result;
+}
+
+}  // namespace poseidon::query

@@ -1,0 +1,50 @@
+// QueryEngine: executes graph-algebra plans against a transaction, either
+// single-threaded or with morsel-driven parallelism (paper §6.1): the scan
+// range is split into fixed-size morsels, each pinned to a task executed by
+// a worker pool; all post-scan operators run inside the same task until a
+// pipeline breaker.
+//
+// Parallel execution is for read-only plans: MVTO write sets are
+// transaction-private and not synchronized across worker threads.
+
+#ifndef POSEIDON_QUERY_ENGINE_H_
+#define POSEIDON_QUERY_ENGINE_H_
+
+#include <memory>
+
+#include "query/interpreter.h"
+#include "util/thread_pool.h"
+
+namespace poseidon::query {
+
+struct QueryResult {
+  std::vector<Tuple> rows;
+};
+
+class QueryEngine {
+ public:
+  /// Records per morsel (paper-style granularity).
+  static constexpr uint64_t kMorselSize = 2048;
+
+  QueryEngine(storage::GraphStore* store, index::IndexManager* indexes,
+              size_t num_threads);
+
+  /// Executes `plan` inside `tx`. With `parallel` set and a scannable
+  /// source, morsels run on the worker pool.
+  Result<QueryResult> Execute(const Plan& plan, tx::Transaction* tx,
+                              const std::vector<Value>& params,
+                              bool parallel = false);
+
+  storage::GraphStore* store() const { return store_; }
+  index::IndexManager* indexes() const { return indexes_; }
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  storage::GraphStore* store_;
+  index::IndexManager* indexes_;
+  ThreadPool pool_;
+};
+
+}  // namespace poseidon::query
+
+#endif  // POSEIDON_QUERY_ENGINE_H_

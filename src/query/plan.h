@@ -1,0 +1,202 @@
+// Graph algebra (paper §6.1): the declarative plan representation consumed
+// by both the AOT interpreter and the JIT code generator.
+//
+// A plan is a chain (or tree, with joins) of operators. Execution is
+// push-based: the source operator (deepest input) produces tuples and pushes
+// them through the chain. Tuples are columnar-by-position: each operator
+// appends/replaces columns as documented on its kind.
+
+#ifndef POSEIDON_QUERY_PLAN_H_
+#define POSEIDON_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+#include "storage/types.h"
+
+namespace poseidon::query {
+
+enum class OpKind : uint8_t {
+  kNodeScan,         ///< source; emits [node] for each visible node (label opt)
+  kIndexScan,        ///< source; B+-Tree point lookup -> [node]
+  kIndexRangeScan,   ///< source; B+-Tree range scan -> [node]
+  kExpand,           ///< appends [rel, neighbor] via adjacency traversal
+  kExpandTransitive, ///< follows dir/label edges until a label2 node; appends [node]
+  kFilter,           ///< predicate on a column ((property|label|id) cmp expr)
+  kProject,          ///< replaces the tuple with evaluated expressions
+  kOrderBy,          ///< pipeline breaker: sort by column, optional limit
+  kLimit,            ///< stops the pipeline after N tuples
+  kCount,            ///< sink aggregate: emits a single [count]
+  kGroupBy,          ///< breaker: groups by exprs[0], aggregates exprs[1]
+  kHashJoin,         ///< materializes right child, probes with left tuples
+  kCreateNode,       ///< appends [node]; transactional insert
+  kCreateRel,        ///< appends [rel]; transactional insert
+  kSetProperty,      ///< transactional property update on a column
+};
+
+enum class Direction : uint8_t { kOut, kIn };
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class AggFn : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+/// Scalar expression evaluated against a tuple (used by Filter rhs, Project,
+/// property values of Create/Set).
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,   ///< constant value
+    kParam,     ///< runtime parameter by index
+    kColumn,    ///< tuple column as-is
+    kProperty,  ///< property `key` of the node/rel in `column`
+    kRecordId,  ///< physical record id of the node/rel in `column`
+    kLabel,     ///< label code of the node/rel in `column`
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  int param = -1;
+  int column = -1;
+  storage::DictCode key = storage::kInvalidCode;
+
+  static Expr Literal(Value v) {
+    Expr e;
+    e.kind = Kind::kLiteral;
+    e.literal = v;
+    return e;
+  }
+  static Expr Param(int index) {
+    Expr e;
+    e.kind = Kind::kParam;
+    e.param = index;
+    return e;
+  }
+  static Expr Column(int column) {
+    Expr e;
+    e.kind = Kind::kColumn;
+    e.column = column;
+    return e;
+  }
+  static Expr Property(int column, storage::DictCode key) {
+    Expr e;
+    e.kind = Kind::kProperty;
+    e.column = column;
+    e.key = key;
+    return e;
+  }
+  static Expr RecordId(int column) {
+    Expr e;
+    e.kind = Kind::kRecordId;
+    e.column = column;
+    return e;
+  }
+  static Expr Label(int column) {
+    Expr e;
+    e.kind = Kind::kLabel;
+    e.column = column;
+    return e;
+  }
+};
+
+struct Op {
+  OpKind kind;
+  std::unique_ptr<Op> input;  ///< upstream operator (null for sources)
+  std::unique_ptr<Op> right;  ///< hash-join build side
+
+  // Operator parameters; which fields apply depends on `kind`.
+  storage::DictCode label = storage::kInvalidCode;   ///< scan/expand rel label
+  storage::DictCode label2 = storage::kInvalidCode;  ///< neighbor/stop label
+  Direction dir = Direction::kOut;
+  int column = -1;                                   ///< operand column
+  storage::DictCode key = storage::kInvalidCode;     ///< property key
+  CmpOp cmp = CmpOp::kEq;
+  Expr value;         ///< filter rhs / index key / set-property value
+  Expr value2;        ///< range scan upper bound
+  std::vector<storage::DictCode> keys;  ///< create: property keys
+  std::vector<Expr> exprs;              ///< project list / create prop values
+  uint64_t limit = 0;
+  bool desc = false;
+  bool on_node = true;     ///< set-property target kind (node vs rel)
+  AggFn agg = AggFn::kCount;  ///< group-by aggregate function
+  int left_key_col = -1;   ///< hash join probe column
+  int right_key_col = -1;  ///< hash join build column
+};
+
+/// A complete query plan. `root` is the sink-most operator.
+struct Plan {
+  std::unique_ptr<Op> root;
+
+  /// Number of operators in the chain (tree).
+  int CountOps() const;
+
+  /// Structural identifier used as the compiled-code cache key (§6.2
+  /// "unique query identifier that comprises the operators' identifiers").
+  /// Parameters contribute their index, not their value, so one compiled
+  /// query serves all parameter bindings.
+  std::string Signature() const;
+
+  /// The source operator of the main (left-most) pipeline.
+  const Op* Source() const;
+
+  /// Human-readable plan rendering (EXPLAIN). Labels and property keys are
+  /// decoded through `dict` when provided, otherwise shown as codes.
+  std::string ToString(const storage::Dictionary* dict = nullptr) const;
+};
+
+/// Fluent construction of linear plans (joins attach via HashJoin(build)).
+///
+///   Plan p = PlanBuilder()
+///                .NodeScan(person)
+///                .FilterProperty(0, id_key, CmpOp::kEq, Expr::Param(0))
+///                .Expand(0, Direction::kOut, knows)
+///                .Project({Expr::Property(2, name_key)})
+///                .Build();
+class PlanBuilder {
+ public:
+  PlanBuilder() = default;
+
+  PlanBuilder&& NodeScan(storage::DictCode label = storage::kInvalidCode) &&;
+  PlanBuilder&& IndexScan(storage::DictCode label, storage::DictCode key,
+                          Expr value) &&;
+  PlanBuilder&& IndexRangeScan(storage::DictCode label, storage::DictCode key,
+                               Expr lo, Expr hi) &&;
+  PlanBuilder&& Expand(int column, Direction dir,
+                       storage::DictCode rel_label = storage::kInvalidCode,
+                       storage::DictCode node_label =
+                           storage::kInvalidCode) &&;
+  PlanBuilder&& ExpandTransitive(int column, Direction dir,
+                                 storage::DictCode rel_label,
+                                 storage::DictCode stop_label) &&;
+  PlanBuilder&& FilterProperty(int column, storage::DictCode key, CmpOp cmp,
+                               Expr value) &&;
+  PlanBuilder&& FilterLabel(int column, storage::DictCode label) &&;
+  PlanBuilder&& FilterRecordId(int column, Expr value) &&;
+  PlanBuilder&& Project(std::vector<Expr> exprs) &&;
+  PlanBuilder&& OrderBy(int column, bool desc, uint64_t limit = 0) &&;
+  PlanBuilder&& Limit(uint64_t n) &&;
+  PlanBuilder&& Count() &&;
+  /// Groups tuples by `group`, aggregating `value` with `fn`; emits
+  /// [group, aggregate] rows (a pipeline breaker).
+  PlanBuilder&& GroupBy(Expr group, AggFn fn, Expr value) &&;
+  PlanBuilder&& HashJoin(Plan build_side, int left_key_col,
+                         int right_key_col) &&;
+  PlanBuilder&& CreateNode(storage::DictCode label,
+                           std::vector<storage::DictCode> keys,
+                           std::vector<Expr> values) &&;
+  PlanBuilder&& CreateRel(int src_column, int dst_column,
+                          storage::DictCode label,
+                          std::vector<storage::DictCode> keys,
+                          std::vector<Expr> values) &&;
+  PlanBuilder&& SetProperty(int column, storage::DictCode key, Expr value,
+                            bool is_node = true) &&;
+
+  Plan Build() &&;
+
+ private:
+  PlanBuilder&& Push(std::unique_ptr<Op> op) &&;
+
+  std::unique_ptr<Op> chain_;
+};
+
+}  // namespace poseidon::query
+
+#endif  // POSEIDON_QUERY_PLAN_H_

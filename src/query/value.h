@@ -1,0 +1,165 @@
+// Runtime values flowing through query pipelines. A Value is one tuple
+// element: a primitive, a dictionary-coded string, or a reference to a node
+// or relationship record.
+
+#ifndef POSEIDON_QUERY_VALUE_H_
+#define POSEIDON_QUERY_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/property_value.h"
+#include "storage/types.h"
+
+namespace poseidon::query {
+
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,  ///< dictionary code
+    kNode,    ///< node record id
+    kRel,     ///< relationship record id
+  };
+
+  Value() : kind_(Kind::kNull), raw_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Kind::kBool, b ? 1 : 0); }
+  static Value Int(int64_t i) {
+    return Value(Kind::kInt, static_cast<uint64_t>(i));
+  }
+  static Value Double(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return Value(Kind::kDouble, bits);
+  }
+  static Value String(storage::DictCode code) {
+    return Value(Kind::kString, code);
+  }
+  static Value Node(storage::RecordId id) { return Value(Kind::kNode, id); }
+  static Value Rel(storage::RecordId id) { return Value(Kind::kRel, id); }
+
+  /// Reconstructs a Value from its kind tag and raw payload (JIT runtime).
+  static Value FromRaw(uint8_t kind, uint64_t raw) {
+    return Value(static_cast<Kind>(kind), raw);
+  }
+
+  /// Lifts a storage-level property value.
+  static Value FromPVal(const storage::PVal& v) {
+    switch (v.type) {
+      case storage::PType::kNull:
+        return Null();
+      case storage::PType::kInt:
+        return Int(v.AsInt());
+      case storage::PType::kDouble:
+        return Double(v.AsDouble());
+      case storage::PType::kString:
+        return String(v.AsString());
+      case storage::PType::kBool:
+        return Bool(v.AsBool());
+    }
+    return Null();
+  }
+
+  /// Lowers to a storage-level property value (for Create/Set operators).
+  storage::PVal ToPVal() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return storage::PVal::Null();
+      case Kind::kBool:
+        return storage::PVal::Bool(AsBool());
+      case Kind::kInt:
+        return storage::PVal::Int(AsInt());
+      case Kind::kDouble:
+        return storage::PVal::Double(AsDouble());
+      case Kind::kString:
+        return storage::PVal::String(AsString());
+      case Kind::kNode:
+      case Kind::kRel:
+        return storage::PVal::Int(static_cast<int64_t>(raw_));
+    }
+    return storage::PVal::Null();
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return raw_ != 0; }
+  int64_t AsInt() const { return static_cast<int64_t>(raw_); }
+  double AsDouble() const {
+    double d;
+    std::memcpy(&d, &raw_, sizeof(d));
+    return d;
+  }
+  storage::DictCode AsString() const {
+    return static_cast<storage::DictCode>(raw_);
+  }
+  storage::RecordId AsRecordId() const { return raw_; }
+  uint64_t raw() const { return raw_; }
+
+  /// Three-way comparison for homogeneous kinds; numeric kinds compare
+  /// numerically across int/double. Returns <0, 0, >0.
+  int Compare(const Value& other) const {
+    if ((kind_ == Kind::kInt || kind_ == Kind::kDouble) &&
+        (other.kind_ == Kind::kInt || other.kind_ == Kind::kDouble)) {
+      double a = kind_ == Kind::kInt ? static_cast<double>(AsInt())
+                                     : AsDouble();
+      double b = other.kind_ == Kind::kInt
+                     ? static_cast<double>(other.AsInt())
+                     : other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (kind_ != other.kind_) {
+      return kind_ < other.kind_ ? -1 : 1;
+    }
+    return raw_ < other.raw_ ? -1 : (raw_ > other.raw_ ? 1 : 0);
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0 && a.is_null() == b.is_null();
+  }
+
+  /// Human-readable rendering; decodes strings through `dict` when given.
+  std::string ToString(const storage::Dictionary* dict = nullptr) const {
+    switch (kind_) {
+      case Kind::kNull:
+        return "null";
+      case Kind::kBool:
+        return AsBool() ? "true" : "false";
+      case Kind::kInt:
+        return std::to_string(AsInt());
+      case Kind::kDouble:
+        return std::to_string(AsDouble());
+      case Kind::kString: {
+        if (dict != nullptr) {
+          auto s = dict->Decode(AsString());
+          if (s.ok()) return std::string(*s);
+        }
+        return "str#" + std::to_string(AsString());
+      }
+      case Kind::kNode:
+        return "node(" + std::to_string(raw_) + ")";
+      case Kind::kRel:
+        return "rel(" + std::to_string(raw_) + ")";
+    }
+    return "?";
+  }
+
+ private:
+  Value(Kind kind, uint64_t raw) : kind_(kind), raw_(raw) {}
+
+  Kind kind_;
+  uint64_t raw_;
+};
+
+using Tuple = std::vector<Value>;
+
+}  // namespace poseidon::query
+
+#endif  // POSEIDON_QUERY_VALUE_H_

@@ -1,0 +1,330 @@
+// Chunked persistent record table (paper DD1/DD2, Fig. 1).
+//
+// A table is a linked list of fixed-size chunks allocated in a pmem::Pool.
+// Each chunk stores `kRecordsPerChunk` equally-sized records plus an
+// occupancy bitmap, is cache-line aligned, and spans a multiple of 256 bytes
+// (DG3). Records are addressed by a global slot id
+// (`chunk_index * kRecordsPerChunk + slot`) — the paper's 8-byte "array
+// offset" (DD2). A persistent chunk directory (the sparse index of Fig. 1)
+// maps chunk index -> chunk location; a DRAM mirror of it makes record
+// access a single address computation.
+//
+// Crash safety of mutations:
+//   * Insert persists the record payload BEFORE setting its bitmap bit; the
+//     bit flip is an 8-byte-atomic store (C4), so a torn insert is invisible.
+//   * Delete clears the bit (8-byte atomic); the slot is recycled through a
+//     volatile free list rebuilt on open (DG5 — no deallocation).
+
+#ifndef POSEIDON_STORAGE_CHUNKED_TABLE_H_
+#define POSEIDON_STORAGE_CHUNKED_TABLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace poseidon::storage {
+
+/// Persistent per-table metadata, allocated in the pool; its offset is the
+/// durable handle to the table.
+struct TableMeta {
+  uint64_t record_size;
+  uint64_t records_per_chunk;
+  uint64_t num_chunks;
+  uint64_t directory;           ///< offset of the chunk-directory array
+  uint64_t directory_capacity;  ///< entries in the directory
+  uint64_t head_chunk;          ///< first chunk (scan entry point)
+  uint64_t tail_chunk;          ///< last chunk (insert fast path)
+};
+
+template <typename R, uint64_t kRecordsPerChunk = 512>
+class ChunkedTable {
+ public:
+  static_assert(kRecordsPerChunk % 64 == 0,
+                "records-per-chunk must fill whole bitmap words");
+
+  static constexpr uint64_t kBitmapWords = kRecordsPerChunk / 64;
+  /// Chunk header: next link + first record id + occupancy bitmap, padded to
+  /// a cache line boundary so record 0 is cache-line aligned.
+  static constexpr uint64_t kHeaderBytes =
+      ((16 + kBitmapWords * 8) + pmem::kCacheLineSize - 1) &
+      ~(pmem::kCacheLineSize - 1);
+  /// Whole chunk rounded up to the 256 B DCPMM block size (DG3).
+  static constexpr uint64_t kChunkBytes =
+      ((kHeaderBytes + kRecordsPerChunk * sizeof(R)) + pmem::kPmemBlockSize -
+       1) &
+      ~(pmem::kPmemBlockSize - 1);
+
+  struct ChunkHeader {
+    uint64_t next;      ///< pool offset of the next chunk (0 = end)
+    uint64_t first_id;  ///< record id of slot 0 in this chunk
+    uint64_t bitmap[kBitmapWords];
+  };
+
+  ChunkedTable() = default;
+  ChunkedTable(const ChunkedTable&) = delete;
+  ChunkedTable& operator=(const ChunkedTable&) = delete;
+  ChunkedTable(ChunkedTable&&) = default;
+  ChunkedTable& operator=(ChunkedTable&&) = default;
+
+  /// Creates an empty table in `pool`. The returned table's meta_offset() is
+  /// the durable handle for reopening.
+  static Result<std::unique_ptr<ChunkedTable>> Create(pmem::Pool* pool) {
+    auto table = std::make_unique<ChunkedTable>();
+    table->pool_ = pool;
+    POSEIDON_ASSIGN_OR_RETURN(pmem::Offset meta_off,
+                              pool->AllocateZeroed(sizeof(TableMeta)));
+    table->meta_off_ = meta_off;
+    auto* meta = table->meta();
+    meta->record_size = sizeof(R);
+    meta->records_per_chunk = kRecordsPerChunk;
+    meta->num_chunks = 0;
+    meta->directory_capacity = 1024;
+    POSEIDON_ASSIGN_OR_RETURN(
+        pmem::Offset dir,
+        pool->AllocateZeroed(meta->directory_capacity * sizeof(uint64_t)));
+    meta->directory = dir;
+    meta->head_chunk = 0;
+    meta->tail_chunk = 0;
+    pool->Persist(meta, sizeof(TableMeta));
+    table->ReserveMirror();
+    return table;
+  }
+
+  /// Reopens a table previously created in `pool` at `meta_off`, rebuilding
+  /// the volatile chunk-pointer mirror and free list from persistent state.
+  static Result<std::unique_ptr<ChunkedTable>> Open(pmem::Pool* pool,
+                                                    pmem::Offset meta_off) {
+    auto table = std::make_unique<ChunkedTable>();
+    table->pool_ = pool;
+    table->meta_off_ = meta_off;
+    const auto* meta = table->meta();
+    if (meta->record_size != sizeof(R) ||
+        meta->records_per_chunk != kRecordsPerChunk) {
+      return Status::Corruption("table meta does not match record type");
+    }
+    table->ReserveMirror();
+    const auto* dir = pool->ToPtr<uint64_t>(meta->directory);
+    for (uint64_t c = 0; c < meta->num_chunks; ++c) {
+      table->chunk_ptrs_[c] = pool->ToPtr<char>(dir[c]);
+    }
+    table->num_chunks_.store(meta->num_chunks, std::memory_order_release);
+    table->next_fresh_slot_ = meta->num_chunks * kRecordsPerChunk;
+    // Rebuild the volatile free list + live count from the bitmaps. Every
+    // unoccupied slot (trailing never-used ones included) becomes reusable.
+    for (uint64_t c = 0; c < meta->num_chunks; ++c) {
+      auto* h = reinterpret_cast<ChunkHeader*>(table->chunk_ptrs_[c]);
+      for (uint64_t w = 0; w < kBitmapWords; ++w) {
+        uint64_t bits = h->bitmap[w];
+        for (uint64_t b = 0; b < 64; ++b) {
+          RecordId id = c * kRecordsPerChunk + w * 64 + b;
+          if (bits & (1ull << b)) {
+            ++table->num_records_;
+          } else {
+            table->free_slots_.push_back(id);
+          }
+        }
+      }
+    }
+    // Lowest ids are recycled first (free list pops from the back).
+    std::sort(table->free_slots_.begin(), table->free_slots_.end(),
+              std::greater<RecordId>());
+    return table;
+  }
+
+  pmem::Offset meta_offset() const { return meta_off_; }
+  pmem::Pool* pool() const { return pool_; }
+
+  /// Inserts a copy of `record`, persisting payload before visibility.
+  /// Reuses a freed slot when one exists (DG5). Returns the new record id.
+  Result<RecordId> Insert(const R& record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordId id;
+    if (!free_slots_.empty()) {
+      id = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      uint64_t chunks = num_chunks_.load(std::memory_order_relaxed);
+      if (next_fresh_slot_ >= chunks * kRecordsPerChunk) {
+        POSEIDON_RETURN_IF_ERROR(AddChunk());
+      }
+      id = next_fresh_slot_++;
+    }
+    char* slot = SlotPtr(id);
+    std::memcpy(slot, &record, sizeof(R));
+    pool_->Persist(slot, sizeof(R));
+    SetBit(id, true);
+    ++num_records_;
+    return id;
+  }
+
+  /// Raw slot access without occupancy check (the id must have been
+  /// obtained from Insert / a scan). Injects PMem read latency.
+  R* At(RecordId id) const {
+    char* slot = SlotPtr(id);
+    pool_->TouchRead(slot, sizeof(R));
+    return reinterpret_cast<R*>(slot);
+  }
+
+  /// Like At() but without the read-latency injection; used on write paths
+  /// that immediately overwrite the record.
+  R* AtForWrite(RecordId id) const { return reinterpret_cast<R*>(SlotPtr(id)); }
+
+  bool IsOccupied(RecordId id) const {
+    if (id == kNullId) return false;
+    uint64_t chunk = id / kRecordsPerChunk;
+    if (chunk >= num_chunks_.load(std::memory_order_acquire)) return false;
+    uint64_t slot = id % kRecordsPerChunk;
+    const auto* h = reinterpret_cast<const ChunkHeader*>(chunk_ptrs_[chunk]);
+    uint64_t word = std::atomic_ref<const uint64_t>(h->bitmap[slot / 64])
+                        .load(std::memory_order_acquire);
+    return (word >> (slot % 64)) & 1;
+  }
+
+  /// At() guarded by the occupancy bitmap; nullptr for free slots.
+  R* AtOccupied(RecordId id) const {
+    if (!IsOccupied(id)) return nullptr;
+    return At(id);
+  }
+
+  /// Marks the slot free (8-byte-atomic bitmap store) and recycles it.
+  Status Delete(RecordId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!IsOccupied(id)) return Status::NotFound("record slot not occupied");
+    SetBit(id, false);
+    free_slots_.push_back(id);
+    --num_records_;
+    return Status::Ok();
+  }
+
+  /// Number of live records.
+  uint64_t size() const { return num_records_; }
+
+  /// Upper bound of record ids; scans iterate [0, NumSlots()).
+  uint64_t NumSlots() const {
+    return num_chunks_.load(std::memory_order_acquire) * kRecordsPerChunk;
+  }
+
+  uint64_t num_chunks() const {
+    return num_chunks_.load(std::memory_order_acquire);
+  }
+
+  /// Stable pointer to the DRAM chunk-pointer mirror (pre-sized at
+  /// create/open; never reallocated). The JIT runtime hands this to
+  /// generated code for direct record addressing.
+  char* const* chunk_ptr_array() const { return chunk_ptrs_.data(); }
+
+  /// Invokes f(id, record&) for every occupied slot (single-threaded scan).
+  template <typename F>
+  void ForEach(F&& f) const {
+    uint64_t slots = NumSlots();
+    for (RecordId id = 0; id < slots; ++id) {
+      if (R* r = AtOccupied(id)) f(id, *r);
+    }
+  }
+
+ private:
+  TableMeta* meta() const { return pool_->ToPtr<TableMeta>(meta_off_); }
+
+  void ReserveMirror() {
+    uint64_t max_chunks = pool_->capacity() / kChunkBytes + 2;
+    chunk_ptrs_.assign(max_chunks, nullptr);
+  }
+
+  char* SlotPtr(RecordId id) const {
+    uint64_t chunk = id / kRecordsPerChunk;
+    uint64_t slot = id % kRecordsPerChunk;
+    return chunk_ptrs_[chunk] + kHeaderBytes + slot * sizeof(R);
+  }
+
+  void SetBit(RecordId id, bool value) {
+    uint64_t chunk = id / kRecordsPerChunk;
+    uint64_t slot = id % kRecordsPerChunk;
+    auto* h = reinterpret_cast<ChunkHeader*>(chunk_ptrs_[chunk]);
+    uint64_t& word = h->bitmap[slot / 64];
+    uint64_t mask = 1ull << (slot % 64);
+    uint64_t updated = value ? (word | mask) : (word & ~mask);
+    std::atomic_ref<uint64_t>(word).store(updated, std::memory_order_release);
+    pool_->Persist(&word, sizeof(word));
+  }
+
+  /// Appends a zeroed chunk: chunk persisted first, then directory entry,
+  /// then the chunk count (so a crash mid-append just leaks the chunk).
+  Status AddChunk() {
+    auto* m = meta();
+    uint64_t n = m->num_chunks;
+    if (n >= m->directory_capacity) {
+      POSEIDON_RETURN_IF_ERROR(GrowDirectory());
+      m = meta();
+    }
+    POSEIDON_ASSIGN_OR_RETURN(
+        pmem::Offset chunk_off,
+        pool_->AllocateZeroed(kChunkBytes, pmem::kPmemBlockSize));
+    auto* h = pool_->ToPtr<ChunkHeader>(chunk_off);
+    h->next = 0;
+    h->first_id = n * kRecordsPerChunk;
+    pool_->Persist(h, sizeof(ChunkHeader));
+
+    auto* dir = pool_->ToPtr<uint64_t>(m->directory);
+    dir[n] = chunk_off;
+    pool_->Persist(&dir[n], sizeof(uint64_t));
+
+    if (n == 0) {
+      m->head_chunk = chunk_off;
+    } else {
+      auto* tail = pool_->ToPtr<ChunkHeader>(m->tail_chunk);
+      tail->next = chunk_off;
+      pool_->Persist(&tail->next, sizeof(uint64_t));
+    }
+    m->tail_chunk = chunk_off;
+    m->num_chunks = n + 1;
+    pool_->Persist(m, sizeof(TableMeta));
+
+    chunk_ptrs_[n] = pool_->ToPtr<char>(chunk_off);
+    num_chunks_.store(n + 1, std::memory_order_release);
+    return Status::Ok();
+  }
+
+  Status GrowDirectory() {
+    auto* m = meta();
+    uint64_t new_cap = m->directory_capacity * 2;
+    POSEIDON_ASSIGN_OR_RETURN(
+        pmem::Offset new_dir, pool_->AllocateZeroed(new_cap * sizeof(uint64_t)));
+    std::memcpy(pool_->ToPtr<void>(new_dir), pool_->ToPtr<void>(m->directory),
+                m->num_chunks * sizeof(uint64_t));
+    pool_->Persist(pool_->ToPtr<void>(new_dir), new_cap * sizeof(uint64_t));
+    // 8-byte atomic switch; the old directory block is recycled.
+    pmem::Offset old_dir = m->directory;
+    uint64_t old_cap = m->directory_capacity;
+    m->directory = new_dir;
+    pool_->Persist(&m->directory, sizeof(uint64_t));
+    m->directory_capacity = new_cap;
+    pool_->Persist(&m->directory_capacity, sizeof(uint64_t));
+    pool_->Free(old_dir, old_cap * sizeof(uint64_t));
+    return Status::Ok();
+  }
+
+  pmem::Pool* pool_ = nullptr;
+  pmem::Offset meta_off_ = 0;
+
+  // Volatile mirror (rebuilt on Open): direct chunk pointers indexed by
+  // chunk number, lock-free for readers (slots are published before
+  // num_chunks_ is advanced).
+  std::vector<char*> chunk_ptrs_;
+  std::atomic<uint64_t> num_chunks_{0};
+
+  std::mutex mu_;  // guards inserts/deletes (slot assignment)
+  std::vector<RecordId> free_slots_;
+  uint64_t next_fresh_slot_ = 0;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_CHUNKED_TABLE_H_

@@ -1,0 +1,262 @@
+#include "storage/dictionary.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace poseidon::storage {
+
+namespace {
+constexpr uint64_t kInitialBuckets = 1024;       // power of two
+constexpr uint64_t kInitialCodeCapacity = 1024;  // entries
+constexpr uint64_t kInitialArenaBytes = 64 << 10;
+}  // namespace
+
+struct Dictionary::Meta {
+  uint64_t count;            // highest assigned code (codes are 1-based)
+  uint64_t buckets;          // offset of Bucket array
+  uint64_t bucket_capacity;  // power of two
+  uint64_t codes;            // offset of code -> string-offset array
+  uint64_t code_capacity;
+  uint64_t arena;      // current arena block (data start)
+  uint64_t arena_pos;  // bump cursor within current block
+  uint64_t arena_cap;  // size of current block
+};
+
+struct Dictionary::Bucket {
+  uint64_t hash;
+  uint64_t str_off;
+  uint64_t code;  // 0 = empty
+};
+
+Result<std::unique_ptr<Dictionary>> Dictionary::Create(pmem::Pool* pool) {
+  auto dict = std::unique_ptr<Dictionary>(new Dictionary());
+  dict->pool_ = pool;
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset meta_off,
+                            pool->AllocateZeroed(sizeof(Meta)));
+  dict->meta_off_ = meta_off;
+  auto* m = dict->meta();
+  m->count = 0;
+  m->bucket_capacity = kInitialBuckets;
+  POSEIDON_ASSIGN_OR_RETURN(
+      m->buckets, pool->AllocateZeroed(kInitialBuckets * sizeof(Bucket)));
+  m->code_capacity = kInitialCodeCapacity;
+  POSEIDON_ASSIGN_OR_RETURN(
+      m->codes, pool->AllocateZeroed(kInitialCodeCapacity * sizeof(uint64_t)));
+  m->arena_cap = kInitialArenaBytes;
+  m->arena_pos = 0;
+  POSEIDON_ASSIGN_OR_RETURN(m->arena, pool->Allocate(kInitialArenaBytes));
+  pool->Persist(m, sizeof(Meta));
+  return dict;
+}
+
+Result<std::unique_ptr<Dictionary>> Dictionary::Open(pmem::Pool* pool,
+                                                     pmem::Offset meta_off) {
+  auto dict = std::unique_ptr<Dictionary>(new Dictionary());
+  dict->pool_ = pool;
+  dict->meta_off_ = meta_off;
+  const auto* m = dict->meta();
+  if (m->bucket_capacity == 0 || (m->bucket_capacity & (m->bucket_capacity - 1)) != 0) {
+    return Status::Corruption("dictionary bucket capacity invalid");
+  }
+  return dict;
+}
+
+uint64_t Dictionary::size() const {
+  std::shared_lock lock(mu_);
+  return meta()->count;
+}
+
+std::string_view Dictionary::StringAt(pmem::Offset off) const {
+  const char* p = pool_->ToPtr<char>(off);
+  uint32_t len;
+  std::memcpy(&len, p, sizeof(len));
+  pool_->TouchRead(p, sizeof(len) + len);
+  return std::string_view(p + sizeof(len), len);
+}
+
+DictCode Dictionary::FindLocked(std::string_view s, uint64_t hash) const {
+  const auto* m = meta();
+  const auto* buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = m->bucket_capacity - 1;
+  for (uint64_t i = hash & mask;; i = (i + 1) & mask) {
+    const Bucket& b = buckets[i];
+    if (b.code == 0) return kInvalidCode;
+    if (b.hash == hash && StringAt(b.str_off) == s) {
+      return static_cast<DictCode>(b.code);
+    }
+  }
+}
+
+Result<DictCode> Dictionary::Lookup(std::string_view s) const {
+  std::shared_lock lock(mu_);
+  DictCode code = FindLocked(s, HashString(s));
+  if (code == kInvalidCode) return Status::NotFound("string not in dictionary");
+  return code;
+}
+
+Result<DictCode> Dictionary::Encode(std::string_view s) {
+  uint64_t hash = HashString(s);
+  {
+    std::shared_lock lock(mu_);
+    DictCode code = FindLocked(s, hash);
+    if (code != kInvalidCode) return code;
+  }
+  std::unique_lock lock(mu_);
+  DictCode code = FindLocked(s, hash);
+  if (code != kInvalidCode) return code;
+
+  auto* m = meta();
+  DictCode new_code = static_cast<DictCode>(m->count + 1);
+  if (new_code + 1 >= m->code_capacity) {
+    POSEIDON_RETURN_IF_ERROR(GrowCodesLocked());
+    m = meta();
+  }
+  if ((m->count + 1) * 10 >= m->bucket_capacity * 7) {
+    POSEIDON_RETURN_IF_ERROR(GrowBucketsLocked());
+    m = meta();
+  }
+
+  // Durability order: string bytes -> code array -> bucket -> count.
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset str_off, AppendStringLocked(s));
+  auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+  codes[new_code] = str_off;
+  pool_->Persist(&codes[new_code], sizeof(uint64_t));
+  POSEIDON_RETURN_IF_ERROR(InsertLocked(s, hash, new_code));
+  m->count = new_code;
+  pool_->Persist(&m->count, sizeof(uint64_t));
+  return new_code;
+}
+
+Result<std::string_view> Dictionary::Decode(DictCode code) const {
+  {
+    std::shared_lock lock(mu_);
+    if (decode_cache_enabled_ && code < decode_cache_.size() &&
+        decode_cache_[code] != nullptr) {
+      // Hybrid fast path: the cached arena pointer avoids the PMem code
+      // array and the latency-modelled string read.
+      const char* p = decode_cache_[code];
+      uint32_t len;
+      std::memcpy(&len, p, sizeof(len));
+      return std::string_view(p + sizeof(len), len);
+    }
+    const auto* m = meta();
+    if (code == kInvalidCode || code > m->count) {
+      return Status::NotFound("dictionary code out of range");
+    }
+    if (!decode_cache_enabled_) {
+      const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+      return StringAt(codes[code]);
+    }
+  }
+  // Cache miss: fill under the exclusive lock.
+  std::unique_lock lock(mu_);
+  const auto* m = meta();
+  if (code == kInvalidCode || code > m->count) {
+    return Status::NotFound("dictionary code out of range");
+  }
+  const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+  std::string_view s = StringAt(codes[code]);
+  if (decode_cache_.size() <= code) decode_cache_.resize(code + 1, nullptr);
+  decode_cache_[code] = pool_->ToPtr<char>(codes[code]);
+  return s;
+}
+
+void Dictionary::EnableDecodeCache() {
+  std::unique_lock lock(mu_);
+  decode_cache_enabled_ = true;
+  decode_cache_.assign(meta()->count + 1, nullptr);
+}
+
+Status Dictionary::InsertLocked(std::string_view s, uint64_t hash,
+                                DictCode code) {
+  (void)s;
+  auto* m = meta();
+  auto* buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = m->bucket_capacity - 1;
+  const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+  for (uint64_t i = hash & mask;; i = (i + 1) & mask) {
+    Bucket& b = buckets[i];
+    if (b.code != 0) continue;
+    b.hash = hash;
+    b.str_off = codes[code];
+    pool_->Persist(&b, sizeof(Bucket) - sizeof(uint64_t));
+    // Publishing the code last keeps partially written buckets invisible.
+    b.code = code;
+    pool_->Persist(&b.code, sizeof(uint64_t));
+    return Status::Ok();
+  }
+}
+
+Status Dictionary::GrowBucketsLocked() {
+  auto* m = meta();
+  uint64_t new_cap = m->bucket_capacity * 2;
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset new_off,
+                            pool_->AllocateZeroed(new_cap * sizeof(Bucket)));
+  auto* new_buckets = pool_->ToPtr<Bucket>(new_off);
+  const auto* old_buckets = pool_->ToPtr<Bucket>(m->buckets);
+  uint64_t mask = new_cap - 1;
+  for (uint64_t i = 0; i < m->bucket_capacity; ++i) {
+    const Bucket& b = old_buckets[i];
+    if (b.code == 0) continue;
+    for (uint64_t j = b.hash & mask;; j = (j + 1) & mask) {
+      if (new_buckets[j].code == 0) {
+        new_buckets[j] = b;
+        break;
+      }
+    }
+  }
+  pool_->Persist(new_buckets, new_cap * sizeof(Bucket));
+  pmem::Offset old_off = m->buckets;
+  uint64_t old_cap = m->bucket_capacity;
+  m->buckets = new_off;
+  pool_->Persist(&m->buckets, sizeof(uint64_t));
+  m->bucket_capacity = new_cap;
+  pool_->Persist(&m->bucket_capacity, sizeof(uint64_t));
+  pool_->Free(old_off, old_cap * sizeof(Bucket));
+  return Status::Ok();
+}
+
+Status Dictionary::GrowCodesLocked() {
+  auto* m = meta();
+  uint64_t new_cap = m->code_capacity * 2;
+  POSEIDON_ASSIGN_OR_RETURN(pmem::Offset new_off,
+                            pool_->AllocateZeroed(new_cap * sizeof(uint64_t)));
+  std::memcpy(pool_->ToPtr<void>(new_off), pool_->ToPtr<void>(m->codes),
+              m->code_capacity * sizeof(uint64_t));
+  pool_->Persist(pool_->ToPtr<void>(new_off), new_cap * sizeof(uint64_t));
+  pmem::Offset old_off = m->codes;
+  uint64_t old_cap = m->code_capacity;
+  m->codes = new_off;
+  pool_->Persist(&m->codes, sizeof(uint64_t));
+  m->code_capacity = new_cap;
+  pool_->Persist(&m->code_capacity, sizeof(uint64_t));
+  pool_->Free(old_off, old_cap * sizeof(uint64_t));
+  return Status::Ok();
+}
+
+Result<pmem::Offset> Dictionary::AppendStringLocked(std::string_view s) {
+  auto* m = meta();
+  uint64_t need = sizeof(uint32_t) + s.size();
+  need = (need + 7) & ~7ull;  // keep 8-byte alignment for length prefixes
+  if (m->arena_pos + need > m->arena_cap) {
+    uint64_t new_cap = m->arena_cap * 2;
+    while (new_cap < need) new_cap *= 2;
+    POSEIDON_ASSIGN_OR_RETURN(pmem::Offset block, pool_->Allocate(new_cap));
+    m->arena = block;
+    m->arena_cap = new_cap;
+    m->arena_pos = 0;
+    pool_->Persist(m, sizeof(Meta));
+  }
+  pmem::Offset off = m->arena + m->arena_pos;
+  char* p = pool_->ToPtr<char>(off);
+  auto len = static_cast<uint32_t>(s.size());
+  std::memcpy(p, &len, sizeof(len));
+  std::memcpy(p + sizeof(len), s.data(), s.size());
+  pool_->Persist(p, sizeof(len) + s.size());
+  m->arena_pos += need;
+  pool_->Persist(&m->arena_pos, sizeof(uint64_t));
+  return off;
+}
+
+}  // namespace poseidon::storage

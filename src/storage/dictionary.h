@@ -1,0 +1,93 @@
+// Persistent bidirectional string dictionary (paper §4.2 "Dictionary").
+//
+// Compresses labels, property keys, and string property values to 4-byte
+// codes so records stay fixed-size (DD3) and string comparisons become
+// integer comparisons. Two persistent structures provide bi-directional
+// translation:
+//   * an open-addressing hash table  string -> code,
+//   * a code-indexed array           code   -> string offset,
+// with string bytes in an append-only persistent arena. Both directions are
+// persistent (the paper's default; it notes one side could be DRAM-rebuilt
+// as a workload-dependent optimization).
+//
+// Crash consistency: a new code becomes visible only once `count` is
+// persisted, which happens after the string bytes, the code array entry, and
+// the hash bucket are durable; a crash mid-insert leaks at most one arena
+// string.
+
+#ifndef POSEIDON_STORAGE_DICTIONARY_H_
+#define POSEIDON_STORAGE_DICTIONARY_H_
+
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace poseidon::storage {
+
+class Dictionary {
+ public:
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Creates an empty dictionary in `pool`; meta_offset() is the durable
+  /// handle.
+  static Result<std::unique_ptr<Dictionary>> Create(pmem::Pool* pool);
+
+  /// Reopens a dictionary at `meta_off`.
+  static Result<std::unique_ptr<Dictionary>> Open(pmem::Pool* pool,
+                                                  pmem::Offset meta_off);
+
+  pmem::Offset meta_offset() const { return meta_off_; }
+
+  /// Returns the code for `s`, inserting it if absent. Thread-safe.
+  Result<DictCode> Encode(std::string_view s);
+
+  /// Returns the code for `s` or NotFound, without inserting.
+  Result<DictCode> Lookup(std::string_view s) const;
+
+  /// Returns the string for `code`. The view points into the persistent
+  /// arena and stays valid for the pool's lifetime.
+  Result<std::string_view> Decode(DictCode code) const;
+
+  /// Enables the hybrid DRAM/PMem dictionary the paper names as future work
+  /// (§8: "more hybrid DRAM/PMem approaches such as for dictionaries"):
+  /// decode results are cached in a DRAM array, so repeated decodes skip
+  /// the PMem code array and string arena entirely. The cache is volatile
+  /// and rebuilt lazily after restart.
+  void EnableDecodeCache();
+  bool decode_cache_enabled() const { return decode_cache_enabled_; }
+
+  /// Number of distinct strings.
+  uint64_t size() const;
+
+ private:
+  struct Meta;
+  struct Bucket;
+
+  Dictionary() = default;
+
+  Meta* meta() const { return pool_->ToPtr<Meta>(meta_off_); }
+
+  /// Lookup under an already-held lock.
+  DictCode FindLocked(std::string_view s, uint64_t hash) const;
+  Status InsertLocked(std::string_view s, uint64_t hash, DictCode code);
+  Status GrowBucketsLocked();
+  Status GrowCodesLocked();
+  Result<pmem::Offset> AppendStringLocked(std::string_view s);
+  std::string_view StringAt(pmem::Offset off) const;
+
+  pmem::Pool* pool_ = nullptr;
+  pmem::Offset meta_off_ = 0;
+  mutable std::shared_mutex mu_;
+  bool decode_cache_enabled_ = false;
+  // code -> pointer to the length-prefixed arena string (stable addresses).
+  mutable std::vector<const char*> decode_cache_;
+};
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_DICTIONARY_H_

@@ -1,0 +1,59 @@
+#include "storage/graph_store.h"
+
+namespace poseidon::storage {
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Create(pmem::Pool* pool) {
+  if (pool->root() != pmem::kNullOffset) {
+    return Status::AlreadyExists("pool already contains a graph root");
+  }
+  auto store = std::unique_ptr<GraphStore>(new GraphStore());
+  store->pool_ = pool;
+  POSEIDON_ASSIGN_OR_RETURN(store->root_off_,
+                            pool->AllocateZeroed(sizeof(GraphRoot)));
+  POSEIDON_ASSIGN_OR_RETURN(store->nodes_, NodeTable::Create(pool));
+  POSEIDON_ASSIGN_OR_RETURN(store->rels_, RelationshipTable::Create(pool));
+  POSEIDON_ASSIGN_OR_RETURN(store->prop_table_, PropertyTable::Create(pool));
+  POSEIDON_ASSIGN_OR_RETURN(store->dict_, Dictionary::Create(pool));
+  store->prop_store_ = std::make_unique<PropertyStore>(store->prop_table_.get());
+
+  auto* root = store->root();
+  root->node_meta = store->nodes_->meta_offset();
+  root->rel_meta = store->rels_->meta_offset();
+  root->prop_meta = store->prop_table_->meta_offset();
+  root->dict_meta = store->dict_->meta_offset();
+  root->qcache_meta = 0;
+  root->index_dir = 0;
+  root->next_timestamp = 1;
+  pool->Persist(root, sizeof(GraphRoot));
+  pool->set_root(store->root_off_);
+  return store;
+}
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Open(pmem::Pool* pool) {
+  if (pool->root() == pmem::kNullOffset) {
+    return Status::NotFound("pool has no graph root");
+  }
+  auto store = std::unique_ptr<GraphStore>(new GraphStore());
+  store->pool_ = pool;
+  store->root_off_ = pool->root();
+  const auto* root = store->root();
+  POSEIDON_ASSIGN_OR_RETURN(store->nodes_,
+                            NodeTable::Open(pool, root->node_meta));
+  POSEIDON_ASSIGN_OR_RETURN(store->rels_,
+                            RelationshipTable::Open(pool, root->rel_meta));
+  POSEIDON_ASSIGN_OR_RETURN(store->prop_table_,
+                            PropertyTable::Open(pool, root->prop_meta));
+  POSEIDON_ASSIGN_OR_RETURN(store->dict_,
+                            Dictionary::Open(pool, root->dict_meta));
+  store->prop_store_ = std::make_unique<PropertyStore>(store->prop_table_.get());
+  return store;
+}
+
+void GraphStore::PersistTimestamp(Timestamp ts) {
+  auto* root = this->root();
+  if (root->next_timestamp >= ts) return;
+  root->next_timestamp = ts;
+  pool_->Persist(&root->next_timestamp, sizeof(Timestamp));
+}
+
+}  // namespace poseidon::storage

@@ -1,0 +1,83 @@
+// GraphStore: the persistent property-graph storage engine (paper §4).
+//
+// Owns the node, relationship, and property tables, the dictionary, and the
+// persistent root directory inside one pmem::Pool. GraphStore provides
+// *physical* primitives only; transactional semantics (MVTO visibility,
+// locking, commit) live in tx::Transaction, and declarative access lives in
+// the query layer.
+
+#ifndef POSEIDON_STORAGE_GRAPH_STORE_H_
+#define POSEIDON_STORAGE_GRAPH_STORE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "pmem/pool.h"
+#include "storage/chunked_table.h"
+#include "storage/dictionary.h"
+#include "storage/property_store.h"
+#include "storage/records.h"
+
+namespace poseidon::storage {
+
+using NodeTable = ChunkedTable<NodeRecord, 512>;
+using RelationshipTable = ChunkedTable<RelationshipRecord, 512>;
+
+/// Persistent root directory stored at the pool's root offset.
+struct GraphRoot {
+  pmem::Offset node_meta;
+  pmem::Offset rel_meta;
+  pmem::Offset prop_meta;
+  pmem::Offset dict_meta;
+  pmem::Offset qcache_meta;   ///< JIT compiled-query cache (0 until created)
+  pmem::Offset index_dir;     ///< index directory (0 until created)
+  uint64_t next_timestamp;    ///< persisted transaction-timestamp high water
+};
+
+class GraphStore {
+ public:
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Creates a fresh graph in `pool` and installs its root directory.
+  static Result<std::unique_ptr<GraphStore>> Create(pmem::Pool* pool);
+
+  /// Reopens the graph stored in `pool` (after clean shutdown or crash).
+  static Result<std::unique_ptr<GraphStore>> Open(pmem::Pool* pool);
+
+  pmem::Pool* pool() const { return pool_; }
+  GraphRoot* root() const { return pool_->ToPtr<GraphRoot>(root_off_); }
+
+  NodeTable& nodes() { return *nodes_; }
+  const NodeTable& nodes() const { return *nodes_; }
+  RelationshipTable& relationships() { return *rels_; }
+  const RelationshipTable& relationships() const { return *rels_; }
+  PropertyStore& properties() { return *prop_store_; }
+  const PropertyStore& properties() const { return *prop_store_; }
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+
+  /// Persists a new timestamp high-water mark (8-byte atomic store).
+  void PersistTimestamp(Timestamp ts);
+  Timestamp persisted_timestamp() const { return root()->next_timestamp; }
+
+  // --- Convenience (used by tests/examples; tx layer uses tables directly) --
+
+  /// Encodes a label/key string, inserting into the dictionary if needed.
+  Result<DictCode> Code(std::string_view s) { return dict_->Encode(s); }
+
+ private:
+  GraphStore() = default;
+
+  pmem::Pool* pool_ = nullptr;
+  pmem::Offset root_off_ = 0;
+  std::unique_ptr<NodeTable> nodes_;
+  std::unique_ptr<RelationshipTable> rels_;
+  std::unique_ptr<PropertyTable> prop_table_;
+  std::unique_ptr<PropertyStore> prop_store_;
+  std::unique_ptr<Dictionary> dict_;
+};
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_GRAPH_STORE_H_

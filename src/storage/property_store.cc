@@ -1,0 +1,59 @@
+#include "storage/property_store.h"
+
+namespace poseidon::storage {
+
+Result<RecordId> PropertyStore::CreateChain(
+    RecordId owner, const std::vector<Property>& props) {
+  if (props.empty()) return kNullId;
+  // Build back-to-front so each record can point at an already-inserted
+  // successor; the head is published last by the caller.
+  RecordId next = kNullId;
+  size_t remaining = props.size();
+  while (remaining > 0) {
+    size_t batch = remaining % PropertyRecord::kEntriesPerRecord;
+    if (batch == 0) batch = PropertyRecord::kEntriesPerRecord;
+    PropertyRecord rec;
+    rec.owner = owner;
+    rec.next = next;
+    for (size_t i = 0; i < batch; ++i) {
+      const Property& p = props[remaining - batch + i];
+      rec.entries[i].set(p.key, p.value);
+    }
+    POSEIDON_ASSIGN_OR_RETURN(next, table_->Insert(rec));
+    remaining -= batch;
+  }
+  return next;
+}
+
+void PropertyStore::ReadChain(RecordId head,
+                              std::vector<Property>* out) const {
+  for (RecordId cur = head; cur != kNullId;) {
+    const PropertyRecord* rec = table_->At(cur);
+    for (const PropertyEntry& e : rec->entries) {
+      if (!e.empty()) out->push_back(Property{e.key, e.val()});
+    }
+    cur = rec->next;
+  }
+}
+
+PVal PropertyStore::Get(RecordId head, DictCode key) const {
+  for (RecordId cur = head; cur != kNullId;) {
+    const PropertyRecord* rec = table_->At(cur);
+    for (const PropertyEntry& e : rec->entries) {
+      if (e.key == key) return e.val();
+    }
+    cur = rec->next;
+  }
+  return PVal::Null();
+}
+
+Status PropertyStore::FreeChain(RecordId head) {
+  for (RecordId cur = head; cur != kNullId;) {
+    RecordId next = table_->At(cur)->next;
+    POSEIDON_RETURN_IF_ERROR(table_->Delete(cur));
+    cur = next;
+  }
+  return Status::Ok();
+}
+
+}  // namespace poseidon::storage

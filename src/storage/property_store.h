@@ -1,0 +1,62 @@
+// Property chains over the chunked property table (paper DD3, Fig. 1).
+//
+// Properties of one node/relationship live in a chain of cache-line-sized
+// PropertyRecords. Chains are immutable once published: a property update
+// writes a new chain and atomically swaps the owner's `props` head (as part
+// of the MVTO commit redo transaction), so concurrent snapshot readers never
+// observe a half-rewritten chain. Old chains are recycled by transaction-
+// level GC (DG5).
+
+#ifndef POSEIDON_STORAGE_PROPERTY_STORE_H_
+#define POSEIDON_STORAGE_PROPERTY_STORE_H_
+
+#include <utility>
+#include <vector>
+
+#include "storage/chunked_table.h"
+#include "storage/records.h"
+
+namespace poseidon::storage {
+
+/// A decoded (key, value) pair.
+struct Property {
+  DictCode key = kInvalidCode;
+  PVal value;
+
+  friend bool operator==(const Property& a, const Property& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+using PropertyTable = ChunkedTable<PropertyRecord, 512>;
+
+class PropertyStore {
+ public:
+  explicit PropertyStore(PropertyTable* table) : table_(table) {}
+
+  /// Writes an immutable chain holding `props` for `owner`; returns the head
+  /// record id (kNullId for an empty list). Records are persisted before the
+  /// caller publishes the head, so a crash mid-create only leaks slots.
+  Result<RecordId> CreateChain(RecordId owner,
+                               const std::vector<Property>& props);
+
+  /// Appends every property of the chain at `head` to `out`.
+  void ReadChain(RecordId head, std::vector<Property>* out) const;
+
+  /// Point lookup of `key` within the chain at `head`.
+  /// Returns PVal::Null() if the key is absent.
+  PVal Get(RecordId head, DictCode key) const;
+
+  /// Releases every record of the chain (bitmap clear + slot recycling).
+  /// Caller must guarantee no snapshot reader can still reach the chain.
+  Status FreeChain(RecordId head);
+
+  PropertyTable* table() const { return table_; }
+
+ private:
+  PropertyTable* table_;
+};
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_PROPERTY_STORE_H_

@@ -1,0 +1,61 @@
+// Storage-level property values: a (type tag, 8-byte payload) pair that fits
+// a fixed-size property entry (DD3). Strings are dictionary codes at this
+// level; the query layer decodes them through storage::Dictionary.
+
+#ifndef POSEIDON_STORAGE_PROPERTY_VALUE_H_
+#define POSEIDON_STORAGE_PROPERTY_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/types.h"
+
+namespace poseidon::storage {
+
+enum class PType : uint32_t {
+  kNull = 0,
+  kInt = 1,     // int64_t
+  kDouble = 2,  // double
+  kString = 3,  // DictCode
+  kBool = 4,    // 0/1
+};
+
+/// Trivially-copyable tagged payload. Encodes every supported property value
+/// in 12 bytes (4-byte tag + 8-byte raw), padded to 16 inside PropertyEntry.
+struct PVal {
+  PType type = PType::kNull;
+  uint64_t raw = 0;
+
+  static PVal Null() { return PVal{}; }
+  static PVal Int(int64_t v) {
+    return PVal{PType::kInt, static_cast<uint64_t>(v)};
+  }
+  static PVal Double(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return PVal{PType::kDouble, bits};
+  }
+  static PVal String(DictCode code) {
+    return PVal{PType::kString, static_cast<uint64_t>(code)};
+  }
+  static PVal Bool(bool v) { return PVal{PType::kBool, v ? 1ull : 0ull}; }
+
+  bool is_null() const { return type == PType::kNull; }
+
+  int64_t AsInt() const { return static_cast<int64_t>(raw); }
+  double AsDouble() const {
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+  }
+  DictCode AsString() const { return static_cast<DictCode>(raw); }
+  bool AsBool() const { return raw != 0; }
+
+  friend bool operator==(const PVal& a, const PVal& b) {
+    return a.type == b.type && a.raw == b.raw;
+  }
+};
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_PROPERTY_VALUE_H_

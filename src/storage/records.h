@@ -1,0 +1,124 @@
+// Persistent record layouts for nodes, relationships, and properties
+// (paper §4.2, Fig. 1 and Fig. 2).
+//
+// All records are fixed-size and trivially copyable: fixed size makes them
+// addressable by table offset (DD2), trivially copyable lets the MVTO layer
+// snapshot them into DRAM dirty-version chains with memcpy (§5.2).
+//
+// The first 32 bytes of node and relationship records are the four
+// persistent MVTO fields (txn-id, bts, ets, rts — Fig. 2). They are plain
+// uint64_t so the records stay trivially copyable; concurrent access goes
+// through std::atomic_ref in the transaction layer. The paper's additional
+// *volatile* dirty-list pointer field is kept in a DRAM sidecar map instead
+// of inside the persistent record (see DESIGN.md, deliberate deviations).
+//
+// The JIT code generator (jit/codegen.cc) emits loads against these layouts
+// using the kOffsetOf* constants below; keep them in sync.
+
+#ifndef POSEIDON_STORAGE_RECORDS_H_
+#define POSEIDON_STORAGE_RECORDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "storage/property_value.h"
+#include "storage/types.h"
+
+namespace poseidon::storage {
+
+/// Persistent concurrency-control fields (paper Fig. 2).
+struct TxFields {
+  Timestamp txn_id = kUnlocked;  ///< write lock: 0 or owner's txn id (CAS'd)
+  Timestamp bts = 0;             ///< begin timestamp of this version
+  Timestamp ets = kInfinityTs;   ///< end timestamp of this version
+  Timestamp rts = 0;             ///< newest transaction that read it
+};
+static_assert(sizeof(TxFields) == 32);
+
+/// Node record: 64 bytes = exactly one cache line (paper: 56 B; we pay 8 B
+/// for uniform 8-byte-aligned timestamps).
+struct NodeRecord {
+  TxFields tx;
+  DictCode label = kInvalidCode;  ///< type descriptor (dictionary code)
+  uint32_t reserved = 0;
+  RecordId first_in = kNullId;    ///< head of incoming-relationship list
+  RecordId first_out = kNullId;   ///< head of outgoing-relationship list
+  RecordId props = kNullId;       ///< head of property-record chain
+};
+static_assert(sizeof(NodeRecord) == 64);
+static_assert(std::is_trivially_copyable_v<NodeRecord>);
+
+/// Relationship record: 80 bytes (paper: 72 B, same 8 B alignment delta).
+/// Relationships are directed (src -> dst) and doubly threaded through the
+/// per-node adjacency lists via next_src / next_dst (DD4).
+struct RelationshipRecord {
+  TxFields tx;
+  DictCode label = kInvalidCode;
+  uint32_t reserved = 0;
+  RecordId src = kNullId;       ///< source node offset
+  RecordId dst = kNullId;       ///< destination node offset
+  RecordId next_src = kNullId;  ///< next relationship of src's outgoing list
+  RecordId next_dst = kNullId;  ///< next relationship of dst's incoming list
+  RecordId props = kNullId;     ///< head of property-record chain
+};
+static_assert(sizeof(RelationshipRecord) == 80);
+static_assert(std::is_trivially_copyable_v<RelationshipRecord>);
+
+/// One key/value slot inside a property record.
+struct PropertyEntry {
+  DictCode key = kInvalidCode;  ///< property key (dictionary code)
+  PType type = PType::kNull;
+  uint64_t value = 0;           ///< payload (see PVal)
+
+  PVal val() const { return PVal{type, value}; }
+  void set(DictCode k, PVal v) {
+    key = k;
+    type = v.type;
+    value = v.raw;
+  }
+  bool empty() const { return key == kInvalidCode; }
+};
+static_assert(sizeof(PropertyEntry) == 16);
+
+/// Property record: 64 bytes = one cache line holding up to three key/value
+/// pairs of a single owner, chained via `next` (paper §4.2 "grouped in
+/// batches ... to obtain cache-line-sized records").
+struct PropertyRecord {
+  static constexpr int kEntriesPerRecord = 3;
+
+  RecordId owner = kNullId;  ///< owning node/relationship offset
+  RecordId next = kNullId;   ///< next record of the same owner's chain
+  PropertyEntry entries[kEntriesPerRecord];
+};
+static_assert(sizeof(PropertyRecord) == 64);
+static_assert(std::is_trivially_copyable_v<PropertyRecord>);
+
+// Field byte offsets consumed by the JIT code generator.
+inline constexpr uint64_t kOffsetOfTxnId = 0;
+inline constexpr uint64_t kOffsetOfBts = 8;
+inline constexpr uint64_t kOffsetOfEts = 16;
+inline constexpr uint64_t kOffsetOfRts = 24;
+inline constexpr uint64_t kOffsetOfLabel = 32;
+inline constexpr uint64_t kOffsetOfNodeFirstIn = 40;
+inline constexpr uint64_t kOffsetOfNodeFirstOut = 48;
+inline constexpr uint64_t kOffsetOfNodeProps = 56;
+inline constexpr uint64_t kOffsetOfRelSrc = 40;
+inline constexpr uint64_t kOffsetOfRelDst = 48;
+inline constexpr uint64_t kOffsetOfRelNextSrc = 56;
+inline constexpr uint64_t kOffsetOfRelNextDst = 64;
+inline constexpr uint64_t kOffsetOfRelProps = 72;
+
+static_assert(offsetof(NodeRecord, label) == kOffsetOfLabel);
+static_assert(offsetof(NodeRecord, first_in) == kOffsetOfNodeFirstIn);
+static_assert(offsetof(NodeRecord, first_out) == kOffsetOfNodeFirstOut);
+static_assert(offsetof(NodeRecord, props) == kOffsetOfNodeProps);
+static_assert(offsetof(RelationshipRecord, src) == kOffsetOfRelSrc);
+static_assert(offsetof(RelationshipRecord, dst) == kOffsetOfRelDst);
+static_assert(offsetof(RelationshipRecord, next_src) == kOffsetOfRelNextSrc);
+static_assert(offsetof(RelationshipRecord, next_dst) == kOffsetOfRelNextDst);
+static_assert(offsetof(RelationshipRecord, props) == kOffsetOfRelProps);
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_RECORDS_H_

@@ -1,0 +1,33 @@
+// Core storage identifiers shared by the storage, transaction, query, and
+// JIT layers. The JIT code generator hard-codes these layouts (field byte
+// offsets), so any change here must be mirrored in jit/codegen.cc.
+
+#ifndef POSEIDON_STORAGE_TYPES_H_
+#define POSEIDON_STORAGE_TYPES_H_
+
+#include <cstdint>
+
+namespace poseidon::storage {
+
+/// Logical record identifier: the slot index within a chunked table (the
+/// paper's "array offset", DD2). 8 bytes so stores are failure-atomic and
+/// half the size of a persistent pointer.
+using RecordId = uint64_t;
+
+/// Slot 0 is valid, so null is all-ones.
+inline constexpr RecordId kNullId = ~0ull;
+
+/// Dictionary code for labels, property keys, and string values.
+/// Code 0 is reserved as "invalid / none".
+using DictCode = uint32_t;
+inline constexpr DictCode kInvalidCode = 0;
+
+/// Transaction timestamps (also used as transaction identifiers).
+using Timestamp = uint64_t;
+inline constexpr Timestamp kInfinityTs = ~0ull;
+/// txn-id value meaning "not write-locked".
+inline constexpr Timestamp kUnlocked = 0;
+
+}  // namespace poseidon::storage
+
+#endif  // POSEIDON_STORAGE_TYPES_H_

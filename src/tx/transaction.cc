@@ -1,0 +1,781 @@
+#include "tx/transaction.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace poseidon::tx {
+
+using storage::DictCode;
+using storage::kInfinityTs;
+using storage::kNullId;
+using storage::kUnlocked;
+using storage::NodeRecord;
+using storage::Property;
+using storage::PVal;
+using storage::RecordId;
+using storage::RelationshipRecord;
+using storage::Timestamp;
+
+namespace {
+
+std::atomic_ref<Timestamp> AtomicTs(Timestamp& field) {
+  return std::atomic_ref<Timestamp>(field);
+}
+
+/// Replaces or appends `key` in a property list.
+void UpsertProp(std::vector<Property>* props, DictCode key, PVal value) {
+  for (auto& p : *props) {
+    if (p.key == key) {
+      p.value = value;
+      return;
+    }
+  }
+  props->push_back(Property{key, value});
+}
+
+PVal FindProp(const std::vector<Property>& props, DictCode key) {
+  for (const auto& p : props) {
+    if (p.key == key) return p.value;
+  }
+  return PVal::Null();
+}
+
+}  // namespace
+
+// --- Transaction: lifecycle --------------------------------------------------
+
+Transaction::Transaction(TransactionManager* mgr, Timestamp ts)
+    : mgr_(mgr), store_(mgr->store()), id_(ts) {}
+
+Transaction::~Transaction() {
+  if (!finished_) Abort();
+}
+
+// --- Stable reads -------------------------------------------------------------
+
+template <typename Table, typename R>
+Status Transaction::ReadStable(const Table& table, RecordId id, R* out) {
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    R* rec = table.At(id);
+    Timestamp txn = AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
+    if (txn != kUnlocked && txn != id_) {
+      if (AtomicTs(rec->tx.bts).load(std::memory_order_acquire) == 0) {
+        // A locked record that was never committed is another transaction's
+        // in-flight insert: simply invisible, no conflict (paper §5.1).
+        return Status::NotFound("record not yet committed");
+      }
+      // Paper §5.1: a lock held by another transaction aborts the reader.
+      return Status::Aborted("record locked by transaction " +
+                             std::to_string(txn));
+    }
+    std::memcpy(out, rec, sizeof(R));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    Timestamp txn2 = AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
+    Timestamp bts2 = AtomicTs(rec->tx.bts).load(std::memory_order_acquire);
+    if (txn2 == txn && bts2 == out->tx.bts) return Status::Ok();
+    // A concurrent commit raced our copy; retry against the new state.
+  }
+  return Status::Internal("record would not stabilize");
+}
+
+template <typename R>
+bool Transaction::BumpRts(R* rec) {
+  auto rts = AtomicTs(rec->tx.rts);
+  Timestamp cur = rts.load(std::memory_order_relaxed);
+  while (cur < id_) {
+    // Unflushed on purpose: rts is re-initializable after a crash (§5.1).
+    if (rts.compare_exchange_weak(cur, id_, std::memory_order_acq_rel)) break;
+  }
+  return true;
+}
+
+template <typename R, typename Table, typename Chains, typename WriteMap>
+Result<Resolved<R>> Transaction::GetRecord(const Table& table,
+                                           const Chains& chains,
+                                           const WriteMap& writes, RecordId id,
+                                           bool is_node) {
+  (void)is_node;
+  auto it = writes.find(id);
+  if (it != writes.end()) {
+    const auto& w = it->second;
+    if (w.deleted) return Status::NotFound("record deleted in this tx");
+    Resolved<R> r;
+    r.rec = w.rec;
+    r.from_snapshot = true;
+    r.snapshot = w.props;
+    return r;
+  }
+  if (id == kNullId || !table.IsOccupied(id)) {
+    return Status::NotFound("record does not exist");
+  }
+  for (int retry = 0; retry < 64; ++retry) {
+    R copy;
+    POSEIDON_RETURN_IF_ERROR(ReadStable(table, id, &copy));
+    if (copy.tx.bts == 0) {
+      // Uncommitted insert of another transaction: invisible.
+      return Status::NotFound("record not yet committed");
+    }
+    if (copy.tx.bts <= id_) {
+      if (id_ >= copy.tx.ets) {
+        return Status::NotFound("record deleted before this tx");
+      }
+      // Latest committed version is visible: bump rts, then re-validate
+      // that no writer slipped in between visibility check and rts bump.
+      R* rec = table.AtForWrite(id);
+      BumpRts(rec);
+      Timestamp txn2 =
+          AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
+      Timestamp bts2 = AtomicTs(rec->tx.bts).load(std::memory_order_acquire);
+      if (txn2 != kUnlocked || bts2 != copy.tx.bts) continue;
+      Resolved<R> r;
+      r.rec = copy;
+      return r;
+    }
+    // A newer version is committed; ours (if any) lives in the DRAM chain.
+    auto v = chains.FindVisible(id, id_);
+    if (!v.has_value()) {
+      return Status::NotFound("no version visible at this timestamp");
+    }
+    Resolved<R> r;
+    r.rec = v->rec;
+    r.from_snapshot = true;
+    r.snapshot = std::move(v->props);
+    return r;
+  }
+  return Status::Internal("record would not stabilize");
+}
+
+Result<Resolved<NodeRecord>> Transaction::GetNode(RecordId id) {
+  return GetRecord<NodeRecord>(store_->nodes(), mgr_->node_versions_,
+                               node_writes_, id, true);
+}
+
+Result<Resolved<RelationshipRecord>> Transaction::GetRelationship(
+    RecordId id) {
+  return GetRecord<RelationshipRecord>(store_->relationships(),
+                                       mgr_->rel_versions_, rel_writes_, id,
+                                       false);
+}
+
+Result<PVal> Transaction::GetNodeProperty(RecordId id, DictCode key) {
+  POSEIDON_ASSIGN_OR_RETURN(auto r, GetNode(id));
+  if (r.from_snapshot) return FindProp(r.snapshot, key);
+  return store_->properties().Get(r.rec.props, key);
+}
+
+Result<PVal> Transaction::GetRelationshipProperty(RecordId id, DictCode key) {
+  POSEIDON_ASSIGN_OR_RETURN(auto r, GetRelationship(id));
+  if (r.from_snapshot) return FindProp(r.snapshot, key);
+  return store_->properties().Get(r.rec.props, key);
+}
+
+Result<std::vector<Property>> Transaction::GetNodeProperties(RecordId id) {
+  POSEIDON_ASSIGN_OR_RETURN(auto r, GetNode(id));
+  if (r.from_snapshot) return std::move(r.snapshot);
+  std::vector<Property> props;
+  store_->properties().ReadChain(r.rec.props, &props);
+  return props;
+}
+
+Result<std::vector<Property>> Transaction::GetRelationshipProperties(
+    RecordId id) {
+  POSEIDON_ASSIGN_OR_RETURN(auto r, GetRelationship(id));
+  if (r.from_snapshot) return std::move(r.snapshot);
+  std::vector<Property> props;
+  store_->properties().ReadChain(r.rec.props, &props);
+  return props;
+}
+
+// --- Traversal ----------------------------------------------------------------
+
+Status Transaction::ForEachOutgoing(
+    RecordId node,
+    const std::function<bool(RecordId, const RelationshipRecord&)>& fn) {
+  POSEIDON_ASSIGN_OR_RETURN(auto n, GetNode(node));
+  RecordId cur = n.rec.first_out;
+  while (cur != kNullId) {
+    auto r = GetRelationship(cur);
+    if (!r.ok()) {
+      if (!r.status().IsNotFound()) return r.status();
+      // Defensive: invisible relationship on our chain (should not happen
+      // for a consistent snapshot); follow its raw next pointer.
+      RelationshipRecord raw;
+      POSEIDON_RETURN_IF_ERROR(
+          ReadStable(store_->relationships(), cur, &raw));
+      cur = raw.next_src;
+      continue;
+    }
+    if (!fn(cur, r->rec)) return Status::Ok();
+    cur = r->rec.next_src;
+  }
+  return Status::Ok();
+}
+
+Status Transaction::ForEachIncoming(
+    RecordId node,
+    const std::function<bool(RecordId, const RelationshipRecord&)>& fn) {
+  POSEIDON_ASSIGN_OR_RETURN(auto n, GetNode(node));
+  RecordId cur = n.rec.first_in;
+  while (cur != kNullId) {
+    auto r = GetRelationship(cur);
+    if (!r.ok()) {
+      if (!r.status().IsNotFound()) return r.status();
+      RelationshipRecord raw;
+      POSEIDON_RETURN_IF_ERROR(
+          ReadStable(store_->relationships(), cur, &raw));
+      cur = raw.next_dst;
+      continue;
+    }
+    if (!fn(cur, r->rec)) return Status::Ok();
+    cur = r->rec.next_dst;
+  }
+  return Status::Ok();
+}
+
+// --- Locking -------------------------------------------------------------------
+
+Result<Transaction::NodeWrite*> Transaction::LockNode(RecordId id) {
+  auto it = node_writes_.find(id);
+  if (it != node_writes_.end()) {
+    if (it->second.deleted) {
+      return Status::NotFound("node deleted in this tx");
+    }
+    return &it->second;
+  }
+  if (id == kNullId || !store_->nodes().IsOccupied(id)) {
+    return Status::NotFound("node does not exist");
+  }
+  NodeRecord* rec = store_->nodes().AtForWrite(id);
+  Timestamp expected = kUnlocked;
+  if (!AtomicTs(rec->tx.txn_id)
+           .compare_exchange_strong(expected, id_,
+                                    std::memory_order_acq_rel)) {
+    return Status::Aborted("node write-locked by transaction " +
+                           std::to_string(expected));
+  }
+  auto unlock_and = [&](Status s) {
+    AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
+    return s;
+  };
+  if (rec->tx.bts == 0) {
+    return unlock_and(Status::NotFound("node not committed"));
+  }
+  if (rec->tx.ets != kInfinityTs) {
+    return unlock_and(Status::NotFound("node already deleted"));
+  }
+  if (rec->tx.bts > id_) {
+    return unlock_and(Status::Aborted("newer node version committed"));
+  }
+  if (rec->tx.rts > id_) {
+    // MVTO write rule: cannot overwrite a version a newer tx already read.
+    return unlock_and(Status::Aborted("node read by newer transaction"));
+  }
+  NodeWrite w;
+  w.before = *rec;
+  w.before.tx.txn_id = kUnlocked;
+  w.rec = w.before;
+  store_->properties().ReadChain(rec->props, &w.props_before);
+  w.props = w.props_before;
+  auto [pos, inserted] = node_writes_.emplace(id, std::move(w));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<Transaction::RelWrite*> Transaction::LockRel(RecordId id) {
+  auto it = rel_writes_.find(id);
+  if (it != rel_writes_.end()) {
+    if (it->second.deleted) {
+      return Status::NotFound("relationship deleted in this tx");
+    }
+    return &it->second;
+  }
+  if (id == kNullId || !store_->relationships().IsOccupied(id)) {
+    return Status::NotFound("relationship does not exist");
+  }
+  RelationshipRecord* rec = store_->relationships().AtForWrite(id);
+  Timestamp expected = kUnlocked;
+  if (!AtomicTs(rec->tx.txn_id)
+           .compare_exchange_strong(expected, id_,
+                                    std::memory_order_acq_rel)) {
+    return Status::Aborted("relationship write-locked by transaction " +
+                           std::to_string(expected));
+  }
+  auto unlock_and = [&](Status s) {
+    AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
+    return s;
+  };
+  if (rec->tx.bts == 0) {
+    return unlock_and(Status::NotFound("relationship not committed"));
+  }
+  if (rec->tx.ets != kInfinityTs) {
+    return unlock_and(Status::NotFound("relationship already deleted"));
+  }
+  if (rec->tx.bts > id_) {
+    return unlock_and(Status::Aborted("newer relationship version"));
+  }
+  if (rec->tx.rts > id_) {
+    return unlock_and(Status::Aborted("relationship read by newer tx"));
+  }
+  RelWrite w;
+  w.before = *rec;
+  w.before.tx.txn_id = kUnlocked;
+  w.rec = w.before;
+  store_->properties().ReadChain(rec->props, &w.props_before);
+  w.props = w.props_before;
+  auto [pos, inserted] = rel_writes_.emplace(id, std::move(w));
+  (void)inserted;
+  return &pos->second;
+}
+
+// --- Writes --------------------------------------------------------------------
+
+Result<RecordId> Transaction::CreateNode(DictCode label,
+                                         const std::vector<Property>& props) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  NodeRecord rec;
+  rec.tx.txn_id = id_;  // locked by us
+  rec.tx.bts = 0;       // invisible until commit (paper §5.1 insert rule)
+  rec.tx.ets = kInfinityTs;
+  rec.label = label;
+  POSEIDON_ASSIGN_OR_RETURN(RecordId id, store_->nodes().Insert(rec));
+  NodeWrite w;
+  w.rec = rec;
+  w.props = props;
+  w.inserted = true;
+  w.props_changed = !props.empty();
+  node_writes_.emplace(id, std::move(w));
+  return id;
+}
+
+Result<RecordId> Transaction::CreateRelationship(
+    RecordId src, RecordId dst, DictCode label,
+    const std::vector<Property>& props) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * src_w, LockNode(src));
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * dst_w, LockNode(dst));
+
+  RelationshipRecord rec;
+  rec.tx.txn_id = id_;
+  rec.tx.bts = 0;
+  rec.tx.ets = kInfinityTs;
+  rec.label = label;
+  rec.src = src;
+  rec.dst = dst;
+  // Insert at the head of both adjacency lists (DD4).
+  rec.next_src = src_w->rec.first_out;
+  rec.next_dst = dst_w->rec.first_in;
+  POSEIDON_ASSIGN_OR_RETURN(RecordId id, store_->relationships().Insert(rec));
+
+  src_w->rec.first_out = id;
+  dst_w->rec.first_in = id;
+
+  RelWrite w;
+  w.rec = rec;
+  w.props = props;
+  w.inserted = true;
+  w.props_changed = !props.empty();
+  rel_writes_.emplace(id, std::move(w));
+  return id;
+}
+
+Status Transaction::SetNodeProperty(RecordId id, DictCode key, PVal value) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * w, LockNode(id));
+  UpsertProp(&w->props, key, value);
+  w->props_changed = true;
+  return Status::Ok();
+}
+
+Status Transaction::SetRelationshipProperty(RecordId id, DictCode key,
+                                            PVal value) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  POSEIDON_ASSIGN_OR_RETURN(RelWrite * w, LockRel(id));
+  UpsertProp(&w->props, key, value);
+  w->props_changed = true;
+  return Status::Ok();
+}
+
+Status Transaction::DeleteNode(RecordId id) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * w, LockNode(id));
+  if (w->rec.first_in != kNullId || w->rec.first_out != kNullId) {
+    return Status::FailedPrecondition(
+        "node still has relationships; delete them first");
+  }
+  w->deleted = true;
+  return Status::Ok();
+}
+
+Status Transaction::DeleteRelationship(RecordId id) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  POSEIDON_ASSIGN_OR_RETURN(RelWrite * rw, LockRel(id));
+  RecordId src = rw->rec.src;
+  RecordId dst = rw->rec.dst;
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * src_w, LockNode(src));
+  POSEIDON_ASSIGN_OR_RETURN(NodeWrite * dst_w, LockNode(dst));
+
+  // Unlink from src's outgoing list (lock-as-you-walk keeps every traversed
+  // predecessor consistent under MVTO).
+  if (src_w->rec.first_out == id) {
+    src_w->rec.first_out = rw->rec.next_src;
+  } else {
+    RecordId cur = src_w->rec.first_out;
+    bool unlinked = false;
+    while (cur != kNullId) {
+      POSEIDON_ASSIGN_OR_RETURN(RelWrite * pw, LockRel(cur));
+      if (pw->rec.next_src == id) {
+        pw->rec.next_src = rw->rec.next_src;
+        unlinked = true;
+        break;
+      }
+      cur = pw->rec.next_src;
+    }
+    if (!unlinked) {
+      return Status::Corruption("relationship missing from src adjacency");
+    }
+  }
+
+  // Unlink from dst's incoming list.
+  if (dst_w->rec.first_in == id) {
+    dst_w->rec.first_in = rw->rec.next_dst;
+  } else {
+    RecordId cur = dst_w->rec.first_in;
+    bool unlinked = false;
+    while (cur != kNullId) {
+      POSEIDON_ASSIGN_OR_RETURN(RelWrite * pw, LockRel(cur));
+      if (pw->rec.next_dst == id) {
+        pw->rec.next_dst = rw->rec.next_dst;
+        unlinked = true;
+        break;
+      }
+      cur = pw->rec.next_dst;
+    }
+    if (!unlinked) {
+      return Status::Corruption("relationship missing from dst adjacency");
+    }
+  }
+
+  rw->deleted = true;
+  return Status::Ok();
+}
+
+// --- Commit / abort -------------------------------------------------------------
+
+Status Transaction::Commit() {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  Status s = CommitImpl();
+  if (!s.ok()) {
+    Abort();
+    return s;
+  }
+  finished_ = true;
+  mgr_->Finish(id_, /*committed=*/true);
+  return Status::Ok();
+}
+
+Status Transaction::CommitImpl() {
+  auto* pool = store_->pool();
+  // Persist the timestamp high-water mark first so a recovered instance can
+  // never hand out a timestamp <= any durable bts.
+  store_->PersistTimestamp(id_ + 1);
+
+  struct IndexUpsert {
+    RecordId id;
+    DictCode label;
+    DictCode key;
+    PVal old_value;
+    PVal new_value;
+  };
+  std::vector<IndexUpsert> index_ops;
+  std::vector<std::pair<RecordId, NodeWrite*>> node_deletes_for_index;
+  std::vector<GcItem> gc_items;
+
+  pmem::RedoTx redo(pool->redo_log());
+  static const Timestamp kZeroTs = kUnlocked;
+
+  // --- Nodes --------------------------------------------------------------
+  for (auto& [id, w] : node_writes_) {
+    if (w.inserted && w.deleted) continue;  // net no-op; freed post-commit
+    NodeRecord img = w.rec;
+    char* home = reinterpret_cast<char*>(store_->nodes().AtForWrite(id));
+    pmem::Offset off = pool->ToOffset(home);
+
+    if (w.inserted) {
+      img.tx.bts = id_;
+      img.tx.ets = kInfinityTs;
+      img.tx.rts = id_;
+      if (!w.props.empty()) {
+        POSEIDON_ASSIGN_OR_RETURN(img.props,
+                                  store_->properties().CreateChain(id, w.props));
+      }
+      if (mgr_->indexes_ != nullptr) {
+        for (const auto& p : w.props) {
+          index_ops.push_back(
+              IndexUpsert{id, img.label, p.key, PVal::Null(), p.value});
+        }
+      }
+    } else if (w.deleted) {
+      // Keep the old image; only the end timestamp changes.
+      img = w.before;
+      img.tx.ets = id_;
+      // Older readers resolve the pre-delete version from the DRAM chain.
+      NodeVersion old;
+      old.rec = w.before;
+      old.rec.tx.ets = id_;
+      old.props = w.props_before;
+      mgr_->node_versions_.Push(id, std::move(old));
+      if (w.before.props != kNullId) {
+        gc_items.push_back(GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
+      }
+      gc_items.push_back(GcItem{GcItem::Kind::kNodeSlot, id_, id});
+      node_deletes_for_index.emplace_back(id, &w);
+    } else {
+      img.tx.bts = id_;
+      img.tx.ets = kInfinityTs;
+      img.tx.rts = id_;
+      if (w.props_changed) {
+        POSEIDON_ASSIGN_OR_RETURN(img.props,
+                                  store_->properties().CreateChain(id, w.props));
+        if (w.before.props != kNullId) {
+          gc_items.push_back(
+              GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
+        }
+      }
+      NodeVersion old;
+      old.rec = w.before;
+      old.rec.tx.ets = id_;
+      old.props = w.props_before;
+      mgr_->node_versions_.Push(id, std::move(old));
+      if (mgr_->indexes_ != nullptr && w.props_changed) {
+        for (const auto& p : w.props) {
+          PVal before = FindProp(w.props_before, p.key);
+          if (!(before == p.value)) {
+            index_ops.push_back(
+                IndexUpsert{id, img.label, p.key, before, p.value});
+          }
+        }
+        for (const auto& p : w.props_before) {
+          if (FindProp(w.props, p.key).is_null() && !p.value.is_null()) {
+            index_ops.push_back(
+                IndexUpsert{id, img.label, p.key, p.value, PVal::Null()});
+          }
+        }
+      }
+    }
+    // Stage everything after txn-id first, then the unlocking txn-id store,
+    // so the record stays locked until its new image is fully applied.
+    redo.Stage(off + sizeof(Timestamp),
+               reinterpret_cast<const char*>(&img) + sizeof(Timestamp),
+               sizeof(NodeRecord) - sizeof(Timestamp));
+    redo.StageValue(off, kZeroTs);
+  }
+
+  // --- Relationships --------------------------------------------------------
+  for (auto& [id, w] : rel_writes_) {
+    if (w.inserted && w.deleted) continue;
+    RelationshipRecord img = w.rec;
+    char* home =
+        reinterpret_cast<char*>(store_->relationships().AtForWrite(id));
+    pmem::Offset off = pool->ToOffset(home);
+
+    if (w.inserted) {
+      img.tx.bts = id_;
+      img.tx.ets = kInfinityTs;
+      img.tx.rts = id_;
+      if (!w.props.empty()) {
+        POSEIDON_ASSIGN_OR_RETURN(img.props,
+                                  store_->properties().CreateChain(id, w.props));
+      }
+    } else if (w.deleted) {
+      img = w.before;
+      img.tx.ets = id_;
+      RelVersion old;
+      old.rec = w.before;
+      old.rec.tx.ets = id_;
+      old.props = w.props_before;
+      mgr_->rel_versions_.Push(id, std::move(old));
+      if (w.before.props != kNullId) {
+        gc_items.push_back(GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
+      }
+      gc_items.push_back(GcItem{GcItem::Kind::kRelSlot, id_, id});
+    } else {
+      img.tx.bts = id_;
+      img.tx.ets = kInfinityTs;
+      img.tx.rts = id_;
+      if (w.props_changed) {
+        POSEIDON_ASSIGN_OR_RETURN(img.props,
+                                  store_->properties().CreateChain(id, w.props));
+        if (w.before.props != kNullId) {
+          gc_items.push_back(
+              GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
+        }
+      }
+      RelVersion old;
+      old.rec = w.before;
+      old.rec.tx.ets = id_;
+      old.props = w.props_before;
+      mgr_->rel_versions_.Push(id, std::move(old));
+    }
+    redo.Stage(off + sizeof(Timestamp),
+               reinterpret_cast<const char*>(&img) + sizeof(Timestamp),
+               sizeof(RelationshipRecord) - sizeof(Timestamp));
+    redo.StageValue(off, kZeroTs);
+  }
+
+  // The failure-atomic point: either every staged image (and unlock) becomes
+  // durable, or none does (paper: PMDK transaction at commit, DG4).
+  POSEIDON_RETURN_IF_ERROR(redo.Commit());
+
+  // --- Post-commit bookkeeping (volatile / secondary) ----------------------
+  for (auto& [id, w] : node_writes_) {
+    if (w.inserted && w.deleted) (void)store_->nodes().Delete(id);
+  }
+  for (auto& [id, w] : rel_writes_) {
+    if (w.inserted && w.deleted) (void)store_->relationships().Delete(id);
+  }
+  if (mgr_->indexes_ != nullptr) {
+    for (const auto& op : index_ops) {
+      mgr_->indexes_->OnNodeUpserted(op.id, op.label, op.key, op.old_value,
+                                     op.new_value);
+    }
+    for (auto& [id, w] : node_deletes_for_index) {
+      mgr_->indexes_->OnNodeDeleted(id, w->before.label, w->props_before);
+    }
+  }
+  for (auto& item : gc_items) mgr_->Defer(item);
+  return Status::Ok();
+}
+
+void Transaction::ReleaseLocks() {
+  for (auto& [id, w] : node_writes_) {
+    if (w.inserted) {
+      (void)store_->nodes().Delete(id);
+    } else {
+      NodeRecord* rec = store_->nodes().AtForWrite(id);
+      AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
+    }
+  }
+  for (auto& [id, w] : rel_writes_) {
+    if (w.inserted) {
+      (void)store_->relationships().Delete(id);
+    } else {
+      RelationshipRecord* rec = store_->relationships().AtForWrite(id);
+      AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
+    }
+  }
+}
+
+void Transaction::Abort() {
+  if (finished_) return;
+  ReleaseLocks();
+  node_writes_.clear();
+  rel_writes_.clear();
+  finished_ = true;
+  mgr_->Finish(id_, /*committed=*/false);
+}
+
+// --- TransactionManager ---------------------------------------------------------
+
+TransactionManager::TransactionManager(storage::GraphStore* store,
+                                       index::IndexManager* indexes)
+    : store_(store),
+      indexes_(indexes),
+      next_ts_(store->persisted_timestamp() + 1) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  Timestamp ts = next_ts_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.insert(ts);
+  }
+  return std::unique_ptr<Transaction>(new Transaction(this, ts));
+}
+
+Timestamp TransactionManager::MinActiveTs() const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (active_.empty()) return next_ts_.load(std::memory_order_acquire);
+  return *active_.begin();
+}
+
+void TransactionManager::Finish(Timestamp ts, bool committed) {
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.erase(ts);
+  }
+  if (committed) {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Transaction-level GC (paper §5.3): reclaim at transaction granularity.
+  RunGc();
+}
+
+void TransactionManager::Defer(GcItem item) {
+  std::lock_guard<std::mutex> lock(gc_mu_);
+  gc_queue_.push_back(item);
+}
+
+void TransactionManager::RunGc() {
+  Timestamp min_active = MinActiveTs();
+  node_versions_.Prune(min_active);
+  rel_versions_.Prune(min_active);
+
+  std::vector<GcItem> ready;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    auto keep = std::partition(
+        gc_queue_.begin(), gc_queue_.end(),
+        [&](const GcItem& g) { return g.reclaim_after >= min_active; });
+    ready.assign(keep, gc_queue_.end());
+    gc_queue_.erase(keep, gc_queue_.end());
+  }
+  for (const GcItem& g : ready) {
+    switch (g.kind) {
+      case GcItem::Kind::kPropChain:
+        (void)store_->properties().FreeChain(g.id);
+        break;
+      case GcItem::Kind::kNodeSlot:
+        (void)store_->nodes().Delete(g.id);
+        break;
+      case GcItem::Kind::kRelSlot:
+        (void)store_->relationships().Delete(g.id);
+        break;
+    }
+  }
+}
+
+Status TransactionManager::RecoverInFlight() {
+  // Uncommitted inserts (locked, bts == 0) vanish; locked committed records
+  // are unlocked in place — their durable payload was never touched because
+  // updates reach PMem only through the commit redo transaction.
+  std::vector<RecordId> drop_nodes, drop_rels;
+  store_->nodes().ForEach([&](RecordId id, storage::NodeRecord& rec) {
+    if (rec.tx.txn_id == kUnlocked) return;
+    if (rec.tx.bts == 0) {
+      drop_nodes.push_back(id);
+    } else {
+      rec.tx.txn_id = kUnlocked;
+      store_->pool()->Persist(&rec.tx.txn_id, sizeof(Timestamp));
+    }
+  });
+  store_->relationships().ForEach(
+      [&](RecordId id, storage::RelationshipRecord& rec) {
+        if (rec.tx.txn_id == kUnlocked) return;
+        if (rec.tx.bts == 0) {
+          drop_rels.push_back(id);
+        } else {
+          rec.tx.txn_id = kUnlocked;
+          store_->pool()->Persist(&rec.tx.txn_id, sizeof(Timestamp));
+        }
+      });
+  for (RecordId id : drop_nodes) {
+    POSEIDON_RETURN_IF_ERROR(store_->nodes().Delete(id));
+  }
+  for (RecordId id : drop_rels) {
+    POSEIDON_RETURN_IF_ERROR(store_->relationships().Delete(id));
+  }
+  return Status::Ok();
+}
+
+}  // namespace poseidon::tx

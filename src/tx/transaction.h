@@ -1,0 +1,249 @@
+// MVTO transactions over the persistent graph store (paper §5).
+//
+// Protocol summary (timestamp ordering, snapshot-isolation guarantees):
+//   * Every transaction gets a unique timestamp `id` at Begin; it doubles as
+//     the commit timestamp (classic MVTO).
+//   * Writers lock an object by CAS-ing its persistent txn-id field from 0
+//     to `id` (C4: an 8-byte atomic) and abort on conflict — if the object
+//     is locked, already read by a newer transaction (rts > id), or
+//     overwritten by a newer version (bts > id).
+//   * All uncommitted changes (new versions) live in a DRAM write set
+//     (DG1/DG2); inserted records are placed in PMem immediately but stay
+//     locked and carry bts == 0, making them invisible to everyone else.
+//   * Readers pick the version with bts <= id < ets: the PMem record is the
+//     latest committed version; older ones come from the DRAM version
+//     chains. Readers abort when they hit a foreign lock (paper §5.1) and
+//     bump rts with an unflushed CAS-max.
+//   * Commit persists all new versions with ONE failure-atomic redo-log
+//     transaction (the paper uses PMDK transactions here); each record's
+//     txn-id reset is staged last so the object stays locked until its new
+//     image is fully durable.
+//   * Aborts drop the write set, unlock in place, and free inserted slots.
+//   * Transaction-level GC prunes version chains and reclaims PMem property
+//     chains / deleted slots once invisible to every active transaction.
+
+#ifndef POSEIDON_TX_TRANSACTION_H_
+#define POSEIDON_TX_TRANSACTION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index_manager.h"
+#include "storage/graph_store.h"
+#include "tx/version_store.h"
+
+namespace poseidon::tx {
+
+class TransactionManager;
+
+/// Result of resolving a record to the version visible to a transaction.
+/// When `from_snapshot` is set the properties come from a DRAM snapshot
+/// (write set or version chain) held in `snapshot`; otherwise read the PMem
+/// chain at rec.props.
+template <typename R>
+struct Resolved {
+  R rec;
+  bool from_snapshot = false;
+  std::vector<storage::Property> snapshot;
+};
+
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  storage::Timestamp id() const { return id_; }
+  bool finished() const { return finished_; }
+
+  // --- Reads ----------------------------------------------------------
+
+  /// Returns the node version visible to this transaction.
+  /// kAborted if the record is locked by another active transaction.
+  Result<Resolved<storage::NodeRecord>> GetNode(storage::RecordId id);
+  Result<Resolved<storage::RelationshipRecord>> GetRelationship(
+      storage::RecordId id);
+
+  /// Property access against the visible version. Null PVal if absent.
+  Result<storage::PVal> GetNodeProperty(storage::RecordId id,
+                                        storage::DictCode key);
+  Result<storage::PVal> GetRelationshipProperty(storage::RecordId id,
+                                                storage::DictCode key);
+  Result<std::vector<storage::Property>> GetNodeProperties(
+      storage::RecordId id);
+  Result<std::vector<storage::Property>> GetRelationshipProperties(
+      storage::RecordId id);
+
+  /// Visibility-filtered adjacency traversal (ForeachRelationship, §6.1).
+  /// `fn` returns false to stop early. Aborts propagate as kAborted.
+  Status ForEachOutgoing(
+      storage::RecordId node,
+      const std::function<bool(storage::RecordId,
+                               const storage::RelationshipRecord&)>& fn);
+  Status ForEachIncoming(
+      storage::RecordId node,
+      const std::function<bool(storage::RecordId,
+                               const storage::RelationshipRecord&)>& fn);
+
+  // --- Writes ---------------------------------------------------------
+
+  /// Inserts a node; visible to others only after Commit.
+  Result<storage::RecordId> CreateNode(
+      storage::DictCode label, const std::vector<storage::Property>& props);
+
+  /// Inserts a directed relationship and links it into both adjacency
+  /// lists; write-locks src and dst.
+  Result<storage::RecordId> CreateRelationship(
+      storage::RecordId src, storage::RecordId dst, storage::DictCode label,
+      const std::vector<storage::Property>& props);
+
+  /// Sets (or overwrites) one property; write-locks the record.
+  Status SetNodeProperty(storage::RecordId id, storage::DictCode key,
+                         storage::PVal value);
+  Status SetRelationshipProperty(storage::RecordId id, storage::DictCode key,
+                                 storage::PVal value);
+
+  /// Deletes a node; fails (kFailedPrecondition) while relationships are
+  /// still attached.
+  Status DeleteNode(storage::RecordId id);
+
+  /// Deletes a relationship, unlinking it from both adjacency lists (this
+  /// write-locks the endpoints and any predecessor relationships).
+  Status DeleteRelationship(storage::RecordId id);
+
+  // --- Outcome -----------------------------------------------------------
+
+  /// Atomically persists the write set; on success the transaction is over.
+  /// On failure the transaction has been aborted.
+  Status Commit();
+
+  /// Discards the write set, unlocking in place.
+  void Abort();
+
+  /// Number of objects in the write set (tests/stats).
+  size_t write_set_size() const {
+    return node_writes_.size() + rel_writes_.size();
+  }
+
+ private:
+  friend class TransactionManager;
+
+  template <typename R>
+  struct Write {
+    R rec;  ///< working image (adjacency/props head updated in place)
+    std::vector<storage::Property> props;
+    bool inserted = false;
+    bool deleted = false;
+    bool props_changed = false;
+    R before;  ///< committed PMem image at lock time (updates only)
+    std::vector<storage::Property> props_before;
+  };
+  using NodeWrite = Write<storage::NodeRecord>;
+  using RelWrite = Write<storage::RelationshipRecord>;
+
+  Transaction(TransactionManager* mgr, storage::Timestamp ts);
+
+  /// Seqlock-style stable read of the PMem record: retries while a
+  /// concurrent commit is applying; kAborted on a foreign lock.
+  template <typename Table, typename R>
+  Status ReadStable(const Table& table, storage::RecordId id, R* out);
+
+  /// Write-locks a record and materializes its write-set entry.
+  Result<NodeWrite*> LockNode(storage::RecordId id);
+  Result<RelWrite*> LockRel(storage::RecordId id);
+
+  template <typename R, typename Table, typename Chains, typename WriteMap>
+  Result<Resolved<R>> GetRecord(const Table& table, const Chains& chains,
+                                const WriteMap& writes, storage::RecordId id,
+                                bool is_node);
+
+  /// CAS-max on the persistent rts field (unflushed; re-initializable).
+  template <typename R>
+  bool BumpRts(R* rec);
+
+  Status CommitImpl();
+  void ReleaseLocks();
+
+  TransactionManager* mgr_;
+  storage::GraphStore* store_;
+  storage::Timestamp id_;
+  bool finished_ = false;
+
+  // std::map keeps commit staging deterministic (useful for tests).
+  std::map<storage::RecordId, NodeWrite> node_writes_;
+  std::map<storage::RecordId, RelWrite> rel_writes_;
+};
+
+/// Deferred PMem reclamation (paper §5.3): slots and property chains of
+/// superseded/deleted versions are recycled once min-active passes them.
+struct GcItem {
+  enum class Kind { kPropChain, kNodeSlot, kRelSlot };
+  Kind kind;
+  storage::Timestamp reclaim_after;
+  storage::RecordId id;  ///< chain head (kPropChain) or record slot
+};
+
+class TransactionManager {
+ public:
+  /// `indexes` may be null (no secondary-index maintenance).
+  TransactionManager(storage::GraphStore* store,
+                     index::IndexManager* indexes);
+
+  /// Releases in-flight locks left by a crash: uncommitted inserts
+  /// (txn-id != 0, bts == 0) are dropped; locked committed records are
+  /// unlocked in place. Call once after GraphStore::Open on a crashed pool.
+  Status RecoverInFlight();
+
+  std::unique_ptr<Transaction> Begin();
+
+  /// Smallest timestamp of any active transaction, or the next timestamp if
+  /// none are active.
+  storage::Timestamp MinActiveTs() const;
+
+  /// Transaction-level GC: prunes version chains and reclaims deferred
+  /// PMem space. Invoked automatically as transactions finish.
+  void RunGc();
+
+  storage::GraphStore* store() const { return store_; }
+  index::IndexManager* indexes() const { return indexes_; }
+  VersionChains<storage::NodeRecord>& node_versions() {
+    return node_versions_;
+  }
+  VersionChains<storage::RelationshipRecord>& rel_versions() {
+    return rel_versions_;
+  }
+
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  friend class Transaction;
+
+  void Finish(storage::Timestamp ts, bool committed);
+  void Defer(GcItem item);
+
+  storage::GraphStore* store_;
+  index::IndexManager* indexes_;
+  std::atomic<storage::Timestamp> next_ts_;
+
+  mutable std::mutex active_mu_;
+  std::set<storage::Timestamp> active_;
+
+  VersionChains<storage::NodeRecord> node_versions_;
+  VersionChains<storage::RelationshipRecord> rel_versions_;
+
+  std::mutex gc_mu_;
+  std::vector<GcItem> gc_queue_;
+
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+}  // namespace poseidon::tx
+
+#endif  // POSEIDON_TX_TRANSACTION_H_

@@ -1,0 +1,110 @@
+// DRAM sidecar holding MVTO version chains (paper §5.2 "Version Storage").
+//
+// The PMem record of an object is always its *latest committed* version.
+// Older committed versions (needed by readers with smaller timestamps) and
+// their property snapshots live in these volatile chains; they are pushed at
+// commit time when a newer version replaces them, and pruned by
+// transaction-level GC once no active transaction can see them (§5.3).
+//
+// The paper embeds a volatile chain pointer in each persistent record; we
+// key chains by record id in a sharded hash map instead — behaviourally
+// identical after restart (the pointer is garbage either way) and avoids
+// writing DRAM addresses into PMem.
+
+#ifndef POSEIDON_TX_VERSION_STORE_H_
+#define POSEIDON_TX_VERSION_STORE_H_
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/property_store.h"
+#include "storage/records.h"
+
+namespace poseidon::tx {
+
+/// A retained committed version: full record image (validity window in
+/// rec.tx) plus a property snapshot.
+template <typename R>
+struct Version {
+  R rec;
+  std::vector<storage::Property> props;
+};
+
+using NodeVersion = Version<storage::NodeRecord>;
+using RelVersion = Version<storage::RelationshipRecord>;
+
+template <typename R>
+class VersionChains {
+ public:
+  /// Prepends `v` (the most recently superseded version) to `id`'s chain.
+  void Push(storage::RecordId id, Version<R> v) {
+    Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& chain = s.map[id];
+    chain.insert(chain.begin(), std::move(v));
+  }
+
+  /// Returns the version visible at `ts` (bts <= ts < ets), if any.
+  std::optional<Version<R>> FindVisible(storage::RecordId id,
+                                        storage::Timestamp ts) const {
+    const Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(id);
+    if (it == s.map.end()) return std::nullopt;
+    for (const auto& v : it->second) {
+      if (v.rec.tx.bts <= ts && ts < v.rec.tx.ets) return v;
+    }
+    return std::nullopt;
+  }
+
+  /// Drops every version no active transaction can read (ets <= min_active)
+  /// and erases emptied chains. Returns the number of versions reclaimed.
+  uint64_t Prune(storage::Timestamp min_active) {
+    uint64_t reclaimed = 0;
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        auto& chain = it->second;
+        auto keep = std::remove_if(chain.begin(), chain.end(),
+                                   [&](const Version<R>& v) {
+                                     return v.rec.tx.ets <= min_active;
+                                   });
+        reclaimed += static_cast<uint64_t>(chain.end() - keep);
+        chain.erase(keep, chain.end());
+        it = chain.empty() ? s.map.erase(it) : std::next(it);
+      }
+    }
+    return reclaimed;
+  }
+
+  uint64_t TotalVersions() const {
+    uint64_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& [id, chain] : s.map) n += chain.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<storage::RecordId, std::vector<Version<R>>> map;
+  };
+
+  Shard& ShardFor(storage::RecordId id) { return shards_[id % kShards]; }
+  const Shard& ShardFor(storage::RecordId id) const {
+    return shards_[id % kShards];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace poseidon::tx
+
+#endif  // POSEIDON_TX_VERSION_STORE_H_

@@ -1,0 +1,47 @@
+// 64-bit hashing utilities used by the dictionary, persistent hash maps, and
+// the JIT query-identifier computation.
+
+#ifndef POSEIDON_UTIL_HASH_H_
+#define POSEIDON_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace poseidon {
+
+/// FNV-1a over an arbitrary byte range. Deterministic across runs and
+/// platforms, which matters because hashes are persisted (dictionary buckets,
+/// compiled-query cache keys).
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Finalizer-style integer mix (splitmix64); good avalanche for open
+/// addressing over sequential keys.
+inline uint64_t HashU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashU64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_UTIL_HASH_H_

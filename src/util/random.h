@@ -1,0 +1,74 @@
+// Deterministic pseudo-random generator for data generation and tests.
+// xoshiro256** — fast, seedable, stable across platforms (unlike
+// std::mt19937 distributions, whose output is implementation-defined for
+// some distribution types).
+
+#ifndef POSEIDON_UTIL_RANDOM_H_
+#define POSEIDON_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace poseidon {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding to fill the state from a single word.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately Zipf-distributed rank in [0, n) with skew `s`; used for
+  /// power-law degree distributions in the SNB-like generator.
+  uint64_t Zipf(uint64_t n, double s = 1.2) {
+    // Inverse-CDF approximation for the bounded Pareto distribution.
+    double u = NextDouble();
+    double x = std::pow(static_cast<double>(n), 1.0 - s);
+    double v = std::pow(1.0 - u * (1.0 - x), 1.0 / (1.0 - s));
+    auto r = static_cast<uint64_t>(v) - 1;
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_UTIL_RANDOM_H_

@@ -1,0 +1,49 @@
+// Calibrated busy-wait used by the PMem latency model and the disk-latency
+// model. sleep()/nanosleep() cannot express the tens-of-nanoseconds delays
+// that distinguish PMem from DRAM, so we spin on a calibrated TSC/steady
+// clock instead.
+
+#ifndef POSEIDON_UTIL_SPIN_TIMER_H_
+#define POSEIDON_UTIL_SPIN_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace poseidon {
+
+/// Busy-waits for approximately `ns` nanoseconds. Zero is a no-op.
+inline void SpinWaitNs(uint64_t ns) {
+  if (ns == 0) return;
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+/// Monotonic wall-clock helper for benchmark harnesses.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1e3; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_UTIL_SPIN_TIMER_H_

@@ -1,0 +1,157 @@
+// Status and Result<T>: exception-free error handling in the style of
+// absl::Status / rocksdb::Status. All fallible public APIs in this project
+// return Status or Result<T>.
+
+#ifndef POSEIDON_UTIL_STATUS_H_
+#define POSEIDON_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace poseidon {
+
+/// Coarse error taxonomy; keep small and stable.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kAborted,        // transaction aborts (MVTO conflicts)
+  kCorruption,     // persistent state failed validation
+  kIoError,        // file / mmap / fsync failures
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "ABORTED").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a T or a non-OK Status (like absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so call sites read naturally:
+  /// `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  /// Value access; must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace poseidon
+
+/// Propagates a non-OK Status to the caller.
+#define POSEIDON_RETURN_IF_ERROR(expr)        \
+  do {                                        \
+    ::poseidon::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or propagating the
+/// error: POSEIDON_ASSIGN_OR_RETURN(auto x, Foo());
+#define POSEIDON_ASSIGN_OR_RETURN(decl, expr)                       \
+  POSEIDON_ASSIGN_OR_RETURN_IMPL(                                   \
+      POSEIDON_STATUS_CONCAT(_result_, __LINE__), decl, expr)
+#define POSEIDON_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  decl = std::move(tmp).value()
+#define POSEIDON_STATUS_CONCAT(a, b) POSEIDON_STATUS_CONCAT_IMPL(a, b)
+#define POSEIDON_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // POSEIDON_UTIL_STATUS_H_

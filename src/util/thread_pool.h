@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the morsel-driven query scheduler (§6.1 of
+// the paper) and by parallel benchmark drivers.
+
+#ifndef POSEIDON_UTIL_THREAD_POOL_H_
+#define POSEIDON_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace poseidon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not block indefinitely on other tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Index of the calling pool worker in [0, num_threads()), or -1 when
+  /// called from a non-pool thread. Stable for the pool's lifetime.
+  static int current_worker_index();
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_UTIL_THREAD_POOL_H_

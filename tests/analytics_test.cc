@@ -1,0 +1,198 @@
+#include "analytics/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace poseidon::analytics {
+namespace {
+
+using storage::DictCode;
+using storage::PVal;
+using storage::RecordId;
+
+class AnalyticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto store = storage::GraphStore::Create(pool_.get());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    mgr_ = std::make_unique<tx::TransactionManager>(store_.get(), nullptr);
+    node_ = *store_->Code("Node");
+    edge_ = *store_->Code("edge");
+    other_ = *store_->Code("other");
+  }
+
+  /// Builds nodes 0..n-1 and the given directed edges.
+  std::vector<RecordId> BuildGraph(
+      int n, const std::vector<std::pair<int, int>>& edges,
+      DictCode rel_label = storage::kInvalidCode) {
+    if (rel_label == storage::kInvalidCode) rel_label = edge_;
+    std::vector<RecordId> ids;
+    auto tx = mgr_->Begin();
+    for (int i = 0; i < n; ++i) ids.push_back(*tx->CreateNode(node_, {}));
+    for (auto [a, b] : edges) {
+      EXPECT_TRUE(
+          tx->CreateRelationship(ids[a], ids[b], rel_label, {}).ok());
+    }
+    EXPECT_TRUE(tx->Commit().ok());
+    return ids;
+  }
+
+  GraphSnapshot Snap(const SnapshotOptions& options = {}) {
+    auto tx = mgr_->Begin();
+    auto snap = GraphSnapshot::Build(tx.get(), store_.get(), options);
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_TRUE(tx->Commit().ok());
+    return std::move(*snap);
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<storage::GraphStore> store_;
+  std::unique_ptr<tx::TransactionManager> mgr_;
+  DictCode node_, edge_, other_;
+};
+
+TEST_F(AnalyticsTest, SnapshotCountsMatch) {
+  BuildGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  GraphSnapshot g = Snap();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 1u);
+    EXPECT_EQ(g.VertexOf(g.RecordOf(v)), v);
+  }
+}
+
+TEST_F(AnalyticsTest, SnapshotFiltersRelLabel) {
+  auto ids = BuildGraph(3, {{0, 1}});
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateRelationship(ids[1], ids[2], other_, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  SnapshotOptions options;
+  options.rel_label = edge_;
+  GraphSnapshot g = Snap(options);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(AnalyticsTest, SnapshotIsTransactionConsistent) {
+  BuildGraph(2, {{0, 1}});
+  auto old_tx = mgr_->Begin();
+  // New data committed after the snapshot transaction began is invisible.
+  BuildGraph(2, {{0, 1}});
+  auto snap = GraphSnapshot::Build(old_tx.get(), store_.get(), {});
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_vertices(), 2u);
+  EXPECT_EQ(snap->num_edges(), 1u);
+  ASSERT_TRUE(old_tx->Commit().ok());
+}
+
+TEST_F(AnalyticsTest, BfsDistances) {
+  // 0 -> 1 -> 2 -> 3, plus a shortcut 0 -> 2 and an unreachable island 4.
+  BuildGraph(5, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  GraphSnapshot g = Snap();
+  auto dist = Bfs(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST_F(AnalyticsTest, BfsInvalidSource) {
+  BuildGraph(2, {{0, 1}});
+  GraphSnapshot g = Snap();
+  auto dist = Bfs(g, 99);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST_F(AnalyticsTest, PageRankSumsToOneAndRanksHubs) {
+  // Star: everyone points at vertex 0.
+  BuildGraph(6, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}});
+  GraphSnapshot g = Snap();
+  auto pr = PageRank(g, 30);
+  double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (uint32_t v = 1; v < 6; ++v) {
+    EXPECT_GT(pr[0], pr[v]) << "hub must outrank spokes";
+  }
+}
+
+TEST_F(AnalyticsTest, PageRankHandlesDanglingNodes) {
+  BuildGraph(3, {{0, 1}});  // 1 and 2 are dangling
+  GraphSnapshot g = Snap();
+  auto pr = PageRank(g, 20);
+  double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(AnalyticsTest, WeaklyConnectedComponents) {
+  // Two components: {0,1,2} (directed chain) and {3,4}.
+  BuildGraph(5, {{0, 1}, {2, 1}, {3, 4}});
+  GraphSnapshot g = Snap();
+  uint32_t n = 0;
+  auto comp = WeaklyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST_F(AnalyticsTest, TriangleCount) {
+  // One triangle 0-1-2 (mixed directions) + a pendant edge.
+  BuildGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  GraphSnapshot g = Snap();
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST_F(AnalyticsTest, TriangleCountIgnoresDuplicatesAndLoops) {
+  BuildGraph(3, {{0, 1}, {1, 0}, {1, 2}, {2, 0}, {0, 0}});
+  GraphSnapshot g = Snap();
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST_F(AnalyticsTest, DegreeHistogram) {
+  BuildGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  GraphSnapshot g = Snap();
+  auto hist = DegreeHistogram(g, 8);
+  EXPECT_EQ(hist[0], 2u);  // vertices 2 and 3
+  EXPECT_EQ(hist[1], 1u);  // vertex 1
+  EXPECT_EQ(hist[3], 1u);  // vertex 0
+}
+
+TEST_F(AnalyticsTest, IncomingAdjacency) {
+  BuildGraph(3, {{0, 2}, {1, 2}});
+  SnapshotOptions options;
+  options.with_incoming = true;
+  GraphSnapshot g = Snap(options);
+  ASSERT_TRUE(g.has_incoming());
+  EXPECT_EQ(g.InEnd(2) - g.InBegin(2), 2);
+  EXPECT_EQ(g.InEnd(0) - g.InBegin(0), 0);
+}
+
+TEST_F(AnalyticsTest, HtapSnapshotUnaffectedByConcurrentCommits) {
+  auto ids = BuildGraph(3, {{0, 1}, {1, 2}});
+  auto tx = mgr_->Begin();
+  auto snap = GraphSnapshot::Build(tx.get(), store_.get(), {});
+  ASSERT_TRUE(snap.ok());
+  // Concurrent update workload commits while analytics run.
+  {
+    auto w = mgr_->Begin();
+    ASSERT_TRUE(w->CreateRelationship(ids[2], ids[0], edge_, {}).ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto dist = Bfs(*snap, 0);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(snap->num_edges(), 2u) << "snapshot stays immutable";
+  ASSERT_TRUE(tx->Commit().ok());
+}
+
+}  // namespace
+}  // namespace poseidon::analytics

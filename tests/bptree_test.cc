@@ -1,0 +1,242 @@
+#include "index/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/random.h"
+
+namespace poseidon::index {
+namespace {
+
+pmem::PoolOptions FastOptions() {
+  pmem::PoolOptions o;
+  o.capacity = 256ull << 20;
+  o.has_latency_override = true;
+  o.latency_override = pmem::LatencyModel::Dram();
+  return o;
+}
+
+/// Parameterized over node placement: every invariant must hold for the
+/// volatile, persistent, and hybrid trees alike.
+class BPlusTreeTest : public ::testing::TestWithParam<Placement> {
+ protected:
+  void SetUp() override {
+    if (GetParam() != Placement::kVolatile) {
+      auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+      ASSERT_TRUE(pool.ok());
+      pool_ = std::move(*pool);
+    }
+    auto tree = BPlusTree::Create(pool_.get(), GetParam());
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(*tree);
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_P(BPlusTreeTest, EmptyTreeLookupMisses) {
+  EXPECT_FALSE(tree_->Lookup(BTreeKey{1, 0}).ok());
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_EQ(tree_->height(), 1);
+}
+
+TEST_P(BPlusTreeTest, InsertLookupSingle) {
+  ASSERT_TRUE(tree_->Insert(BTreeKey{10, 0}, 777).ok());
+  auto v = tree_->Lookup(BTreeKey{10, 0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 777u);
+}
+
+TEST_P(BPlusTreeTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(tree_->Insert(BTreeKey{1, 1}, 5).ok());
+  Status s = tree_->Insert(BTreeKey{1, 1}, 6);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*tree_->Lookup(BTreeKey{1, 1}), 5u);
+}
+
+TEST_P(BPlusTreeTest, SequentialInsertAscending) {
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(tree_->size(), static_cast<uint64_t>(kN));
+  EXPECT_GT(tree_->height(), 1);
+  for (int i = 0; i < kN; i += 37) {
+    auto v = tree_->Lookup(BTreeKey{i, 0});
+    ASSERT_TRUE(v.ok()) << "key " << i;
+    EXPECT_EQ(*v, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_P(BPlusTreeTest, RandomInsertLookupProperty) {
+  // Property: after inserting a random permutation, every key resolves and
+  // a full range scan yields all keys in sorted order.
+  constexpr int kN = 5000;
+  Rng rng(GetParam() == Placement::kHybrid ? 7 : 13);
+  std::vector<int64_t> keys(kN);
+  for (int i = 0; i < kN; ++i) keys[i] = static_cast<int64_t>(i);
+  for (int i = kN - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.Uniform(static_cast<uint64_t>(i + 1))]);
+  }
+  for (int64_t k : keys) {
+    ASSERT_TRUE(
+        tree_->Insert(BTreeKey{k, 0}, static_cast<uint64_t>(k * 2)).ok());
+  }
+  for (int64_t k : keys) {
+    auto v = tree_->Lookup(BTreeKey{k, 0});
+    ASSERT_TRUE(v.ok()) << "key " << k;
+    EXPECT_EQ(*v, static_cast<uint64_t>(k * 2));
+  }
+  std::vector<int64_t> scanned;
+  tree_->ScanRange(BTreeKey{0, 0}, BTreeKey{kN, ~0ull},
+                   [&](const BTreeKey& k, storage::RecordId) {
+                     scanned.push_back(k.k);
+                     return true;
+                   });
+  ASSERT_EQ(scanned.size(), static_cast<size_t>(kN));
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+}
+
+TEST_P(BPlusTreeTest, DuplicatePrimaryKeysViaTiebreak) {
+  for (uint64_t t = 0; t < 100; ++t) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{42, t}, 1000 + t).ok());
+  }
+  uint64_t count = tree_->LookupAll(
+      42, [&](const BTreeKey& k, storage::RecordId v) {
+        EXPECT_EQ(v, 1000 + k.tie);
+      });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(tree_->LookupAll(41, [](const BTreeKey&, storage::RecordId) {}),
+            0u);
+}
+
+TEST_P(BPlusTreeTest, ScanRangeRespectsBounds) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+  }
+  std::vector<int64_t> out;
+  tree_->ScanRange(BTreeKey{100, 0}, BTreeKey{199, ~0ull},
+                   [&](const BTreeKey& k, storage::RecordId) {
+                     out.push_back(k.k);
+                     return true;
+                   });
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.front(), 100);
+  EXPECT_EQ(out.back(), 199);
+}
+
+TEST_P(BPlusTreeTest, ScanEarlyTermination) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+  }
+  int seen = 0;
+  tree_->ScanRange(BTreeKey{0, 0}, BTreeKey{999, ~0ull},
+                   [&](const BTreeKey&, storage::RecordId) {
+                     return ++seen < 10;
+                   });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_P(BPlusTreeTest, RemoveThenMiss) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+  }
+  for (int i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(tree_->Remove(BTreeKey{i, 0}).ok()) << i;
+  }
+  EXPECT_EQ(tree_->size(), 1000u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(tree_->Lookup(BTreeKey{i, 0}).ok(), i % 2 == 1) << i;
+  }
+  EXPECT_FALSE(tree_->Remove(BTreeKey{0, 0}).ok());
+}
+
+TEST_P(BPlusTreeTest, NegativeKeysOrderCorrectly) {
+  for (int i = -500; i < 500; ++i) {
+    ASSERT_TRUE(tree_->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i + 500))
+                    .ok());
+  }
+  std::vector<int64_t> out;
+  tree_->ScanRange(BTreeKey{-500, 0}, BTreeKey{499, ~0ull},
+                   [&](const BTreeKey& k, storage::RecordId) {
+                     out.push_back(k.k);
+                     return true;
+                   });
+  ASSERT_EQ(out.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.front(), -500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacements, BPlusTreeTest,
+                         ::testing::Values(Placement::kVolatile,
+                                           Placement::kPersistent,
+                                           Placement::kHybrid),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Placement::kVolatile:
+                               return "Volatile";
+                             case Placement::kPersistent:
+                               return "Persistent";
+                             case Placement::kHybrid:
+                               return "Hybrid";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BPlusTreeRecoveryTest, HybridRebuildInnerRestoresTree) {
+  auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+  ASSERT_TRUE(pool.ok());
+  pmem::Offset meta;
+  {
+    auto tree = BPlusTree::Create(pool->get(), Placement::kHybrid);
+    ASSERT_TRUE(tree.ok());
+    meta = (*tree)->meta_offset();
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_TRUE(
+          (*tree)->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+    }
+  }  // DRAM inner levels destroyed with the tree object
+  auto tree = BPlusTree::Open(pool->get(), Placement::kHybrid, meta);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->size(), 20000u);
+  for (int i = 0; i < 20000; i += 113) {
+    auto v = (*tree)->Lookup(BTreeKey{i, 0});
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, static_cast<uint64_t>(i));
+  }
+  // The recovered tree stays writable.
+  ASSERT_TRUE((*tree)->Insert(BTreeKey{100000, 0}, 1).ok());
+  EXPECT_TRUE((*tree)->Lookup(BTreeKey{100000, 0}).ok());
+}
+
+TEST(BPlusTreeRecoveryTest, PersistentTreeSurvivesPoolReopen) {
+  std::string path = testing::TempDir() + "/bptree_reopen.pmem";
+  std::filesystem::remove(path);
+  pmem::Offset meta;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto tree = BPlusTree::Create(pool->get(), Placement::kPersistent);
+    ASSERT_TRUE(tree.ok());
+    meta = (*tree)->meta_offset();
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(
+          (*tree)->Insert(BTreeKey{i, 0}, static_cast<uint64_t>(i)).ok());
+    }
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto tree = BPlusTree::Open(pool->get(), Placement::kPersistent, meta);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ((*tree)->size(), 5000u);
+    EXPECT_EQ(*(*tree)->Lookup(BTreeKey{4321, 0}), 4321u);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace poseidon::index

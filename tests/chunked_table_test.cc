@@ -1,0 +1,180 @@
+#include "storage/chunked_table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/records.h"
+
+namespace poseidon::storage {
+namespace {
+
+pmem::PoolOptions FastOptions() {
+  pmem::PoolOptions o;
+  o.capacity = 128ull << 20;
+  o.has_latency_override = true;
+  o.latency_override = pmem::LatencyModel::Dram();
+  return o;
+}
+
+using NodeTable = ChunkedTable<NodeRecord, 512>;
+
+class ChunkedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(128ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto table = NodeTable::Create(pool_.get());
+    ASSERT_TRUE(table.ok());
+    table_ = std::move(*table);
+  }
+
+  NodeRecord MakeNode(DictCode label) {
+    NodeRecord r;
+    r.label = label;
+    r.tx.bts = 1;
+    return r;
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<NodeTable> table_;
+};
+
+TEST_F(ChunkedTableTest, ChunkGeometryFollowsDesignGoals) {
+  // DG3: chunks are a multiple of the 256 B DCPMM block and records are
+  // cache-line aligned within them.
+  EXPECT_EQ(NodeTable::kChunkBytes % 256, 0u);
+  EXPECT_EQ(NodeTable::kHeaderBytes % 64, 0u);
+}
+
+TEST_F(ChunkedTableTest, InsertAssignsSequentialIds) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    auto id = table_->Insert(MakeNode(static_cast<DictCode>(i + 1)));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+  }
+  EXPECT_EQ(table_->size(), 100u);
+}
+
+TEST_F(ChunkedTableTest, AtReturnsInsertedContent) {
+  auto id = table_->Insert(MakeNode(7));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(table_->At(*id)->label, 7u);
+  EXPECT_TRUE(table_->IsOccupied(*id));
+}
+
+TEST_F(ChunkedTableTest, DeleteFreesAndReusesSlot) {
+  auto a = table_->Insert(MakeNode(1));
+  auto b = table_->Insert(MakeNode(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(table_->Delete(*a).ok());
+  EXPECT_FALSE(table_->IsOccupied(*a));
+  EXPECT_EQ(table_->size(), 1u);
+  auto c = table_->Insert(MakeNode(3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a) << "deleted slot must be recycled (DG5)";
+  EXPECT_EQ(table_->At(*c)->label, 3u);
+}
+
+TEST_F(ChunkedTableTest, DeleteUnoccupiedFails) {
+  EXPECT_FALSE(table_->Delete(5).ok());
+  EXPECT_FALSE(table_->IsOccupied(kNullId));
+}
+
+TEST_F(ChunkedTableTest, GrowsAcrossManyChunks) {
+  constexpr uint64_t kCount = 512 * 5 + 17;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    auto id = table_->Insert(MakeNode(static_cast<DictCode>(i % 91 + 1)));
+    ASSERT_TRUE(id.ok());
+  }
+  EXPECT_EQ(table_->size(), kCount);
+  EXPECT_EQ(table_->num_chunks(), 6u);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(table_->At(i)->label, i % 91 + 1);
+  }
+}
+
+TEST_F(ChunkedTableTest, ForEachSkipsDeleted) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table_->Insert(MakeNode(static_cast<DictCode>(i + 1))).ok());
+  }
+  ASSERT_TRUE(table_->Delete(3).ok());
+  ASSERT_TRUE(table_->Delete(7).ok());
+  std::vector<RecordId> seen;
+  table_->ForEach([&](RecordId id, NodeRecord&) { seen.push_back(id); });
+  EXPECT_EQ(seen.size(), 8u);
+  for (RecordId id : seen) {
+    EXPECT_NE(id, 3u);
+    EXPECT_NE(id, 7u);
+  }
+}
+
+TEST(ChunkedTableDirectoryTest, DirectoryGrowthBeyondInitialCapacity) {
+  // Small chunks (64 records) overflow the initial 1024-entry chunk
+  // directory after 65536 records; GrowDirectory must relocate it without
+  // losing any record.
+  auto pool = pmem::Pool::CreateVolatile(512ull << 20);
+  ASSERT_TRUE(pool.ok());
+  using TinyTable = ChunkedTable<PropertyRecord, 64>;
+  auto table = TinyTable::Create(pool->get());
+  ASSERT_TRUE(table.ok());
+  constexpr uint64_t kCount = 64 * 1024 + 64 * 8;  // > 1024 chunks
+  for (uint64_t i = 0; i < kCount; ++i) {
+    PropertyRecord rec;
+    rec.owner = i;
+    auto id = (*table)->Insert(rec);
+    ASSERT_TRUE(id.ok()) << i;
+  }
+  EXPECT_GT((*table)->num_chunks(), 1024u);
+  EXPECT_EQ((*table)->size(), kCount);
+  for (uint64_t i = 0; i < kCount; i += 997) {
+    ASSERT_EQ((*table)->At(i)->owner, i);
+  }
+  // Reopen rebuilds the mirror from the grown directory.
+  auto reopened = TinyTable::Open(pool->get(), (*table)->meta_offset());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), kCount);
+  EXPECT_EQ((*reopened)->At(kCount - 1)->owner, kCount - 1);
+}
+
+TEST(ChunkedTablePersistenceTest, SurvivesReopen) {
+  std::string path = testing::TempDir() + "/table_reopen.pmem";
+  std::filesystem::remove(path);
+  pmem::Offset meta;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto table = NodeTable::Create(pool->get());
+    ASSERT_TRUE(table.ok());
+    meta = (*table)->meta_offset();
+    for (uint64_t i = 0; i < 1000; ++i) {
+      NodeRecord r;
+      r.label = static_cast<DictCode>(i + 1);
+      r.tx.bts = 1;
+      ASSERT_TRUE((*table)->Insert(r).ok());
+    }
+    ASSERT_TRUE((*table)->Delete(500).ok());
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto table = NodeTable::Open(pool->get(), meta);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    EXPECT_EQ((*table)->size(), 999u);
+    EXPECT_FALSE((*table)->IsOccupied(500));
+    EXPECT_EQ((*table)->At(0)->label, 1u);
+    EXPECT_EQ((*table)->At(999)->label, 1000u);
+    // The freed slot must be recycled before fresh ones.
+    NodeRecord r;
+    r.label = 4242;
+    r.tx.bts = 1;
+    auto id = (*table)->Insert(r);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 500u);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace poseidon::storage

@@ -1,0 +1,151 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+namespace poseidon::storage {
+namespace {
+
+pmem::PoolOptions FastOptions() {
+  pmem::PoolOptions o;
+  o.capacity = 128ull << 20;
+  o.has_latency_override = true;
+  o.latency_override = pmem::LatencyModel::Dram();
+  return o;
+}
+
+class DictionaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(128ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto dict = Dictionary::Create(pool_.get());
+    ASSERT_TRUE(dict.ok());
+    dict_ = std::move(*dict);
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<Dictionary> dict_;
+};
+
+TEST_F(DictionaryTest, EncodeDecodeRoundTrip) {
+  auto code = dict_->Encode("Person");
+  ASSERT_TRUE(code.ok());
+  EXPECT_NE(*code, kInvalidCode);
+  auto s = dict_->Decode(*code);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "Person");
+}
+
+TEST_F(DictionaryTest, EncodeIsIdempotent) {
+  auto a = dict_->Encode("knows");
+  auto b = dict_->Encode("knows");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(dict_->size(), 1u);
+}
+
+TEST_F(DictionaryTest, DistinctStringsGetDistinctCodes) {
+  auto a = dict_->Encode("Post");
+  auto b = dict_->Encode("Comment");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(DictionaryTest, LookupDoesNotInsert) {
+  EXPECT_FALSE(dict_->Lookup("absent").ok());
+  EXPECT_EQ(dict_->size(), 0u);
+  ASSERT_TRUE(dict_->Encode("present").ok());
+  EXPECT_TRUE(dict_->Lookup("present").ok());
+}
+
+TEST_F(DictionaryTest, DecodeRejectsBadCodes) {
+  EXPECT_FALSE(dict_->Decode(kInvalidCode).ok());
+  EXPECT_FALSE(dict_->Decode(999).ok());
+}
+
+TEST_F(DictionaryTest, EmptyStringIsAValidKey) {
+  auto code = dict_->Encode("");
+  ASSERT_TRUE(code.ok());
+  auto s = dict_->Decode(*code);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "");
+}
+
+TEST_F(DictionaryTest, SurvivesBucketAndArenaGrowth) {
+  // Enough strings to force several bucket-array doublings and arena blocks.
+  constexpr int kN = 20000;
+  std::vector<DictCode> codes(kN);
+  for (int i = 0; i < kN; ++i) {
+    auto code = dict_->Encode("string_value_number_" + std::to_string(i));
+    ASSERT_TRUE(code.ok()) << code.status().ToString();
+    codes[i] = *code;
+  }
+  EXPECT_EQ(dict_->size(), static_cast<uint64_t>(kN));
+  for (int i = 0; i < kN; i += 97) {
+    auto s = dict_->Decode(codes[i]);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, "string_value_number_" + std::to_string(i));
+  }
+}
+
+TEST_F(DictionaryTest, ConcurrentEncodersAgree) {
+  constexpr int kThreads = 4;
+  constexpr int kWords = 500;
+  std::vector<std::vector<DictCode>> results(kThreads,
+                                             std::vector<DictCode>(kWords));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kWords; ++i) {
+        auto code = dict_->Encode("w" + std::to_string(i));
+        ASSERT_TRUE(code.ok());
+        results[t][i] = *code;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  EXPECT_EQ(dict_->size(), static_cast<uint64_t>(kWords));
+}
+
+TEST(DictionaryPersistenceTest, SurvivesReopen) {
+  std::string path = testing::TempDir() + "/dict_reopen.pmem";
+  std::filesystem::remove(path);
+  pmem::Offset meta;
+  DictCode person, name;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto dict = Dictionary::Create(pool->get());
+    ASSERT_TRUE(dict.ok());
+    meta = (*dict)->meta_offset();
+    person = *(*dict)->Encode("Person");
+    name = *(*dict)->Encode("name");
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE((*dict)->Encode("filler_" + std::to_string(i)).ok());
+    }
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto dict = Dictionary::Open(pool->get(), meta);
+    ASSERT_TRUE(dict.ok());
+    EXPECT_EQ(*(*dict)->Decode(person), "Person");
+    EXPECT_EQ(*(*dict)->Decode(name), "name");
+    EXPECT_EQ(*(*dict)->Lookup("Person"), person);
+    EXPECT_EQ(*(*dict)->Encode("filler_123"),
+              *(*dict)->Lookup("filler_123"));
+    EXPECT_EQ((*dict)->size(), 5002u);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace poseidon::storage

@@ -1,0 +1,185 @@
+#include "index/index_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tx/transaction.h"
+
+namespace poseidon::index {
+namespace {
+
+using storage::DictCode;
+using storage::PVal;
+using storage::RecordId;
+
+pmem::PoolOptions FastOptions() {
+  pmem::PoolOptions o;
+  o.capacity = 256ull << 20;
+  o.has_latency_override = true;
+  o.latency_override = pmem::LatencyModel::Dram();
+  return o;
+}
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto store = storage::GraphStore::Create(pool_.get());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    indexes_ = std::make_unique<IndexManager>(store_.get());
+    mgr_ = std::make_unique<tx::TransactionManager>(store_.get(),
+                                                    indexes_.get());
+    person_ = *store_->Code("Person");
+    id_ = *store_->Code("id");
+  }
+
+  RecordId AddPerson(int64_t id_value) {
+    auto tx = mgr_->Begin();
+    auto id = tx->CreateNode(person_, {{id_, PVal::Int(id_value)}});
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(tx->Commit().ok());
+    return *id;
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<storage::GraphStore> store_;
+  std::unique_ptr<IndexManager> indexes_;
+  std::unique_ptr<tx::TransactionManager> mgr_;
+  DictCode person_, id_;
+};
+
+TEST_F(IndexManagerTest, BulkLoadsExistingData) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(AddPerson(i));
+  auto tree = indexes_->CreateIndex(person_, id_, Placement::kHybrid);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 200u);
+  auto hit = (*tree)->Lookup(BTreeKey{42, ids[42]});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, ids[42]);
+}
+
+TEST_F(IndexManagerTest, DuplicateIndexRejected) {
+  ASSERT_TRUE(indexes_->CreateIndex(person_, id_, Placement::kHybrid).ok());
+  auto again = indexes_->CreateIndex(person_, id_, Placement::kVolatile);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(IndexManagerTest, FindByLabelAndKey) {
+  ASSERT_TRUE(indexes_->CreateIndex(person_, id_, Placement::kHybrid).ok());
+  EXPECT_NE(indexes_->Find(person_, id_), nullptr);
+  EXPECT_EQ(indexes_->Find(person_, id_ + 100), nullptr);
+  EXPECT_EQ(indexes_->Find(person_ + 100, id_), nullptr);
+}
+
+TEST_F(IndexManagerTest, CommitHooksMaintainIndex) {
+  ASSERT_TRUE(indexes_->CreateIndex(person_, id_, Placement::kHybrid).ok());
+  BPlusTree* tree = indexes_->Find(person_, id_);
+  RecordId node = AddPerson(7);
+  EXPECT_TRUE(tree->Lookup(BTreeKey{7, node}).ok());
+
+  // Update moves the entry.
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->SetNodeProperty(node, id_, PVal::Int(70)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  EXPECT_FALSE(tree->Lookup(BTreeKey{7, node}).ok());
+  EXPECT_TRUE(tree->Lookup(BTreeKey{70, node}).ok());
+
+  // Delete removes it.
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->DeleteNode(node).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  EXPECT_FALSE(tree->Lookup(BTreeKey{70, node}).ok());
+}
+
+TEST_F(IndexManagerTest, AbortedTransactionLeavesIndexUntouched) {
+  ASSERT_TRUE(indexes_->CreateIndex(person_, id_, Placement::kHybrid).ok());
+  BPlusTree* tree = indexes_->Find(person_, id_);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateNode(person_, {{id_, PVal::Int(123)}}).ok());
+    tx->Abort();
+  }
+  EXPECT_EQ(tree->size(), 0u);
+}
+
+TEST_F(IndexManagerTest, UnindexedLabelIgnoredByHooks) {
+  ASSERT_TRUE(indexes_->CreateIndex(person_, id_, Placement::kHybrid).ok());
+  BPlusTree* tree = indexes_->Find(person_, id_);
+  DictCode city = *store_->Code("City");
+  auto tx = mgr_->Begin();
+  ASSERT_TRUE(tx->CreateNode(city, {{id_, PVal::Int(5)}}).ok());
+  ASSERT_TRUE(tx->Commit().ok());
+  EXPECT_EQ(tree->size(), 0u);
+}
+
+TEST(IndexManagerPersistenceTest, DirectoryRecoversHybridIndexes) {
+  std::string path = testing::TempDir() + "/idxmgr_reopen.pmem";
+  std::filesystem::remove(path);
+  DictCode person, id;
+  RecordId node;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto store = storage::GraphStore::Create(pool->get());
+    ASSERT_TRUE(store.ok());
+    IndexManager indexes(store->get());
+    tx::TransactionManager mgr(store->get(), &indexes);
+    person = *(*store)->Code("Person");
+    id = *(*store)->Code("id");
+    auto tx = mgr.Begin();
+    node = *tx->CreateNode(person, {{id, PVal::Int(11)}});
+    ASSERT_TRUE(tx->Commit().ok());
+    ASSERT_TRUE(indexes.CreateIndex(person, id, Placement::kHybrid).ok());
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto store = storage::GraphStore::Open(pool->get());
+    ASSERT_TRUE(store.ok());
+    IndexManager indexes(store->get());
+    ASSERT_TRUE(indexes.LoadPersistent().ok());
+    BPlusTree* tree = indexes.Find(person, id);
+    ASSERT_NE(tree, nullptr);
+    auto hit = tree->Lookup(BTreeKey{11, node});
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(*hit, node);
+    EXPECT_EQ(tree->placement(), Placement::kHybrid);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IndexManagerPersistenceTest, VolatileIndexesNotInDirectory) {
+  std::string path = testing::TempDir() + "/idxmgr_volatile.pmem";
+  std::filesystem::remove(path);
+  DictCode person, id;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    auto store = storage::GraphStore::Create(pool->get());
+    IndexManager indexes(store->get());
+    person = *(*store)->Code("Person");
+    id = *(*store)->Code("id");
+    ASSERT_TRUE(indexes.CreateIndex(person, id, Placement::kVolatile).ok());
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    auto store = storage::GraphStore::Open(pool->get());
+    IndexManager indexes(store->get());
+    ASSERT_TRUE(indexes.LoadPersistent().ok());
+    EXPECT_EQ(indexes.Find(person, id), nullptr)
+        << "volatile indexes must be re-created from primary data";
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace poseidon::index

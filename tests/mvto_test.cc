@@ -1,0 +1,468 @@
+#include "tx/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace poseidon::tx {
+namespace {
+
+using storage::DictCode;
+using storage::kNullId;
+using storage::Property;
+using storage::PVal;
+using storage::RecordId;
+
+pmem::PoolOptions FastOptions(bool crash_shadow = false) {
+  pmem::PoolOptions o;
+  o.capacity = 256ull << 20;
+  o.has_latency_override = true;
+  o.latency_override = pmem::LatencyModel::Dram();
+  o.crash_shadow = crash_shadow;
+  return o;
+}
+
+class MvtoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto store = storage::GraphStore::Create(pool_.get());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    mgr_ = std::make_unique<TransactionManager>(store_.get(), nullptr);
+    label_ = *store_->Code("Person");
+    name_ = *store_->Code("name");
+    knows_ = *store_->Code("knows");
+  }
+
+  RecordId MakePerson(int64_t marker) {
+    auto tx = mgr_->Begin();
+    auto id = tx->CreateNode(label_, {{name_, PVal::Int(marker)}});
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(tx->Commit().ok());
+    return *id;
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<storage::GraphStore> store_;
+  std::unique_ptr<TransactionManager> mgr_;
+  DictCode label_, name_, knows_;
+};
+
+TEST_F(MvtoTest, CreateCommitRead) {
+  RecordId id = MakePerson(7);
+  auto tx = mgr_->Begin();
+  auto n = tx->GetNode(id);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(n->rec.label, label_);
+  auto v = tx->GetNodeProperty(id, name_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 7);
+  EXPECT_TRUE(tx->Commit().ok());
+  EXPECT_EQ(mgr_->commits(), 2u);
+}
+
+TEST_F(MvtoTest, UncommittedInsertInvisibleToOthers) {
+  auto writer = mgr_->Begin();
+  auto id = writer->CreateNode(label_, {});
+  ASSERT_TRUE(id.ok());
+
+  auto reader = mgr_->Begin();
+  EXPECT_TRUE(reader->GetNode(*id).status().IsNotFound());
+  reader->Abort();
+  ASSERT_TRUE(writer->Commit().ok());
+
+  auto late = mgr_->Begin();
+  EXPECT_TRUE(late->GetNode(*id).ok());
+}
+
+TEST_F(MvtoTest, ReaderOlderThanCommitCannotSeeIt) {
+  auto reader = mgr_->Begin();  // ts R
+  auto writer = mgr_->Begin();  // ts W > R
+  auto id = writer->CreateNode(label_, {});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  // Node committed with bts = W > R: invisible to the old reader.
+  EXPECT_TRUE(reader->GetNode(*id).status().IsNotFound());
+}
+
+TEST_F(MvtoTest, AbortDiscardsInsert) {
+  RecordId id;
+  {
+    auto tx = mgr_->Begin();
+    auto r = tx->CreateNode(label_, {{name_, PVal::Int(1)}});
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    tx->Abort();
+  }
+  auto tx = mgr_->Begin();
+  EXPECT_FALSE(tx->GetNode(id).ok());
+  EXPECT_EQ(store_->nodes().size(), 0u);
+  EXPECT_EQ(mgr_->aborts(), 1u);
+}
+
+TEST_F(MvtoTest, DestructorAbortsUnfinished) {
+  { auto tx = mgr_->Begin(); ASSERT_TRUE(tx->CreateNode(label_, {}).ok()); }
+  EXPECT_EQ(mgr_->aborts(), 1u);
+  EXPECT_EQ(store_->nodes().size(), 0u);
+}
+
+TEST_F(MvtoTest, SnapshotReadOfOlderVersion) {
+  RecordId id = MakePerson(1);
+
+  auto old_reader = mgr_->Begin();  // snapshot before the update
+  auto v0 = old_reader->GetNodeProperty(id, name_);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(v0->AsInt(), 1);
+
+  {
+    auto writer = mgr_->Begin();
+    ASSERT_TRUE(writer->SetNodeProperty(id, name_, PVal::Int(2)).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+
+  // The old reader must still see the pre-update value (from the DRAM
+  // version chain), while a new reader sees the new one.
+  auto v_old = old_reader->GetNodeProperty(id, name_);
+  ASSERT_TRUE(v_old.ok()) << v_old.status().ToString();
+  EXPECT_EQ(v_old->AsInt(), 1);
+
+  auto fresh = mgr_->Begin();
+  auto v_new = fresh->GetNodeProperty(id, name_);
+  ASSERT_TRUE(v_new.ok());
+  EXPECT_EQ(v_new->AsInt(), 2);
+}
+
+TEST_F(MvtoTest, WriteWriteConflictAborts) {
+  RecordId id = MakePerson(1);
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t1->SetNodeProperty(id, name_, PVal::Int(10)).ok());
+  Status s = t2->SetNodeProperty(id, name_, PVal::Int(20));
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  t2->Abort();
+  ASSERT_TRUE(t1->Commit().ok());
+  auto check = mgr_->Begin();
+  EXPECT_EQ(check->GetNodeProperty(id, name_)->AsInt(), 10);
+}
+
+TEST_F(MvtoTest, ReaderAbortsOnForeignLock) {
+  RecordId id = MakePerson(1);
+  auto writer = mgr_->Begin();
+  ASSERT_TRUE(writer->SetNodeProperty(id, name_, PVal::Int(5)).ok());
+  auto reader = mgr_->Begin();
+  // Paper §5.1: "In case of a lock held by another transaction, the
+  // transaction is aborted."
+  EXPECT_TRUE(reader->GetNode(id).status().IsAborted());
+}
+
+TEST_F(MvtoTest, WriteAfterNewerReadAborts) {
+  RecordId id = MakePerson(1);
+  auto old_writer = mgr_->Begin();  // ts W
+  auto new_reader = mgr_->Begin();  // ts R > W
+  ASSERT_TRUE(new_reader->GetNode(id).ok());  // sets rts = R
+  // MVTO write rule: W < rts means the read would be invalidated.
+  Status s = old_writer->SetNodeProperty(id, name_, PVal::Int(9));
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+}
+
+TEST_F(MvtoTest, RelationshipsLinkAndTraverse) {
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  RecordId c = MakePerson(3);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateRelationship(a, b, knows_, {}).ok());
+    ASSERT_TRUE(tx->CreateRelationship(a, c, knows_, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  std::vector<RecordId> targets;
+  ASSERT_TRUE(tx->ForEachOutgoing(a, [&](RecordId, const auto& rel) {
+                    targets.push_back(rel.dst);
+                    return true;
+                  }).ok());
+  // Head insertion: newest first.
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], c);
+  EXPECT_EQ(targets[1], b);
+
+  std::vector<RecordId> sources;
+  ASSERT_TRUE(tx->ForEachIncoming(b, [&](RecordId, const auto& rel) {
+                    sources.push_back(rel.src);
+                    return true;
+                  }).ok());
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], a);
+}
+
+TEST_F(MvtoTest, RelationshipVisibleOnlyAfterCommit) {
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  auto writer = mgr_->Begin();
+  ASSERT_TRUE(writer->CreateRelationship(a, b, knows_, {}).ok());
+
+  // A concurrent reader aborts: the endpoints are write-locked (their
+  // adjacency heads are being updated).
+  auto reader = mgr_->Begin();
+  EXPECT_TRUE(reader->GetNode(a).status().IsAborted());
+  reader->Abort();
+  ASSERT_TRUE(writer->Commit().ok());
+
+  auto late = mgr_->Begin();
+  int count = 0;
+  ASSERT_TRUE(late->ForEachOutgoing(a, [&](RecordId, const auto&) {
+                    ++count;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(MvtoTest, OldSnapshotDoesNotSeeNewRelationship) {
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateRelationship(a, b, knows_, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto old_reader = mgr_->Begin();
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateRelationship(a, b, knows_, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(old_reader->ForEachOutgoing(a, [&](RecordId, const auto&) {
+                    ++count;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(count, 1) << "snapshot must see only the first relationship";
+
+  auto fresh = mgr_->Begin();
+  count = 0;
+  ASSERT_TRUE(fresh->ForEachOutgoing(a, [&](RecordId, const auto&) {
+                    ++count;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(MvtoTest, DeleteRelationshipUnlinks) {
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  RecordId c = MakePerson(3);
+  RecordId r1, r2;
+  {
+    auto tx = mgr_->Begin();
+    r1 = *tx->CreateRelationship(a, b, knows_, {});
+    r2 = *tx->CreateRelationship(a, c, knows_, {});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->DeleteRelationship(r1).ok()) << "delete tail of list";
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  std::vector<RecordId> ids;
+  ASSERT_TRUE(tx->ForEachOutgoing(a, [&](RecordId id, const auto&) {
+                    ids.push_back(id);
+                    return true;
+                  }).ok());
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], r2);
+  EXPECT_TRUE(tx->GetRelationship(r1).status().IsNotFound());
+}
+
+TEST_F(MvtoTest, DeleteNodeRequiresNoRelationships) {
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  RecordId r;
+  {
+    auto tx = mgr_->Begin();
+    r = *tx->CreateRelationship(a, b, knows_, {});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  {
+    auto tx = mgr_->Begin();
+    Status s = tx->DeleteNode(a);
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+    tx->Abort();
+  }
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->DeleteRelationship(r).ok());
+    ASSERT_TRUE(tx->DeleteNode(a).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto check = mgr_->Begin();
+  EXPECT_TRUE(check->GetNode(a).status().IsNotFound());
+  EXPECT_TRUE(check->GetNode(b).ok());
+}
+
+TEST_F(MvtoTest, GarbageCollectionReclaimsOldVersions) {
+  RecordId id = MakePerson(0);
+  for (int i = 1; i <= 20; ++i) {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->SetNodeProperty(id, name_, PVal::Int(i)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  // No active transactions: every superseded version is reclaimable.
+  mgr_->RunGc();
+  EXPECT_EQ(mgr_->node_versions().TotalVersions(), 0u);
+  // Exactly one live property chain record should remain for this node.
+  EXPECT_EQ(store_->properties().table()->size(), 1u);
+}
+
+TEST_F(MvtoTest, GcRetainsVersionsForActiveReaders) {
+  RecordId id = MakePerson(0);
+  auto old_reader = mgr_->Begin();
+  ASSERT_TRUE(old_reader->GetNode(id).ok());
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->SetNodeProperty(id, name_, PVal::Int(1)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  mgr_->RunGc();
+  EXPECT_GE(mgr_->node_versions().TotalVersions(), 1u)
+      << "version needed by the active reader must survive GC";
+  auto v = old_reader->GetNodeProperty(id, name_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 0);
+  ASSERT_TRUE(old_reader->Commit().ok());
+  mgr_->RunGc();
+  EXPECT_EQ(mgr_->node_versions().TotalVersions(), 0u);
+}
+
+TEST_F(MvtoTest, SelfLoopRelationship) {
+  RecordId a = MakePerson(1);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->CreateRelationship(a, a, knows_, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  int out = 0, in = 0;
+  ASSERT_TRUE(tx->ForEachOutgoing(a, [&](RecordId, const auto&) {
+                    ++out;
+                    return true;
+                  }).ok());
+  ASSERT_TRUE(tx->ForEachIncoming(a, [&](RecordId, const auto&) {
+                    ++in;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(in, 1);
+}
+
+TEST_F(MvtoTest, MultiObjectCommitIsAtomicallyVisible) {
+  // "updates of an arbitrary number of objects within a single transaction"
+  RecordId a = MakePerson(1);
+  RecordId b = MakePerson(2);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->SetNodeProperty(a, name_, PVal::Int(100)).ok());
+    ASSERT_TRUE(tx->SetNodeProperty(b, name_, PVal::Int(200)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  EXPECT_EQ(tx->GetNodeProperty(a, name_)->AsInt(), 100);
+  EXPECT_EQ(tx->GetNodeProperty(b, name_)->AsInt(), 200);
+}
+
+// --- Crash recovery ---------------------------------------------------------
+
+TEST(MvtoRecoveryTest, InFlightTransactionRolledBackAfterCrash) {
+  std::string path = testing::TempDir() + "/mvto_crash.pmem";
+  std::filesystem::remove(path);
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    auto store = storage::GraphStore::Create(pool->get());
+    ASSERT_TRUE(store.ok());
+    TransactionManager mgr(store->get(), nullptr);
+    DictCode label = *(*store)->Code("Person");
+    DictCode name = *(*store)->Code("name");
+
+    {  // committed data
+      auto tx = mgr.Begin();
+      ASSERT_TRUE(tx->CreateNode(label, {{name, PVal::Int(1)}}).ok());
+      ASSERT_TRUE(tx->Commit().ok());
+    }
+    {  // in-flight at "crash": locked insert + locked update
+      auto tx = mgr.Begin();
+      ASSERT_TRUE(tx->CreateNode(label, {}).ok());
+      ASSERT_TRUE(tx->SetNodeProperty(0, name, PVal::Int(999)).ok());
+      // Hard crash: leak transaction AND pool so neither aborts nor marks a
+      // clean shutdown. The durable file now holds a locked committed
+      // record and a locked uncommitted insert.
+      (void)tx.release();
+    }
+    (void)pool->release();  // intentional leak: no clean-shutdown marker
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    EXPECT_TRUE((*pool)->recovered_from_crash());
+    auto store = storage::GraphStore::Open(pool->get());
+    ASSERT_TRUE(store.ok());
+    TransactionManager mgr(store->get(), nullptr);
+    ASSERT_TRUE(mgr.RecoverInFlight().ok());
+
+    EXPECT_EQ((*store)->nodes().size(), 1u)
+        << "uncommitted insert must be dropped";
+    auto tx = mgr.Begin();
+    auto v = tx->GetNodeProperty(0, *(*store)->Code("name"));
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    EXPECT_EQ(v->AsInt(), 1) << "uncommitted update must not survive";
+    // The recovered record is writable again (lock released).
+    ASSERT_TRUE(
+        tx->SetNodeProperty(0, *(*store)->Code("name"), PVal::Int(2)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MvtoRecoveryTest, CommittedDataSurvivesCleanRestart) {
+  std::string path = testing::TempDir() + "/mvto_restart.pmem";
+  std::filesystem::remove(path);
+  RecordId a, b;
+  DictCode label, name, knows;
+  {
+    auto pool = pmem::Pool::Create(path, FastOptions());
+    auto store = storage::GraphStore::Create(pool->get());
+    TransactionManager mgr(store->get(), nullptr);
+    label = *(*store)->Code("Person");
+    name = *(*store)->Code("name");
+    knows = *(*store)->Code("knows");
+    auto tx = mgr.Begin();
+    a = *tx->CreateNode(label, {{name, PVal::Int(10)}});
+    b = *tx->CreateNode(label, {{name, PVal::Int(20)}});
+    ASSERT_TRUE(tx->CreateRelationship(a, b, knows, {}).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  {
+    auto pool = pmem::Pool::Open(path, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    EXPECT_FALSE((*pool)->recovered_from_crash());
+    auto store = storage::GraphStore::Open(pool->get());
+    ASSERT_TRUE(store.ok());
+    TransactionManager mgr(store->get(), nullptr);
+    auto tx = mgr.Begin();
+    EXPECT_EQ(tx->GetNodeProperty(a, name)->AsInt(), 10);
+    std::vector<RecordId> targets;
+    ASSERT_TRUE(tx->ForEachOutgoing(a, [&](RecordId, const auto& rel) {
+                      targets.push_back(rel.dst);
+                      return true;
+                    }).ok());
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], b);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace poseidon::tx

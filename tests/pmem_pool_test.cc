@@ -1,0 +1,235 @@
+#include "pmem/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace poseidon::pmem {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/pool_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".pmem";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  PoolOptions FastOptions() {
+    PoolOptions o;
+    o.capacity = 64ull << 20;
+    o.has_latency_override = true;
+    o.latency_override = LatencyModel::Dram();  // tests skip the spin waits
+    return o;
+  }
+
+  std::string path_;
+};
+
+TEST_F(PoolTest, CreateRejectsTinyCapacity) {
+  PoolOptions o = FastOptions();
+  o.capacity = 1024;
+  auto r = Pool::Create(path_, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PoolTest, CreateOpenRoundTrip) {
+  uint64_t root_off = 0;
+  {
+    auto pool = Pool::Create(path_, FastOptions());
+    ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+    auto alloc = (*pool)->Allocate(128);
+    ASSERT_TRUE(alloc.ok());
+    root_off = *alloc;
+    auto* p = (*pool)->ToPtr<uint64_t>(root_off);
+    *p = 0xdeadbeefcafef00dull;
+    (*pool)->Persist(p, 8);
+    (*pool)->set_root(root_off);
+  }
+  auto pool = Pool::Open(path_, FastOptions());
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_FALSE((*pool)->recovered_from_crash());  // clean shutdown
+  EXPECT_EQ((*pool)->root(), root_off);
+  EXPECT_EQ(*(*pool)->ToPtr<uint64_t>(root_off), 0xdeadbeefcafef00dull);
+}
+
+TEST_F(PoolTest, CreateFailsIfFileExists) {
+  { auto pool = Pool::Create(path_, FastOptions()); ASSERT_TRUE(pool.ok()); }
+  auto again = Pool::Create(path_, FastOptions());
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(PoolTest, VolatilePoolAllocates) {
+  auto pool = Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->mode(), PoolMode::kDram);
+  auto a = (*pool)->Allocate(64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(*a, kNullOffset);
+}
+
+TEST_F(PoolTest, AllocationsAreAligned) {
+  auto pool = Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool.ok());
+  for (uint64_t align : {8ull, 64ull, 256ull, 4096ull}) {
+    auto a = (*pool)->Allocate(100, align);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a % align, 0u) << "align=" << align;
+  }
+}
+
+TEST_F(PoolTest, FreeListReusesBlocks) {
+  auto pool = Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool.ok());
+  auto a = (*pool)->Allocate(64);
+  ASSERT_TRUE(a.ok());
+  (*pool)->Free(*a, 64);
+  auto b = (*pool)->Allocate(64);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b) << "freed block should be recycled (DG5)";
+  EXPECT_EQ((*pool)->stats().alloc_from_free_list, 1u);
+}
+
+TEST_F(PoolTest, SizeClassesDoNotAlias) {
+  auto pool = Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool.ok());
+  auto small = (*pool)->Allocate(64);
+  auto big = (*pool)->Allocate(4096);
+  ASSERT_TRUE(small.ok() && big.ok());
+  (*pool)->Free(*small, 64);
+  auto big2 = (*pool)->Allocate(4096);
+  ASSERT_TRUE(big2.ok());
+  EXPECT_NE(*big2, *small) << "a 4 KiB alloc must not reuse a 64 B block";
+}
+
+TEST_F(PoolTest, PoolExhaustionReported) {
+  PoolOptions o = FastOptions();
+  o.capacity = 16ull << 20;
+  auto pool = Pool::Create(path_, o);
+  ASSERT_TRUE(pool.ok());
+  // The pool reserves ~8 MiB header+log; ask for more than the rest.
+  auto a = (*pool)->Allocate(32ull << 20);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(PoolTest, RedoCommitAppliesAtomically) {
+  auto pool_r = Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool_r.ok());
+  Pool* pool = pool_r->get();
+  auto a = pool->AllocateZeroed(64);
+  auto b = pool->AllocateZeroed(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  RedoTx tx(pool->redo_log());
+  uint64_t va = 11, vb = 22;
+  tx.StageValue(*a, va);
+  tx.StageValue(*b, vb);
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_EQ(*pool->ToPtr<uint64_t>(*a), 11u);
+  EXPECT_EQ(*pool->ToPtr<uint64_t>(*b), 22u);
+}
+
+TEST_F(PoolTest, RedoRejectsOversizedTransaction) {
+  auto pool_r = Pool::CreateVolatile(64ull << 20);
+  ASSERT_TRUE(pool_r.ok());
+  Pool* pool = pool_r->get();
+  auto a = pool->AllocateZeroed(16ull << 20);
+  ASSERT_TRUE(a.ok());
+  std::vector<char> big(9ull << 20, 1);  // exceeds the 8 MiB redo area
+  RedoTx tx(pool->redo_log());
+  tx.Stage(*a, big.data(), big.size());
+  Status s = tx.Commit();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+// --- Crash simulation ----------------------------------------------------
+
+TEST_F(PoolTest, UnflushedStoresVanishOnCrash) {
+  PoolOptions o = FastOptions();
+  o.crash_shadow = true;
+  auto pool_r = Pool::Create(path_, o);
+  ASSERT_TRUE(pool_r.ok());
+  Pool* pool = pool_r->get();
+  auto a = pool->AllocateZeroed(64);
+  ASSERT_TRUE(a.ok());
+  auto* p = pool->ToPtr<uint64_t>(*a);
+  p[0] = 42;
+  pool->Persist(&p[0], 8);  // durable
+  p[1] = 43;                // NOT flushed
+  pool->SimulateCrash();
+  EXPECT_EQ(p[0], 42u) << "flushed store must survive";
+  EXPECT_EQ(p[1], 0u) << "unflushed store must vanish";
+  EXPECT_TRUE(pool->recovered_from_crash());
+}
+
+TEST_F(PoolTest, CrashBeforeRedoMarkerDiscardsLog) {
+  PoolOptions o = FastOptions();
+  o.crash_shadow = true;
+  auto pool_r = Pool::Create(path_, o);
+  ASSERT_TRUE(pool_r.ok());
+  Pool* pool = pool_r->get();
+  auto a = pool->AllocateZeroed(64);
+  ASSERT_TRUE(a.ok());
+
+  // Simulate "crash just before the marker": stage + persist entries by
+  // hand, never set the marker.
+  {
+    RedoTx tx(pool->redo_log());
+    uint64_t v = 99;
+    tx.StageValue(*a, v);
+    // No Commit() — as if we crashed before phase 2.
+  }
+  pool->SimulateCrash();
+  EXPECT_FALSE(pool->redo_log()->Recover());
+  EXPECT_EQ(*pool->ToPtr<uint64_t>(*a), 0u);
+}
+
+TEST_F(PoolTest, CrashAfterRedoCommitIsReplayed) {
+  // Commit fully (marker durable + applied); then crash. Recovery must be
+  // idempotent and the values durable.
+  PoolOptions o = FastOptions();
+  o.crash_shadow = true;
+  auto pool_r = Pool::Create(path_, o);
+  ASSERT_TRUE(pool_r.ok());
+  Pool* pool = pool_r->get();
+  auto a = pool->AllocateZeroed(64);
+  ASSERT_TRUE(a.ok());
+  {
+    RedoTx tx(pool->redo_log());
+    uint64_t v = 7;
+    tx.StageValue(*a, v);
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  pool->SimulateCrash();
+  pool->redo_log()->Recover();
+  EXPECT_EQ(*pool->ToPtr<uint64_t>(*a), 7u);
+}
+
+TEST_F(PoolTest, DirtyShutdownDetectedOnOpen) {
+  {
+    auto pool = Pool::Create(path_, FastOptions());
+    ASSERT_TRUE(pool.ok());
+    // Leak the mapping state by not calling the destructor properly:
+    // emulate by reopening the file while "crashed" is recorded. Instead,
+    // force: write clean_shutdown=0 happens at create; destructor sets 1.
+    // To simulate a hard kill we copy the file before destruction.
+    std::filesystem::copy_file(path_, path_ + ".crashed");
+  }
+  auto crashed = Pool::Open(path_ + ".crashed", FastOptions());
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_TRUE((*crashed)->recovered_from_crash());
+  std::filesystem::remove(path_ + ".crashed");
+}
+
+TEST_F(PoolTest, PPtrSizeIsSixteenBytes) {
+  // C6: persistent pointers are twice the size of offsets.
+  EXPECT_EQ(sizeof(Offset), 8u);
+}
+
+}  // namespace
+}  // namespace poseidon::pmem

@@ -1,0 +1,90 @@
+#include "storage/property_store.h"
+
+#include <gtest/gtest.h>
+
+namespace poseidon::storage {
+namespace {
+
+class PropertyStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(64ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto table = PropertyTable::Create(pool_.get());
+    ASSERT_TRUE(table.ok());
+    table_ = std::move(*table);
+    store_ = std::make_unique<PropertyStore>(table_.get());
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<PropertyTable> table_;
+  std::unique_ptr<PropertyStore> store_;
+};
+
+TEST_F(PropertyStoreTest, EmptyChainIsNull) {
+  auto head = store_->CreateChain(1, {});
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, kNullId);
+  EXPECT_TRUE(store_->Get(kNullId, 5).is_null());
+}
+
+TEST_F(PropertyStoreTest, RoundTripAllValueTypes) {
+  std::vector<Property> props = {
+      {1, PVal::Int(-42)},
+      {2, PVal::Double(3.25)},
+      {3, PVal::String(77)},
+      {4, PVal::Bool(true)},
+  };
+  auto head = store_->CreateChain(9, props);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(store_->Get(*head, 1).AsInt(), -42);
+  EXPECT_DOUBLE_EQ(store_->Get(*head, 2).AsDouble(), 3.25);
+  EXPECT_EQ(store_->Get(*head, 3).AsString(), 77u);
+  EXPECT_TRUE(store_->Get(*head, 4).AsBool());
+  EXPECT_TRUE(store_->Get(*head, 99).is_null());
+}
+
+TEST_F(PropertyStoreTest, ReadChainPreservesOrderAndCount) {
+  std::vector<Property> props;
+  for (uint32_t i = 1; i <= 10; ++i) {
+    props.push_back({i, PVal::Int(static_cast<int64_t>(i) * 100)});
+  }
+  auto head = store_->CreateChain(3, props);
+  ASSERT_TRUE(head.ok());
+  std::vector<Property> read;
+  store_->ReadChain(*head, &read);
+  ASSERT_EQ(read.size(), props.size());
+  EXPECT_EQ(read, props);
+}
+
+TEST_F(PropertyStoreTest, ChainsUseMinimalRecords) {
+  // 3 entries per 64 B record: 7 properties -> 3 records.
+  std::vector<Property> props;
+  for (uint32_t i = 1; i <= 7; ++i) props.push_back({i, PVal::Int(i)});
+  auto head = store_->CreateChain(3, props);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(table_->size(), 3u);
+}
+
+TEST_F(PropertyStoreTest, FreeChainRecyclesRecords) {
+  std::vector<Property> props;
+  for (uint32_t i = 1; i <= 9; ++i) props.push_back({i, PVal::Int(i)});
+  auto head = store_->CreateChain(3, props);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(table_->size(), 3u);
+  ASSERT_TRUE(store_->FreeChain(*head).ok());
+  EXPECT_EQ(table_->size(), 0u);
+}
+
+TEST_F(PropertyStoreTest, SingleEntryChain) {
+  auto head = store_->CreateChain(1, {{5, PVal::String(8)}});
+  ASSERT_TRUE(head.ok());
+  std::vector<Property> read;
+  store_->ReadChain(*head, &read);
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0].key, 5u);
+}
+
+}  // namespace
+}  // namespace poseidon::storage

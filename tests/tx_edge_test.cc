@@ -1,0 +1,218 @@
+// Additional transaction-layer edge cases: relationship property updates,
+// finished-transaction guards, version chains on relationships, GC of
+// deleted slots, and persistent-pointer registry behaviour.
+
+#include <gtest/gtest.h>
+
+#include "pmem/pptr.h"
+#include "tx/transaction.h"
+
+namespace poseidon::tx {
+namespace {
+
+using storage::DictCode;
+using storage::PVal;
+using storage::RecordId;
+
+class TxEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pool = pmem::Pool::CreateVolatile(256ull << 20);
+    ASSERT_TRUE(pool.ok());
+    pool_ = std::move(*pool);
+    auto store = storage::GraphStore::Create(pool_.get());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    mgr_ = std::make_unique<TransactionManager>(store_.get(), nullptr);
+    node_ = *store_->Code("Node");
+    edge_ = *store_->Code("edge");
+    weight_ = *store_->Code("weight");
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<storage::GraphStore> store_;
+  std::unique_ptr<TransactionManager> mgr_;
+  DictCode node_, edge_, weight_;
+};
+
+TEST_F(TxEdgeTest, RelationshipPropertyUpdateIsVersioned) {
+  RecordId a, b, rel;
+  {
+    auto tx = mgr_->Begin();
+    a = *tx->CreateNode(node_, {});
+    b = *tx->CreateNode(node_, {});
+    rel = *tx->CreateRelationship(a, b, edge_, {{weight_, PVal::Int(1)}});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto old_reader = mgr_->Begin();
+  ASSERT_EQ(old_reader->GetRelationshipProperty(rel, weight_)->AsInt(), 1);
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->SetRelationshipProperty(rel, weight_, PVal::Int(2)).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  // Snapshot isolation applies to relationship properties too.
+  EXPECT_EQ(old_reader->GetRelationshipProperty(rel, weight_)->AsInt(), 1);
+  auto fresh = mgr_->Begin();
+  EXPECT_EQ(fresh->GetRelationshipProperty(rel, weight_)->AsInt(), 2);
+  auto props = fresh->GetRelationshipProperties(rel);
+  ASSERT_TRUE(props.ok());
+  ASSERT_EQ(props->size(), 1u);
+}
+
+TEST_F(TxEdgeTest, FinishedTransactionRejectsFurtherWork) {
+  auto tx = mgr_->Begin();
+  ASSERT_TRUE(tx->CreateNode(node_, {}).ok());
+  ASSERT_TRUE(tx->Commit().ok());
+  EXPECT_TRUE(tx->finished());
+  EXPECT_FALSE(tx->CreateNode(node_, {}).ok());
+  EXPECT_FALSE(tx->SetNodeProperty(0, weight_, PVal::Int(1)).ok());
+  EXPECT_FALSE(tx->Commit().ok());
+  tx->Abort();  // harmless no-op after finish
+}
+
+TEST_F(TxEdgeTest, WriteSetTracksTouchedObjects) {
+  RecordId a, b;
+  {
+    auto tx = mgr_->Begin();
+    a = *tx->CreateNode(node_, {});
+    b = *tx->CreateNode(node_, {});
+    EXPECT_EQ(tx->write_set_size(), 2u);
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  ASSERT_TRUE(tx->CreateRelationship(a, b, edge_, {}).ok());
+  // Relationship + both endpoint nodes (adjacency heads changed).
+  EXPECT_EQ(tx->write_set_size(), 3u);
+  tx->Abort();
+}
+
+TEST_F(TxEdgeTest, RepeatedSetInSameTransactionKeepsLastValue) {
+  RecordId id;
+  {
+    auto tx = mgr_->Begin();
+    id = *tx->CreateNode(node_, {{weight_, PVal::Int(0)}});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(tx->SetNodeProperty(id, weight_, PVal::Int(i)).ok());
+  }
+  // Own uncommitted reads see the latest value.
+  EXPECT_EQ(tx->GetNodeProperty(id, weight_)->AsInt(), 5);
+  ASSERT_TRUE(tx->Commit().ok());
+  auto check = mgr_->Begin();
+  EXPECT_EQ(check->GetNodeProperty(id, weight_)->AsInt(), 5);
+  // Only one version was superseded (one chain entry), not five.
+  EXPECT_LE(mgr_->node_versions().TotalVersions(), 1u);
+}
+
+TEST_F(TxEdgeTest, DeletedNodeSlotIsRecycledAfterGc) {
+  RecordId id;
+  {
+    auto tx = mgr_->Begin();
+    id = *tx->CreateNode(node_, {{weight_, PVal::Int(1)}});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->DeleteNode(id).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  mgr_->RunGc();  // no active tx: slot + property chain reclaimed
+  EXPECT_EQ(store_->nodes().size(), 0u);
+  EXPECT_EQ(store_->properties().table()->size(), 0u);
+  // The slot is reused by the next insert (DG5).
+  auto tx = mgr_->Begin();
+  auto fresh = tx->CreateNode(node_, {});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, id);
+  ASSERT_TRUE(tx->Commit().ok());
+}
+
+TEST_F(TxEdgeTest, InsertAndDeleteInSameTransactionIsNetNoop) {
+  auto tx = mgr_->Begin();
+  auto id = tx->CreateNode(node_, {});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(tx->DeleteNode(*id).ok());
+  ASSERT_TRUE(tx->Commit().ok());
+  EXPECT_EQ(store_->nodes().size(), 0u);
+}
+
+TEST_F(TxEdgeTest, DeleteHeadOfAdjacencyList) {
+  RecordId a, b, c, r1, r2;
+  {
+    auto tx = mgr_->Begin();
+    a = *tx->CreateNode(node_, {});
+    b = *tx->CreateNode(node_, {});
+    c = *tx->CreateNode(node_, {});
+    r1 = *tx->CreateRelationship(a, b, edge_, {});
+    r2 = *tx->CreateRelationship(a, c, edge_, {});  // head of a's out-list
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  {
+    auto tx = mgr_->Begin();
+    ASSERT_TRUE(tx->DeleteRelationship(r2).ok());
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  std::vector<RecordId> rels;
+  ASSERT_TRUE(tx->ForEachOutgoing(a, [&](RecordId id, const auto&) {
+                    rels.push_back(id);
+                    return true;
+                  }).ok());
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0], r1);
+}
+
+TEST_F(TxEdgeTest, MinActiveTimestampTracksOldestTransaction) {
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  EXPECT_EQ(mgr_->MinActiveTs(), t1->id());
+  t1->Abort();
+  EXPECT_EQ(mgr_->MinActiveTs(), t2->id());
+  t2->Abort();
+  EXPECT_GT(mgr_->MinActiveTs(), t2->id());
+}
+
+TEST_F(TxEdgeTest, GetNodePropertiesReturnsAll) {
+  DictCode k1 = *store_->Code("k1");
+  DictCode k2 = *store_->Code("k2");
+  RecordId id;
+  {
+    auto tx = mgr_->Begin();
+    id = *tx->CreateNode(node_, {{k1, PVal::Int(1)}, {k2, PVal::Bool(true)}});
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+  auto tx = mgr_->Begin();
+  auto props = tx->GetNodeProperties(id);
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(props->size(), 2u);
+}
+
+// --- Persistent pointer registry (C6) ---------------------------------------
+
+TEST(PPtrTest, RegistryRoundTrip) {
+  auto pool = pmem::Pool::CreateVolatile(32ull << 20);
+  ASSERT_TRUE(pool.ok());
+  pmem::PoolRegistry::Instance().Register(pool->get());
+  auto off = (*pool)->Allocate(64);
+  ASSERT_TRUE(off.ok());
+  auto* value = (*pool)->ToPtr<uint64_t>(*off);
+  *value = 4711;
+
+  pmem::PPtr<uint64_t> p((*pool)->pool_id(), *off);
+  ASSERT_NE(p.get(), nullptr);
+  EXPECT_EQ(*p, 4711u);
+  EXPECT_EQ(p.get(), value);
+
+  auto from_ptr = pmem::PPtr<uint64_t>::FromPtr(pool->get(), value);
+  EXPECT_EQ(from_ptr.offset(), *off);
+
+  pmem::PoolRegistry::Instance().Unregister((*pool)->pool_id());
+  EXPECT_EQ(p.get(), nullptr) << "closed pools must not resolve";
+  EXPECT_TRUE(pmem::PPtr<uint64_t>().IsNull());
+}
+
+}  // namespace
+}  // namespace poseidon::tx

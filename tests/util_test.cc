@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/spin_timer.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace poseidon {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Aborted("conflict");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAborted());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  POSEIDON_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainedMacro(int x) {
+  POSEIDON_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, MacrosPropagateErrors) {
+  auto ok = ChainedMacro(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+  auto err = ChainedMacro(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Hashing -----------------------------------------------------------------
+
+TEST(HashTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(HashString("poseidon"), HashString("poseidon"));
+  EXPECT_NE(HashString("poseidon"), HashString("poseidoN"));
+  EXPECT_EQ(HashU64(12345), HashU64(12345));
+}
+
+TEST(HashTest, SequentialKeysSpread) {
+  // Open-addressing quality: consecutive ids must not cluster.
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 1024; ++i) buckets.insert(HashU64(i) % 4096);
+  EXPECT_GT(buckets.size(), 800u);
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng a2(7);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ZipfIsBoundedAndSkewed) {
+  Rng rng(5);
+  uint64_t low = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    uint64_t v = rng.Zipf(1000);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // A zipf(1.2) distribution concentrates mass on small ranks.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- SpinWait / StopWatch ---------------------------------------------------
+
+TEST(SpinTimerTest, WaitsApproximatelyRequestedTime) {
+  StopWatch w;
+  SpinWaitNs(200000);  // 200 us
+  uint64_t elapsed = w.ElapsedNs();
+  EXPECT_GE(elapsed, 190000u);
+  EXPECT_LT(elapsed, 5000000u);  // generous upper bound for busy CI boxes
+}
+
+TEST(SpinTimerTest, ZeroIsNoop) {
+  StopWatch w;
+  for (int i = 0; i < 1000; ++i) SpinWaitNs(0);
+  EXPECT_LT(w.ElapsedUs(), 10000.0);
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(ThreadPoolTest, WorkerIndexStableAndBounded) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1)
+      << "non-pool threads have no index";
+  std::mutex mu;
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      int idx = ThreadPool::current_worker_index();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(idx);
+    });
+  }
+  pool.WaitIdle();
+  for (int idx : seen) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> active{0};
+  std::atomic<int> max_active{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      int now = active.fetch_add(1) + 1;
+      int prev = max_active.load();
+      while (now > prev && !max_active.compare_exchange_weak(prev, now)) {
+      }
+      SpinWaitNs(1000000);
+      active.fetch_sub(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GE(max_active.load(), 2);
+}
+
+}  // namespace
+}  // namespace poseidon
