@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_dictionary.dir/bench_hybrid_dictionary.cc.o"
+  "CMakeFiles/bench_hybrid_dictionary.dir/bench_hybrid_dictionary.cc.o.d"
+  "bench_hybrid_dictionary"
+  "bench_hybrid_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jit_ablation.dir/bench_jit_ablation.cc.o"
+  "CMakeFiles/bench_jit_ablation.dir/bench_jit_ablation.cc.o.d"
+  "bench_jit_ablation"
+  "bench_jit_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jit_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

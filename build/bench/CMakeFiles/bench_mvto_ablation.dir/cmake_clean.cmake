@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvto_ablation.dir/bench_mvto_ablation.cc.o"
+  "CMakeFiles/bench_mvto_ablation.dir/bench_mvto_ablation.cc.o.d"
+  "bench_mvto_ablation"
+  "bench_mvto_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvto_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_shell.dir/cypher_shell.cpp.o"
+  "CMakeFiles/cypher_shell.dir/cypher_shell.cpp.o.d"
+  "cypher_shell"
+  "cypher_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_analytics.dir/algorithms.cc.o"
+  "CMakeFiles/poseidon_analytics.dir/algorithms.cc.o.d"
+  "CMakeFiles/poseidon_analytics.dir/snapshot.cc.o"
+  "CMakeFiles/poseidon_analytics.dir/snapshot.cc.o.d"
+  "libposeidon_analytics.a"
+  "libposeidon_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_core.dir/graph_db.cc.o"
+  "CMakeFiles/poseidon_core.dir/graph_db.cc.o.d"
+  "libposeidon_core.a"
+  "libposeidon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

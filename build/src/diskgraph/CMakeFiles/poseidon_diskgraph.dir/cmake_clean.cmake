@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_diskgraph.dir/disk_graph.cc.o"
+  "CMakeFiles/poseidon_diskgraph.dir/disk_graph.cc.o.d"
+  "CMakeFiles/poseidon_diskgraph.dir/page_store.cc.o"
+  "CMakeFiles/poseidon_diskgraph.dir/page_store.cc.o.d"
+  "CMakeFiles/poseidon_diskgraph.dir/snb_disk.cc.o"
+  "CMakeFiles/poseidon_diskgraph.dir/snb_disk.cc.o.d"
+  "libposeidon_diskgraph.a"
+  "libposeidon_diskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_diskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bptree.cc" "src/index/CMakeFiles/poseidon_index.dir/bptree.cc.o" "gcc" "src/index/CMakeFiles/poseidon_index.dir/bptree.cc.o.d"
+  "/root/repo/src/index/index_manager.cc" "src/index/CMakeFiles/poseidon_index.dir/index_manager.cc.o" "gcc" "src/index/CMakeFiles/poseidon_index.dir/index_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/poseidon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/poseidon_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poseidon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_index.dir/bptree.cc.o"
+  "CMakeFiles/poseidon_index.dir/bptree.cc.o.d"
+  "CMakeFiles/poseidon_index.dir/index_manager.cc.o"
+  "CMakeFiles/poseidon_index.dir/index_manager.cc.o.d"
+  "libposeidon_index.a"
+  "libposeidon_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

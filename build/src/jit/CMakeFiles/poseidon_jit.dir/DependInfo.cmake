@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/codegen.cc" "src/jit/CMakeFiles/poseidon_jit.dir/codegen.cc.o" "gcc" "src/jit/CMakeFiles/poseidon_jit.dir/codegen.cc.o.d"
+  "/root/repo/src/jit/jit_engine.cc" "src/jit/CMakeFiles/poseidon_jit.dir/jit_engine.cc.o" "gcc" "src/jit/CMakeFiles/poseidon_jit.dir/jit_engine.cc.o.d"
+  "/root/repo/src/jit/jit_query_engine.cc" "src/jit/CMakeFiles/poseidon_jit.dir/jit_query_engine.cc.o" "gcc" "src/jit/CMakeFiles/poseidon_jit.dir/jit_query_engine.cc.o.d"
+  "/root/repo/src/jit/query_cache.cc" "src/jit/CMakeFiles/poseidon_jit.dir/query_cache.cc.o" "gcc" "src/jit/CMakeFiles/poseidon_jit.dir/query_cache.cc.o.d"
+  "/root/repo/src/jit/runtime.cc" "src/jit/CMakeFiles/poseidon_jit.dir/runtime.cc.o" "gcc" "src/jit/CMakeFiles/poseidon_jit.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/poseidon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/poseidon_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/poseidon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/poseidon_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/poseidon_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poseidon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_jit.dir/codegen.cc.o"
+  "CMakeFiles/poseidon_jit.dir/codegen.cc.o.d"
+  "CMakeFiles/poseidon_jit.dir/jit_engine.cc.o"
+  "CMakeFiles/poseidon_jit.dir/jit_engine.cc.o.d"
+  "CMakeFiles/poseidon_jit.dir/jit_query_engine.cc.o"
+  "CMakeFiles/poseidon_jit.dir/jit_query_engine.cc.o.d"
+  "CMakeFiles/poseidon_jit.dir/query_cache.cc.o"
+  "CMakeFiles/poseidon_jit.dir/query_cache.cc.o.d"
+  "CMakeFiles/poseidon_jit.dir/runtime.cc.o"
+  "CMakeFiles/poseidon_jit.dir/runtime.cc.o.d"
+  "libposeidon_jit.a"
+  "libposeidon_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

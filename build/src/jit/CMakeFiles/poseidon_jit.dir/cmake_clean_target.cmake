@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libposeidon_jit.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_ldbc.dir/queries.cc.o"
+  "CMakeFiles/poseidon_ldbc.dir/queries.cc.o.d"
+  "CMakeFiles/poseidon_ldbc.dir/schema.cc.o"
+  "CMakeFiles/poseidon_ldbc.dir/schema.cc.o.d"
+  "CMakeFiles/poseidon_ldbc.dir/snb_gen.cc.o"
+  "CMakeFiles/poseidon_ldbc.dir/snb_gen.cc.o.d"
+  "libposeidon_ldbc.a"
+  "libposeidon_ldbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_ldbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

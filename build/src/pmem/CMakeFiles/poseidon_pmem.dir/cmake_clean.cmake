@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_pmem.dir/latency_model.cc.o"
+  "CMakeFiles/poseidon_pmem.dir/latency_model.cc.o.d"
+  "CMakeFiles/poseidon_pmem.dir/pool.cc.o"
+  "CMakeFiles/poseidon_pmem.dir/pool.cc.o.d"
+  "libposeidon_pmem.a"
+  "libposeidon_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

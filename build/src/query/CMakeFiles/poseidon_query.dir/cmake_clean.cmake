@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_query.dir/cypher.cc.o"
+  "CMakeFiles/poseidon_query.dir/cypher.cc.o.d"
+  "CMakeFiles/poseidon_query.dir/engine.cc.o"
+  "CMakeFiles/poseidon_query.dir/engine.cc.o.d"
+  "CMakeFiles/poseidon_query.dir/interpreter.cc.o"
+  "CMakeFiles/poseidon_query.dir/interpreter.cc.o.d"
+  "CMakeFiles/poseidon_query.dir/plan.cc.o"
+  "CMakeFiles/poseidon_query.dir/plan.cc.o.d"
+  "libposeidon_query.a"
+  "libposeidon_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dictionary.cc" "src/storage/CMakeFiles/poseidon_storage.dir/dictionary.cc.o" "gcc" "src/storage/CMakeFiles/poseidon_storage.dir/dictionary.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/storage/CMakeFiles/poseidon_storage.dir/graph_store.cc.o" "gcc" "src/storage/CMakeFiles/poseidon_storage.dir/graph_store.cc.o.d"
+  "/root/repo/src/storage/property_store.cc" "src/storage/CMakeFiles/poseidon_storage.dir/property_store.cc.o" "gcc" "src/storage/CMakeFiles/poseidon_storage.dir/property_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmem/CMakeFiles/poseidon_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/poseidon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

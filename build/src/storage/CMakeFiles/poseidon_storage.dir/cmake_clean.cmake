@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_storage.dir/dictionary.cc.o"
+  "CMakeFiles/poseidon_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/poseidon_storage.dir/graph_store.cc.o"
+  "CMakeFiles/poseidon_storage.dir/graph_store.cc.o.d"
+  "CMakeFiles/poseidon_storage.dir/property_store.cc.o"
+  "CMakeFiles/poseidon_storage.dir/property_store.cc.o.d"
+  "libposeidon_storage.a"
+  "libposeidon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

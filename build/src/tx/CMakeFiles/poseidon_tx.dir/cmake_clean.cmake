@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_tx.dir/transaction.cc.o"
+  "CMakeFiles/poseidon_tx.dir/transaction.cc.o.d"
+  "libposeidon_tx.a"
+  "libposeidon_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poseidon_util.dir/status.cc.o"
+  "CMakeFiles/poseidon_util.dir/status.cc.o.d"
+  "CMakeFiles/poseidon_util.dir/thread_pool.cc.o"
+  "CMakeFiles/poseidon_util.dir/thread_pool.cc.o.d"
+  "libposeidon_util.a"
+  "libposeidon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poseidon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunked_table_test.dir/chunked_table_test.cc.o"
+  "CMakeFiles/chunked_table_test.dir/chunked_table_test.cc.o.d"
+  "chunked_table_test"
+  "chunked_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunked_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

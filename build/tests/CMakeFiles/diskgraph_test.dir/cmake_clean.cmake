@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskgraph_test.dir/diskgraph_test.cc.o"
+  "CMakeFiles/diskgraph_test.dir/diskgraph_test.cc.o.d"
+  "diskgraph_test"
+  "diskgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_db_test.dir/graph_db_test.cc.o"
+  "CMakeFiles/graph_db_test.dir/graph_db_test.cc.o.d"
+  "graph_db_test"
+  "graph_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

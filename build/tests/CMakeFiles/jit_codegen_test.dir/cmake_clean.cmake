@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_codegen_test.dir/jit_codegen_test.cc.o"
+  "CMakeFiles/jit_codegen_test.dir/jit_codegen_test.cc.o.d"
+  "jit_codegen_test"
+  "jit_codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_store_test.dir/property_store_test.cc.o"
+  "CMakeFiles/property_store_test.dir/property_store_test.cc.o.d"
+  "property_store_test"
+  "property_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

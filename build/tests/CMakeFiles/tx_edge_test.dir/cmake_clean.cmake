@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_edge_test.dir/tx_edge_test.cc.o"
+  "CMakeFiles/tx_edge_test.dir/tx_edge_test.cc.o.d"
+  "tx_edge_test"
+  "tx_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

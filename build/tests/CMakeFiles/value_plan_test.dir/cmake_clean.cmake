@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_plan_test.dir/value_plan_test.cc.o"
+  "CMakeFiles/value_plan_test.dir/value_plan_test.cc.o.d"
+  "value_plan_test"
+  "value_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
