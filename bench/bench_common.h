@@ -77,22 +77,79 @@ inline Result<std::unique_ptr<BenchEnv>> MakeEnv(bool pmem_mode,
   return env;
 }
 
-/// Mean over `runs` timed invocations of `fn` (microseconds). `fn` is also
-/// invoked once untimed as warm-up.
+/// One measured configuration: the mean (printed, matches the paper's
+/// "avg of N hot runs" figures) and the median (written to BENCH_*.json —
+/// robust against scheduler outliers).
+struct BenchSample {
+  double mean_us = 0;
+  double median_ns = 0;
+};
+
+/// Times `runs` invocations of `fn` after one untimed warm-up.
 template <typename F>
-double MeanUs(uint64_t runs, F&& fn) {
+BenchSample Measure(uint64_t runs, F&& fn) {
   fn();
-  std::vector<double> samples;
+  std::vector<double> samples;  // nanoseconds
   samples.reserve(runs);
   for (uint64_t i = 0; i < runs; ++i) {
     StopWatch w;
     fn();
-    samples.push_back(w.ElapsedUs());
+    samples.push_back(w.ElapsedNs());
   }
-  double sum = 0;
-  for (double s : samples) sum += s;
-  return sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  BenchSample out;
+  for (double s : samples) out.mean_us += s;
+  out.mean_us /= static_cast<double>(samples.size()) * 1000.0;
+  size_t n = samples.size();
+  out.median_ns = (n % 2 != 0)
+                      ? samples[n / 2]
+                      : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  return out;
 }
+
+/// Mean over `runs` timed invocations of `fn` (microseconds). `fn` is also
+/// invoked once untimed as warm-up.
+template <typename F>
+double MeanUs(uint64_t runs, F&& fn) {
+  return Measure(runs, std::forward<F>(fn)).mean_us;
+}
+
+/// Machine-readable results: collects (name -> median ns) pairs and writes
+/// them as flat JSON to $POSEIDON_BENCH_JSON_DIR/BENCH_<bench>.json (set by
+/// run_benches.sh; nothing is written when the variable is absent).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, double median_ns) {
+    entries_.emplace_back(name, median_ns);
+  }
+
+  void Write() const {
+    const char* dir = std::getenv("POSEIDON_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string path = std::string(dir) + "/BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"ns\",\n"
+                 "  \"results\": {\n", bench_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.1f%s\n", entries_[i].first.c_str(),
+                   entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void Die(const Status& s, const char* what) {
   std::fprintf(stderr, "FATAL (%s): %s\n", what, s.ToString().c_str());

@@ -40,9 +40,18 @@ int Main() {
   auto scan_queries = ldbc::BuildShortReads(pmem_env->ds.schema, false);
   auto index_queries = ldbc::BuildShortReads(pmem_env->ds.schema, true);
 
-  std::printf("%-9s %10s %10s %10s %10s %10s %10s %10s\n", "query",
-              "PMem-s", "PMem-p", "PMem-i", "DRAM-s", "DRAM-p", "DRAM-i",
-              "DISK-i");
+  // Ablation configuration: batched scan kernels + prefetch disabled
+  // (PMem-s0). The default PMem-s runs with batching on.
+  storage::ScanOptions batch_on = pmem_env->db->scan_options();
+  storage::ScanOptions batch_off;
+  batch_off.batch_enabled = false;
+  batch_off.prefetch_distance = 0;
+
+  BenchJson json("fig5_short_reads");
+
+  std::printf("%-9s %10s %10s %10s %10s %10s %10s %10s %10s\n", "query",
+              "PMem-s", "PMem-s0", "PMem-p", "PMem-i", "DRAM-s", "DRAM-p",
+              "DRAM-i", "DISK-i");
 
   for (size_t q = 0; q < scan_queries.size(); ++q) {
     const std::string& name = scan_queries[q].name;
@@ -56,7 +65,7 @@ int Main() {
     auto run_engine = [&](BenchEnv* env, const query::Plan& plan,
                           ExecutionMode mode) {
       size_t i = 0;
-      return MeanUs(runs, [&] {
+      return Measure(runs, [&] {
         auto tx = env->db->Begin();
         auto r = env->db->ExecuteIn(plan, tx.get(),
                                     params[i++ % params.size()], mode);
@@ -65,30 +74,46 @@ int Main() {
       });
     };
 
-    double pmem_s = run_engine(pmem_env.get(), scan_queries[q].plan,
-                               ExecutionMode::kInterpret);
-    double pmem_p = run_engine(pmem_env.get(), scan_queries[q].plan,
-                               ExecutionMode::kInterpretParallel);
-    double pmem_i = run_engine(pmem_env.get(), index_queries[q].plan,
-                               ExecutionMode::kInterpret);
-    double dram_s = run_engine(dram_env.get(), scan_queries[q].plan,
-                               ExecutionMode::kInterpret);
-    double dram_p = run_engine(dram_env.get(), scan_queries[q].plan,
-                               ExecutionMode::kInterpretParallel);
-    double dram_i = run_engine(dram_env.get(), index_queries[q].plan,
-                               ExecutionMode::kInterpret);
+    BenchSample pmem_s = run_engine(pmem_env.get(), scan_queries[q].plan,
+                                    ExecutionMode::kInterpret);
+    pmem_env->db->set_scan_options(batch_off);
+    BenchSample pmem_s0 = run_engine(pmem_env.get(), scan_queries[q].plan,
+                                     ExecutionMode::kInterpret);
+    pmem_env->db->set_scan_options(batch_on);
+    BenchSample pmem_p = run_engine(pmem_env.get(), scan_queries[q].plan,
+                                    ExecutionMode::kInterpretParallel);
+    BenchSample pmem_i = run_engine(pmem_env.get(), index_queries[q].plan,
+                                    ExecutionMode::kInterpret);
+    BenchSample dram_s = run_engine(dram_env.get(), scan_queries[q].plan,
+                                    ExecutionMode::kInterpret);
+    BenchSample dram_p = run_engine(dram_env.get(), scan_queries[q].plan,
+                                    ExecutionMode::kInterpretParallel);
+    BenchSample dram_i = run_engine(dram_env.get(), index_queries[q].plan,
+                                    ExecutionMode::kInterpret);
 
     size_t i = 0;
-    double disk_i = MeanUs(runs, [&] {
+    BenchSample disk_i = Measure(runs, [&] {
       auto rows = diskgraph::RunDiskShortRead(
           disk.get(), name, params[i++ % params.size()][0].AsInt());
       if (!rows.ok()) Die(rows.status(), name.c_str());
     });
 
-    std::printf("%-9s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
-                name.c_str(), pmem_s, pmem_p, pmem_i, dram_s, dram_p, dram_i,
-                disk_i);
+    std::printf(
+        "%-9s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+        name.c_str(), pmem_s.mean_us, pmem_s0.mean_us, pmem_p.mean_us,
+        pmem_i.mean_us, dram_s.mean_us, dram_p.mean_us, dram_i.mean_us,
+        disk_i.mean_us);
+
+    json.Add(name + "/PMem-s", pmem_s.median_ns);
+    json.Add(name + "/PMem-s-nobatch", pmem_s0.median_ns);
+    json.Add(name + "/PMem-p", pmem_p.median_ns);
+    json.Add(name + "/PMem-i", pmem_i.median_ns);
+    json.Add(name + "/DRAM-s", dram_s.median_ns);
+    json.Add(name + "/DRAM-p", dram_p.median_ns);
+    json.Add(name + "/DRAM-i", dram_i.median_ns);
+    json.Add(name + "/DISK-i", disk_i.median_ns);
   }
+  json.Write();
 
   std::printf(
       "\nexpected shape: *-i << *-s; PMem-i close to DRAM-i; DISK-i "

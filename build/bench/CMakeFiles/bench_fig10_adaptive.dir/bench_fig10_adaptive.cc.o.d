@@ -352,10 +352,11 @@ bench/CMakeFiles/bench_fig10_adaptive.dir/bench_fig10_adaptive.cc.o: \
  /usr/include/llvm-14/llvm/Support/CodeGen.h /root/repo/src/query/plan.h \
  /root/repo/src/query/value.h /root/repo/src/storage/dictionary.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /root/repo/src/util/status.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /root/repo/src/util/spin_timer.h /root/repo/src/util/status.h \
  /usr/include/c++/12/variant /root/repo/src/storage/types.h \
- /root/repo/src/storage/property_value.h /root/repo/src/jit/query_cache.h \
+ /root/repo/src/storage/property_value.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/jit/query_cache.h \
  /root/repo/src/jit/runtime.h /root/repo/src/query/interpreter.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -340,12 +340,13 @@ examples/CMakeFiles/social_network.dir/social_network.cpp.o: \
  /usr/include/llvm-14/llvm/Support/CodeGen.h /root/repo/src/query/plan.h \
  /root/repo/src/query/value.h /root/repo/src/storage/dictionary.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /root/repo/src/storage/types.h \
- /root/repo/src/storage/property_value.h /root/repo/src/jit/query_cache.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/jit/query_cache.h \
  /root/repo/src/jit/runtime.h /root/repo/src/query/interpreter.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

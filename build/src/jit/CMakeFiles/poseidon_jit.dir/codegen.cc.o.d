@@ -339,12 +339,13 @@ src/jit/CMakeFiles/poseidon_jit.dir/codegen.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /root/repo/src/storage/types.h \
- /root/repo/src/storage/property_value.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
+ /root/repo/src/storage/scan_options.h \
  /usr/include/llvm-14/llvm/IR/IRBuilder.h \
  /usr/include/llvm-14/llvm/IR/ConstantFolder.h \
  /usr/include/llvm-14/llvm/IR/Constants.h \

@@ -339,12 +339,12 @@ src/jit/CMakeFiles/poseidon_jit.dir/jit_engine.cc.o: \
  /root/repo/src/query/value.h /root/repo/src/storage/dictionary.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/atomic /root/repo/src/pmem/latency_model.h \
- /root/repo/src/util/spin_timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /root/repo/src/storage/types.h \
- /root/repo/src/storage/property_value.h /root/repo/src/jit/query_cache.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/jit/query_cache.h \
  /usr/include/llvm-14/llvm/ExecutionEngine/Orc/CompileUtils.h \
  /usr/include/llvm-14/llvm/ExecutionEngine/Orc/IRCompileLayer.h \
  /usr/include/llvm-14/llvm/ExecutionEngine/JITSymbol.h \

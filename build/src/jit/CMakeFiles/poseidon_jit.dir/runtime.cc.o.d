@@ -223,16 +223,17 @@ src/jit/CMakeFiles/poseidon_jit.dir/runtime.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /root/repo/src/storage/types.h \
- /root/repo/src/storage/graph_store.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/types.h /root/repo/src/storage/graph_store.h \
  /root/repo/src/storage/chunked_table.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/scan_options.h \
  /root/repo/src/storage/dictionary.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /usr/include/c++/12/cstddef /root/repo/src/storage/property_value.h \

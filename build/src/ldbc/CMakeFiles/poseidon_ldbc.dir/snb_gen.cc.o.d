@@ -205,12 +205,12 @@ src/ldbc/CMakeFiles/poseidon_ldbc.dir/snb_gen.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/storage/types.h /root/repo/src/tx/transaction.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -233,6 +233,7 @@ src/ldbc/CMakeFiles/poseidon_ldbc.dir/snb_gen.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/scan_options.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /usr/include/c++/12/cstddef /root/repo/src/storage/property_value.h \
  /root/repo/src/tx/version_store.h /root/repo/src/util/random.h \

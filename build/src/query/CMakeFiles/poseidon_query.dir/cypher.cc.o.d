@@ -206,12 +206,12 @@ src/query/CMakeFiles/poseidon_query.dir/cypher.cc.o: \
  /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
  /usr/include/strings.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \

@@ -205,12 +205,11 @@ src/storage/CMakeFiles/poseidon_storage.dir/graph_store.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/pmem/latency_model.h \
- /root/repo/src/util/spin_timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/storage/chunked_table.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -226,7 +225,7 @@ src/storage/CMakeFiles/poseidon_storage.dir/graph_store.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/storage/types.h /root/repo/src/storage/dictionary.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/storage/property_store.h \
- /root/repo/src/storage/records.h /usr/include/c++/12/cstddef \
- /root/repo/src/storage/property_value.h
+ /root/repo/src/storage/scan_options.h /root/repo/src/storage/types.h \
+ /root/repo/src/storage/dictionary.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/property_value.h

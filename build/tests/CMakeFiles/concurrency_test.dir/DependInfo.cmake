@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/storage/CMakeFiles/poseidon_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/pmem/CMakeFiles/poseidon_pmem.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/poseidon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/poseidon_query.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -301,24 +301,28 @@ tests/CMakeFiles/concurrency_test.dir/concurrency_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/tx/transaction.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/query/engine.h /root/repo/src/query/interpreter.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/index/index_manager.h /root/repo/src/index/bptree.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/cstring /root/repo/src/pmem/latency_model.h \
- /root/repo/src/util/spin_timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/chrono /root/repo/src/util/spin_timer.h \
  /root/repo/src/util/status.h /root/repo/src/storage/types.h \
  /root/repo/src/storage/graph_store.h \
  /root/repo/src/storage/chunked_table.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/scan_options.h \
  /root/repo/src/storage/dictionary.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
- /root/repo/src/storage/property_value.h \
- /root/repo/src/tx/version_store.h /root/repo/src/util/random.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/storage/property_value.h /root/repo/src/query/plan.h \
+ /root/repo/src/query/value.h /root/repo/src/tx/transaction.h \
+ /root/repo/src/tx/version_store.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/random.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -302,13 +302,14 @@ tests/CMakeFiles/crash_property_test.dir/crash_property_test.cc.o: \
  /root/repo/src/index/index_manager.h /root/repo/src/index/bptree.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/cstring /root/repo/src/pmem/latency_model.h \
- /root/repo/src/util/spin_timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/chrono /root/repo/src/util/spin_timer.h \
  /root/repo/src/util/status.h /root/repo/src/storage/types.h \
  /root/repo/src/storage/graph_store.h \
  /root/repo/src/storage/chunked_table.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/scan_options.h \
  /root/repo/src/storage/dictionary.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /root/repo/src/storage/property_value.h \

@@ -206,12 +206,12 @@ tests/CMakeFiles/cypher_test.dir/cypher_test.cc.o: \
  /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
  /usr/include/strings.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
@@ -417,9 +417,10 @@ tests/CMakeFiles/cypher_test.dir/cypher_test.cc.o: \
  /usr/include/llvm-14/llvm/IR/GlobalVariable.h \
  /usr/include/llvm-14/llvm/IR/ProfileSummary.h \
  /usr/include/llvm-14/llvm/Support/CodeGen.h \
- /root/repo/src/jit/query_cache.h /root/repo/src/jit/runtime.h \
- /root/repo/src/query/interpreter.h /root/repo/src/index/index_manager.h \
- /root/repo/src/index/bptree.h /root/repo/src/storage/graph_store.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/jit/query_cache.h \
+ /root/repo/src/jit/runtime.h /root/repo/src/query/interpreter.h \
+ /root/repo/src/index/index_manager.h /root/repo/src/index/bptree.h \
+ /root/repo/src/storage/graph_store.h \
  /root/repo/src/storage/chunked_table.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /root/repo/src/tx/transaction.h /root/repo/src/tx/version_store.h \

@@ -226,10 +226,11 @@ tests/CMakeFiles/diskgraph_test.dir/diskgraph_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pmem/pool.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/storage/types.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/spin_timer.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/storage/types.h \
  /root/repo/src/storage/records.h /usr/include/c++/12/cstddef \
  /root/repo/src/storage/property_value.h /root/repo/src/ldbc/queries.h \
  /root/repo/src/index/index_manager.h /usr/include/c++/12/optional \

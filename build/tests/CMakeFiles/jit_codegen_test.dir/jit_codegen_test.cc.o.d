@@ -413,12 +413,13 @@ tests/CMakeFiles/jit_codegen_test.dir/jit_codegen_test.cc.o: \
  /usr/include/llvm-14/llvm/Support/CodeGen.h /root/repo/src/query/plan.h \
  /root/repo/src/query/value.h /root/repo/src/storage/dictionary.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /root/repo/src/util/status.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /root/repo/src/util/spin_timer.h /root/repo/src/util/status.h \
  /root/repo/src/storage/types.h /root/repo/src/storage/property_value.h \
- /root/repo/src/jit/query_cache.h /root/repo/src/jit/runtime.h \
- /root/repo/src/query/interpreter.h /root/repo/src/index/index_manager.h \
- /root/repo/src/index/bptree.h /root/repo/src/storage/graph_store.h \
+ /root/repo/src/storage/scan_options.h /root/repo/src/jit/query_cache.h \
+ /root/repo/src/jit/runtime.h /root/repo/src/query/interpreter.h \
+ /root/repo/src/index/index_manager.h /root/repo/src/index/bptree.h \
+ /root/repo/src/storage/graph_store.h \
  /root/repo/src/storage/chunked_table.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /root/repo/src/tx/transaction.h /root/repo/src/tx/version_store.h \

@@ -297,7 +297,7 @@ tests/CMakeFiles/tx_edge_test.dir/tx_edge_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/cstring /root/repo/src/pmem/latency_model.h \
- /root/repo/src/util/spin_timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/chrono /root/repo/src/util/spin_timer.h \
  /root/repo/src/util/status.h /root/repo/src/tx/transaction.h \
  /root/repo/src/index/index_manager.h /root/repo/src/index/bptree.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/types.h \
@@ -306,6 +306,7 @@ tests/CMakeFiles/tx_edge_test.dir/tx_edge_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/storage/scan_options.h \
  /root/repo/src/storage/dictionary.h \
  /root/repo/src/storage/property_store.h /root/repo/src/storage/records.h \
  /root/repo/src/storage/property_value.h \

@@ -293,9 +293,9 @@ tests/CMakeFiles/value_plan_test.dir/value_plan_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/pmem/latency_model.h /root/repo/src/util/spin_timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/query/plan.h \
+ /root/repo/src/pmem/latency_model.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/spin_timer.h /root/repo/src/query/plan.h \
  /root/repo/src/query/value.h /root/repo/src/storage/dictionary.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/pmem/pool.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/mutex \

@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (explain) {
-      std::printf("%s", plan->ToString(&db->store()->dict()).c_str());
+      std::printf("%s", db->Explain(*plan).c_str());
       continue;
     }
     StopWatch w;

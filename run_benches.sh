@@ -1,13 +1,29 @@
 #!/bin/bash
+# Runs every bench binary. Human-readable output accumulates in
+# bench_output.txt; machine-readable results land next to it as
+# BENCH_<name>.json:
+#   * figure benches write flat {query -> median ns} maps through
+#     bench_common.h's BenchJson (driven by POSEIDON_BENCH_JSON_DIR),
+#   * bench_pmem_micro writes google-benchmark's JSON schema via
+#     --benchmark_out (includes the batched-scan prefetch on/off entries).
 export POSEIDON_BENCH_PERSONS=${POSEIDON_BENCH_PERSONS:-1000}
 export POSEIDON_BENCH_RUNS=${POSEIDON_BENCH_RUNS:-50}
 export POSEIDON_BENCH_THREADS=${POSEIDON_BENCH_THREADS:-2}
 out=${1:-/root/repo/bench_output.txt}
+json_dir=${2:-$(dirname "$out")}
+export POSEIDON_BENCH_JSON_DIR="$json_dir"
 : > "$out"
 for b in /root/repo/build/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo "===== $(basename $b) =====" | tee -a "$out"
-  timeout 1200 "$b" >> "$out" 2>&1 || echo "FAILED: $b" | tee -a "$out"
+  name=$(basename "$b")
+  echo "===== $name =====" | tee -a "$out"
+  if [ "$name" = bench_pmem_micro ]; then
+    timeout 1200 "$b" --benchmark_out_format=json \
+        --benchmark_out="$json_dir/BENCH_pmem_micro.json" >> "$out" 2>&1 \
+        || echo "FAILED: $b" | tee -a "$out"
+  else
+    timeout 1200 "$b" >> "$out" 2>&1 || echo "FAILED: $b" | tee -a "$out"
+  fi
   echo >> "$out"
 done
 echo "ALL BENCHES DONE"

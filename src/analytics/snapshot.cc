@@ -17,21 +17,28 @@ Result<GraphSnapshot> GraphSnapshot::Build(tx::Transaction* tx,
   uint64_t slots = store->nodes().NumSlots();
   snap.vertex_of_.assign(slots, UINT32_MAX);
 
-  // Pass 1: enumerate visible nodes -> dense ids.
-  for (RecordId id = 0; id < slots; ++id) {
-    if (!store->nodes().IsOccupied(id)) continue;
-    auto n = tx->GetNode(id);
-    if (!n.ok()) {
-      if (n.status().IsNotFound()) continue;
-      return n.status();
-    }
-    if (options.node_label != kInvalidCode &&
-        n->rec.label != options.node_label) {
-      continue;
-    }
-    snap.vertex_of_[id] = static_cast<uint32_t>(snap.record_of_.size());
-    snap.record_of_.push_back(id);
-  }
+  // Pass 1: enumerate visible nodes -> dense ids, via the batched scan
+  // kernel (whole empty occupancy words skipped, records prefetched ahead
+  // of the visibility check).
+  storage::ScanOptions scan_opts;
+  Status pass1_error;
+  store->nodes().ForEachBatchRange(
+      0, slots, scan_opts,
+      [&](RecordId id, const storage::NodeRecord&) {
+        if (!pass1_error.ok()) return;
+        auto n = tx->GetNode(id);
+        if (!n.ok()) {
+          if (!n.status().IsNotFound()) pass1_error = n.status();
+          return;
+        }
+        if (options.node_label != kInvalidCode &&
+            n->rec.label != options.node_label) {
+          return;
+        }
+        snap.vertex_of_[id] = static_cast<uint32_t>(snap.record_of_.size());
+        snap.record_of_.push_back(id);
+      });
+  POSEIDON_RETURN_IF_ERROR(pass1_error);
 
   // Pass 2: CSR adjacency over visible relationships between snapshot
   // vertices.

@@ -74,7 +74,16 @@ Result<std::unique_ptr<GraphDb>> GraphDb::Init(const GraphDbOptions& options,
       db->engine_,
       jit::JitQueryEngine::Create(db->store_.get(), db->indexes_.get(),
                                   options.query_threads, db->qcache_.get()));
+  db->engine_->set_scan_options(options.scan);
   return db;
+}
+
+std::string GraphDb::Explain(const query::Plan& plan) const {
+  query::ExplainAnnotation ann;
+  ann.threads = engine_->pool()->num_threads();
+  ann.morsel = query::QueryEngine::kMorselSize;
+  ann.batch = engine_->scan_options().batch_enabled;
+  return plan.ToString(&store_->dict(), &ann);
 }
 
 Result<query::QueryResult> GraphDb::Execute(

@@ -41,6 +41,10 @@ struct GraphDbOptions {
   /// to measure pure software overhead).
   bool has_latency_override = false;
   pmem::LatencyModel latency_override;
+  /// Batched-scan knobs (batch size, prefetch distance, batching on/off)
+  /// applied to all executions; defaults honour the POSEIDON_SCAN_* env
+  /// variables for ablation sweeps.
+  storage::ScanOptions scan = storage::ScanOptions::FromEnv();
 };
 
 class GraphDb {
@@ -86,6 +90,18 @@ class GraphDb {
   /// Creates (and bulk-loads) a secondary index on (label, property).
   Status CreateIndex(std::string_view label, std::string_view key,
                      index::Placement placement = index::Placement::kHybrid);
+
+  /// Batched-scan knobs; settable at runtime for ablation.
+  const storage::ScanOptions& scan_options() const {
+    return engine_->scan_options();
+  }
+  void set_scan_options(const storage::ScanOptions& o) {
+    engine_->set_scan_options(o);
+  }
+
+  /// EXPLAIN: renders `plan` with execution-mode annotations on the
+  /// pipeline source (worker threads, morsel size, batching state).
+  std::string Explain(const query::Plan& plan) const;
 
   /// True if Open() had to recover from an unclean shutdown.
   bool recovered_from_crash() const { return recovered_; }

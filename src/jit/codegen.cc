@@ -1,6 +1,7 @@
 #include "jit/codegen.h"
 
 #include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/Intrinsics.h>
 #include <llvm/IR/Verifier.h>
 
 #include <functional>
@@ -69,8 +70,9 @@ bool IsInlinable(const Op* op, bool is_source) {
 
 class CodeGenerator {
  public:
-  CodeGenerator(const Plan& plan, const std::string& fn_name)
-      : plan_(plan), fn_name_(fn_name) {}
+  CodeGenerator(const Plan& plan, const std::string& fn_name,
+                const storage::ScanOptions& scan)
+      : plan_(plan), fn_name_(fn_name), scan_(scan) {}
 
   Result<CodegenResult> Generate();
 
@@ -113,6 +115,11 @@ class CodeGenerator {
   /// Emits the conditional PMem read-latency injection for [ptr, ptr+len).
   void EmitTouch(llvm::Value* ptr, uint64_t len);
 
+  /// Emits a software prefetch for [ptr, ptr+len): the hardware prefetch
+  /// instruction unconditionally, plus the emulated-PMem asynchronous-fill
+  /// helper when the pool charges read latency.
+  void EmitPrefetch(llvm::Value* ptr, uint64_t len);
+
   /// Resolves record `id` into handle `slot_ptr`. Inlines the paper's hot
   /// path: chunk addressing, occupancy bitmap, MVTO fast-path visibility
   /// (unlocked latest committed version, rts bump + revalidation); all
@@ -137,11 +144,14 @@ class CodeGenerator {
   Status EmitProject(const Op* op, size_t i, llvm::BasicBlock* cont);
   Status EmitTailCall(llvm::BasicBlock* cont);
   Status EmitNodeScanSource();
+  Status EmitNodeScanScalar();
+  Status EmitNodeScanBatched();
   Status EmitIndexScanSource();
   Status EmitCreateSource();
 
   const Plan& plan_;
   std::string fn_name_;
+  storage::ScanOptions scan_;
 
   std::unique_ptr<llvm::LLVMContext> context_;
   std::unique_ptr<llvm::Module> module_;
@@ -176,7 +186,8 @@ class CodeGenerator {
   uint32_t emit_width_ = 0;
 
   llvm::FunctionCallee h_node_ref_, h_rel_ref_, h_get_prop_, h_param_,
-      h_compare_, h_index_matches_, h_index_match_at_, h_emit_, h_touch_;
+      h_compare_, h_index_matches_, h_index_match_at_, h_emit_, h_touch_,
+      h_prefetch_;
 
   std::map<int, Col> params_;
   std::vector<Col> cols_;
@@ -216,6 +227,9 @@ void CodeGenerator::DeclareHelpers() {
       llvm::FunctionType::get(i32, {ptr, i32, i32, i64p, ptr}, false));
   h_touch_ = module_->getOrInsertFunction(
       "poseidon_touch",
+      llvm::FunctionType::get(void_ty, {ptr, ptr, i64}, false));
+  h_prefetch_ = module_->getOrInsertFunction(
+      "poseidon_prefetch",
       llvm::FunctionType::get(void_ty, {ptr, ptr, i64}, false));
 }
 
@@ -275,6 +289,19 @@ void CodeGenerator::EmitTouch(llvm::Value* ptr, uint64_t len) {
   b().CreateCondBr(hdr_has_latency_, touch_bb, cont_bb);
   b().SetInsertPoint(touch_bb);
   b().CreateCall(h_touch_, {arg_state_, ptr, C64(len)});
+  b().CreateBr(cont_bb);
+  b().SetInsertPoint(cont_bb);
+}
+
+void CodeGenerator::EmitPrefetch(llvm::Value* ptr, uint64_t len) {
+  // llvm.prefetch(ptr, rw=read, locality=0 (streaming), cache=data).
+  b().CreateIntrinsic(llvm::Intrinsic::prefetch, {PtrTy()},
+                      {ptr, C32(0), C32(0), C32(1)});
+  auto* pf_bb = NewBlock("prefetch");
+  auto* cont_bb = NewBlock("prefetch.cont");
+  b().CreateCondBr(hdr_has_latency_, pf_bb, cont_bb);
+  b().SetInsertPoint(pf_bb);
+  b().CreateCall(h_prefetch_, {arg_state_, ptr, C64(len)});
   b().CreateBr(cont_bb);
   b().SetInsertPoint(cont_bb);
 }
@@ -800,6 +827,144 @@ Status CodeGenerator::EmitPipeline(size_t i, llvm::BasicBlock* cont) {
 }
 
 Status CodeGenerator::EmitNodeScanSource() {
+  return scan_.batch_enabled ? EmitNodeScanBatched() : EmitNodeScanScalar();
+}
+
+// Batched scan loop (mirrors ChunkedTable::ScanBatch): the outer loop walks
+// 64-bit occupancy words — one `bits != 0` test skips 64 empty slots — and
+// the inner loop extracts set bits with cttz. Before resolving a record the
+// next occupied record of the word is prefetched, and on entering a chunk
+// the next chunk's header is, so the emulated PMem fill overlaps the MVTO
+// visibility check and downstream operators.
+Status CodeGenerator::EmitNodeScanBatched() {
+  const Op* src = ops_[0];
+  llvm::IRBuilder<> eb(entry_, entry_->begin());
+  auto* w_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "scan.w");
+  auto* bits_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "scan.bits");
+  auto [slot, slot_idx] = AllocHandle();
+  handle_ptrs_[slot_idx] = slot;
+
+  // Occupancy words covering [begin, end): w in [begin>>6, (end+63)>>6).
+  // Morsel bounds are multiples of 64 in practice; partial first/last words
+  // are handled by masking below.
+  auto* w_begin = b().CreateLShr(arg_begin_, C64(6), "w.begin");
+  auto* w_end_raw = b().CreateLShr(b().CreateAdd(arg_end_, C64(63)), C64(6));
+  // Clamp to the allocated chunks (ScanBatch clamps `end` to NumSlots the
+  // same way) so the chunk-base load below never reads past the table.
+  auto* w_cap = b().CreateShl(hdr_node_nc_, C64(3));  // 8 words per chunk
+  auto* w_end = b().CreateSelect(b().CreateICmpULT(w_end_raw, w_cap),
+                                 w_end_raw, w_cap, "w.end");
+  b().CreateStore(w_begin, w_addr);
+
+  auto* whead = NewBlock("scan.whead");
+  auto* wbody = NewBlock("scan.wbody");
+  auto* wlatch = NewBlock("scan.wlatch");
+  auto* bhead = NewBlock("scan.bhead");
+  auto* bbody = NewBlock("scan.bbody");
+  auto* blatch = NewBlock("scan.blatch");
+  b().CreateBr(whead);
+
+  b().SetInsertPoint(whead);
+  auto* w = b().CreateLoad(I64(), w_addr, "w");
+  b().CreateCondBr(b().CreateICmpULT(w, w_end), wbody, ret_ok_);
+
+  // wbody: load the word, mask the partial first/last words of the morsel,
+  // skip the whole word when nothing survives.
+  b().SetInsertPoint(wbody);
+  auto* chunk = b().CreateLShr(w, C64(3), "chunk");  // 8 words per chunk
+  auto* base = b().CreateLoad(
+      PtrTy(), b().CreateGEP(PtrTy(), hdr_node_chunks_, chunk), "chunk_base");
+  if (scan_.prefetch_distance != 0) {
+    // First word of a chunk: prefetch the next chunk's header.
+    auto* at_start = b().CreateICmpEQ(b().CreateAnd(w, C64(7)), C64(0));
+    auto* next_chunk = b().CreateAdd(chunk, C64(1));
+    auto* have_next = b().CreateICmpULT(next_chunk, hdr_node_nc_);
+    auto* pf_bb = NewBlock("scan.pfhdr");
+    auto* pf_cont = NewBlock("scan.pfhdr.cont");
+    b().CreateCondBr(b().CreateAnd(at_start, have_next), pf_bb, pf_cont);
+    b().SetInsertPoint(pf_bb);
+    auto* next_base = b().CreateLoad(
+        PtrTy(), b().CreateGEP(PtrTy(), hdr_node_chunks_, next_chunk));
+    EmitPrefetch(next_base, kNodeHeaderBytes);
+    b().CreateBr(pf_cont);
+    b().SetInsertPoint(pf_cont);
+  }
+  auto* word_addr = b().CreateGEP(
+      I8(), base,
+      b().CreateAdd(C64(16), b().CreateShl(b().CreateAnd(w, C64(7)), C64(3))));
+  auto* word = b().CreateLoad(
+      I64(),
+      b().CreateBitCast(word_addr, llvm::Type::getInt64PtrTy(*context_)),
+      "occ");
+  auto* word_base = b().CreateShl(w, C64(6), "word_base");
+  auto* lo_mask = b().CreateSelect(
+      b().CreateICmpEQ(w, w_begin),
+      b().CreateShl(C64(~0ull), b().CreateAnd(arg_begin_, C64(63))),
+      C64(~0ull));
+  auto* avail = b().CreateSub(arg_end_, word_base);
+  auto* hi_mask = b().CreateSelect(
+      b().CreateICmpULT(avail, C64(64)),
+      b().CreateSub(b().CreateShl(C64(1), avail), C64(1)), C64(~0ull));
+  auto* bits0 = b().CreateAnd(word, b().CreateAnd(lo_mask, hi_mask), "bits");
+  b().CreateStore(bits0, bits_addr);
+  b().CreateCondBr(b().CreateICmpEQ(bits0, C64(0)), wlatch, bhead);
+
+  b().SetInsertPoint(bhead);
+  auto* bits = b().CreateLoad(I64(), bits_addr);
+  b().CreateCondBr(b().CreateICmpEQ(bits, C64(0)), wlatch, bbody);
+
+  b().SetInsertPoint(bbody);
+  auto* tz = b().CreateIntrinsic(llvm::Intrinsic::cttz, {I64()},
+                                 {bits, b().getInt1(true)});
+  auto* id = b().CreateOr(word_base, tz, "id");
+  auto* rest = b().CreateAnd(bits, b().CreateSub(bits, C64(1)));
+  b().CreateStore(rest, bits_addr);
+  if (scan_.prefetch_distance != 0) {
+    // Prefetch the next occupied record of this word before the current
+    // one's (latency-charged) resolution.
+    auto* pf_bb = NewBlock("scan.pfrec");
+    auto* pf_cont = NewBlock("scan.pfrec.cont");
+    b().CreateCondBr(b().CreateICmpNE(rest, C64(0)), pf_bb, pf_cont);
+    b().SetInsertPoint(pf_bb);
+    auto* ntz = b().CreateIntrinsic(llvm::Intrinsic::cttz, {I64()},
+                                    {rest, b().getInt1(true)});
+    auto* nslot = b().CreateAnd(b().CreateOr(word_base, ntz), C64(kRpcMask));
+    auto* nrec = b().CreateGEP(
+        I8(), base,
+        b().CreateAdd(C64(kNodeHeaderBytes),
+                      b().CreateMul(nslot,
+                                    C64(sizeof(storage::NodeRecord)))));
+    EmitPrefetch(nrec, sizeof(storage::NodeRecord));
+    b().CreateBr(pf_cont);
+    b().SetInsertPoint(pf_cont);
+  }
+  auto* visible = EmitRecordRef(/*is_node=*/true, id, slot, slot_idx);
+  auto* check = NewBlock("scan.check");
+  b().CreateCondBr(visible, check, blatch);
+  b().SetInsertPoint(check);
+  if (src->label != storage::kInvalidCode) {
+    auto* rec = LoadRec(slot);
+    auto* match = b().CreateICmpEQ(LoadLabel(rec), C32(src->label));
+    auto* process = NewBlock("scan.process");
+    b().CreateCondBr(match, process, blatch);
+    b().SetInsertPoint(process);
+  }
+  cols_.clear();
+  cols_.push_back(
+      Col{id, CKind(Value::Kind::kNode), static_cast<int>(slot_idx)});
+  POSEIDON_RETURN_IF_ERROR(EmitPipeline(1, blatch));
+
+  b().SetInsertPoint(blatch);
+  b().CreateBr(bhead);
+
+  b().SetInsertPoint(wlatch);
+  auto* wcur = b().CreateLoad(I64(), w_addr);
+  b().CreateStore(b().CreateAdd(wcur, C64(1)), w_addr);
+  b().CreateBr(whead);
+  return Status::Ok();
+}
+
+Status CodeGenerator::EmitNodeScanScalar() {
   const Op* src = ops_[0];
   llvm::IRBuilder<> eb(entry_, entry_->begin());
   auto* id_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "scan.id");
@@ -844,10 +1009,14 @@ Status CodeGenerator::EmitIndexScanSource() {
   const Op* src = ops_[0];
   auto* count =
       b().CreateCall(h_index_matches_, {arg_state_, C32(0), arg_thread_});
+  // Morsel ranges address positions in the materialized match list: iterate
+  // [begin, min(end, count)) so parallel workers split the matches.
+  auto* limit = b().CreateSelect(b().CreateICmpULT(count, arg_end_), count,
+                                 arg_end_, "idx.limit");
 
   llvm::IRBuilder<> eb(entry_, entry_->begin());
   auto* i_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "idx.i");
-  b().CreateStore(C64(0), i_addr);
+  b().CreateStore(arg_begin_, i_addr);
   auto [slot, slot_idx] = AllocHandle();
   handle_ptrs_[slot_idx] = slot;
 
@@ -858,7 +1027,7 @@ Status CodeGenerator::EmitIndexScanSource() {
 
   b().SetInsertPoint(head);
   auto* iv = b().CreateLoad(I64(), i_addr);
-  b().CreateCondBr(b().CreateICmpULT(iv, count), body, ret_ok_);
+  b().CreateCondBr(b().CreateICmpULT(iv, limit), body, ret_ok_);
 
   b().SetInsertPoint(body);
   auto* id =
@@ -1073,11 +1242,12 @@ Result<CodegenResult> CodeGenerator::Generate() {
 }  // namespace
 
 Result<CodegenResult> GenerateQueryIR(const query::Plan& plan,
-                                      const std::string& function_name) {
+                                      const std::string& function_name,
+                                      const storage::ScanOptions& scan) {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("empty plan");
   }
-  CodeGenerator gen(plan, function_name);
+  CodeGenerator gen(plan, function_name, scan);
   return gen.Generate();
 }
 

@@ -30,6 +30,7 @@
 #include <llvm/IR/Module.h>
 
 #include "query/plan.h"
+#include "storage/scan_options.h"
 #include "util/status.h"
 
 namespace poseidon::jit {
@@ -47,9 +48,15 @@ struct CodegenResult {
 };
 
 /// Generates the IR module for `plan`. `function_name` must be unique per
-/// module (the engine derives it from the plan signature hash).
-Result<CodegenResult> GenerateQueryIR(const query::Plan& plan,
-                                      const std::string& function_name);
+/// module (the engine derives it from the plan signature hash). `scan`
+/// selects the scan-loop shape baked into the code: with batching enabled
+/// the node-scan source iterates occupancy bitmap words (whole-word skip
+/// test, cttz bit extraction) and issues software prefetches for the next
+/// occupied record and the next chunk header; the knobs are part of the
+/// compiled-code cache key.
+Result<CodegenResult> GenerateQueryIR(
+    const query::Plan& plan, const std::string& function_name,
+    const storage::ScanOptions& scan = storage::ScanOptions{});
 
 /// Generated function type: i32(state, begin, end, thread).
 using CompiledQueryFn = int32_t (*)(void* state, uint64_t begin, uint64_t end,

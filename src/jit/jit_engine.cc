@@ -59,6 +59,7 @@ llvm::Error RegisterRuntimeSymbols(llvm::orc::LLJIT* jit,
   add("poseidon_index_match_at", &poseidon_index_match_at);
   add("poseidon_emit", &poseidon_emit);
   add("poseidon_touch", &poseidon_touch);
+  add("poseidon_prefetch", &poseidon_prefetch);
   return jd.define(llvm::orc::absoluteSymbols(std::move(symbols)));
 }
 
@@ -123,7 +124,14 @@ Result<std::unique_ptr<JitEngine>> JitEngine::Create(QueryCache* cache) {
 
 uint64_t JitEngine::QueryIdFor(const query::Plan& plan,
                                const JitOptions& options) {
-  return HashCombine(HashString(plan.Signature()), options.optimize ? 1 : 2);
+  uint64_t id =
+      HashCombine(HashString(plan.Signature()), options.optimize ? 1 : 2);
+  // The scan knobs are codegen inputs (they change the emitted loop), so
+  // they participate in the cache key.
+  id = HashCombine(id, options.scan.batch_enabled ? 1 : 2);
+  id = HashCombine(id, options.scan.batch_size);
+  id = HashCombine(id, options.scan.prefetch_distance);
+  return id;
 }
 
 bool JitEngine::TryGetMemoized(const query::Plan& plan,
@@ -218,8 +226,8 @@ Result<JitEngine::PendingCompile> JitEngine::BeginCompile(
 
   // --- IR generation (the only phase that reads the plan) -----------------
   StopWatch watch;
-  POSEIDON_ASSIGN_OR_RETURN(pending.code,
-                            GenerateQueryIR(plan, pending.fn_name));
+  POSEIDON_ASSIGN_OR_RETURN(
+      pending.code, GenerateQueryIR(plan, pending.fn_name, options.scan));
   pending.result.codegen_ms = watch.ElapsedMs();
   pending.result.tail_index = pending.code.tail_index;
   pending.result.num_handle_slots = pending.code.num_handle_slots;
@@ -229,6 +237,18 @@ Result<JitEngine::PendingCompile> JitEngine::BeginCompile(
 
 Result<CompiledQuery> JitEngine::FinishCompile(PendingCompile pending) {
   if (pending.done) return pending.result;
+  // LLVM's legacy pass managers, the shared TargetMachine, and ORC session
+  // mutations must not run from two threads at once: an adaptive background
+  // compile racing a foreground Compile corrupts the heap or fails with
+  // "symbol already defined". One compile at a time; a racer that lost
+  // reuses the winner's memoized code instead of re-linking.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = memo_.find(pending.result.query_id); it != memo_.end()) {
+    CompiledQuery hit = it->second;
+    hit.from_memo = true;
+    hit.codegen_ms = hit.optimize_ms = hit.compile_ms = 0;
+    return hit;
+  }
   CompiledQuery result = pending.result;
 
   // --- Optimization ---------------------------------------------------------
@@ -268,10 +288,7 @@ Result<CompiledQuery> JitEngine::FinishCompile(PendingCompile pending) {
                             LlvmErrToString(sym.takeError()));
   }
   result.fn = reinterpret_cast<CompiledQueryFn>(sym->getAddress());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    memo_[result.query_id] = result;
-  }
+  memo_[result.query_id] = result;
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "jit/codegen.h"
 #include "jit/query_cache.h"
 #include "query/plan.h"
+#include "storage/scan_options.h"
 
 namespace llvm {
 class TargetMachine;
@@ -48,6 +49,10 @@ struct JitOptions {
   bool optimize = true;
   /// Consult/fill the persistent code cache.
   bool use_persistent_cache = true;
+  /// Batched-scan knobs baked into the generated scan loop (word-level
+  /// skip test, prefetch distance). Part of the cache key: different knob
+  /// settings produce different machine code.
+  storage::ScanOptions scan;
 };
 
 class JitEngine {

@@ -79,11 +79,16 @@ Status JitQueryEngine::RunCompiledSerial(const CompiledQuery& compiled,
   if (compiled.num_handle_slots > kMaxHandleSlots) {
     return Status::Internal("query exceeds the handle-slot budget");
   }
+  // NodeScan and index sources are range sources: the compiled function
+  // consumes [begin, end) morsels (slot ids / match positions). Create
+  // pipelines take a single invocation.
   uint64_t slots = exec->SourceCardinality();
-  bool scan_source = !exec->ops().empty() &&
-                     exec->ops().front()->kind == query::OpKind::kNodeScan;
-  if (!scan_source) {
-    // Non-scan source (index lookup / create pipeline): one invocation.
+  const query::Op* front = exec->ops().empty() ? nullptr : exec->ops().front();
+  bool range_source =
+      front != nullptr && (front->kind == query::OpKind::kNodeScan ||
+                           front->kind == query::OpKind::kIndexScan ||
+                           front->kind == query::OpKind::kIndexRangeScan);
+  if (!range_source) {
     int32_t code = compiled.fn(state, 0, 1, 0);
     if (stats != nullptr) ++stats->jit_morsels;
     return StatusFromCode(code, state);
@@ -107,12 +112,19 @@ Result<QueryResult> JitQueryEngine::Execute(
   if (stats == nullptr) stats = &local_stats;
   *stats = ExecStats();
 
+  // Engine-level scan knobs flow into both execution paths: the interpreter
+  // reads them from the context, the code generator bakes them into the
+  // compiled scan loop (and the compiled-code cache key).
+  JitOptions jit_options = options;
+  jit_options.scan = scan_options_;
+
   query::ResultCollector collector;
   query::ExecContext ctx;
   ctx.tx = tx;
   ctx.store = store_;
   ctx.indexes = indexes_;
   ctx.params = &params;
+  ctx.scan = scan_options_;
   PipelineExecutor exec(plan, ctx, &collector);
   POSEIDON_RETURN_IF_ERROR(exec.Prepare());
 
@@ -152,7 +164,7 @@ Result<QueryResult> JitQueryEngine::Execute(
 
     case ExecutionMode::kJit: {
       POSEIDON_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                                engine_->Compile(plan, options));
+                                engine_->Compile(plan, jit_options));
       stats->compile_ms = compiled.codegen_ms + compiled.optimize_ms +
                           compiled.compile_ms;
       stats->cache_hit = compiled.from_persistent_cache;
@@ -178,7 +190,7 @@ Result<QueryResult> JitQueryEngine::Execute(
       // optimization/compilation/linking happens in the background
       // (deduplicated: repeated adaptive runs of an in-flight query must
       // not stack up compile threads).
-      auto pending = engine_->BeginCompile(plan, options);
+      auto pending = engine_->BeginCompile(plan, jit_options);
       if (pending.ok() && pending->done) {
         // Memo/cache hit (§6.2: "If the code is found, it will be linked
         // with the current database instance").

@@ -64,6 +64,11 @@ class JitQueryEngine {
   ThreadPool* pool() { return &pool_; }
   storage::GraphStore* store() const { return store_; }
 
+  /// Batched-scan knobs applied to every execution (ablation surface);
+  /// shared by the interpreter context and the JIT codegen options.
+  const storage::ScanOptions& scan_options() const { return scan_options_; }
+  void set_scan_options(const storage::ScanOptions& o) { scan_options_ = o; }
+
   /// Blocks until background (adaptive) compilations are finished; call
   /// before tearing down plans or benchmark scopes.
   void WaitForBackgroundCompiles();
@@ -81,6 +86,7 @@ class JitQueryEngine {
   index::IndexManager* indexes_;
   ThreadPool pool_;
   std::unique_ptr<JitEngine> engine_;
+  storage::ScanOptions scan_options_ = storage::ScanOptions::FromEnv();
 
   std::mutex bg_mu_;
   std::condition_variable bg_done_;

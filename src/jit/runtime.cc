@@ -130,8 +130,19 @@ int32_t poseidon_compare(uint32_t cmp, uint32_t kind_a, uint64_t raw_a,
 uint64_t poseidon_index_matches(void* state, uint32_t op_idx,
                                 uint32_t thread) {
   auto* s = State(state);
+  auto& slots = *s->threads[thread];
+  // Prefer the executor's matches materialized by Prepare(): morsel ranges
+  // [begin, end) address positions in that list, so compiled code must see
+  // the exact ordering and count SourceCardinality() reported.
+  if (op_idx == 0 && s->executor != nullptr) {
+    if (const auto* shared = s->executor->SourceMatches()) {
+      slots.shared_matches = shared;
+      return shared->size();
+    }
+  }
+  slots.shared_matches = nullptr;
   const query::Op* op = s->ops[op_idx];
-  auto& buffer = s->threads[thread]->index_matches;
+  auto& buffer = slots.index_matches;
   buffer.clear();
   if (s->ctx.indexes == nullptr) {
     s->SetError(Status::FailedPrecondition("no index manager configured"));
@@ -167,11 +178,17 @@ uint64_t poseidon_index_matches(void* state, uint32_t op_idx,
 }
 
 uint64_t poseidon_index_match_at(void* state, uint32_t thread, uint64_t i) {
-  return State(state)->threads[thread]->index_matches[i];
+  const auto& slots = *State(state)->threads[thread];
+  if (slots.shared_matches != nullptr) return (*slots.shared_matches)[i];
+  return slots.index_matches[i];
 }
 
 void poseidon_touch(void* state, const void* ptr, uint64_t len) {
   State(state)->ctx.store->pool()->TouchRead(ptr, len);
+}
+
+void poseidon_prefetch(void* state, const void* ptr, uint64_t len) {
+  State(state)->ctx.store->pool()->TouchPrefetch(ptr, len);
 }
 
 int32_t poseidon_emit(void* state, int32_t tail_idx, uint32_t n,

@@ -75,6 +75,11 @@ struct JitRuntimeState {
   struct ThreadSlots {
     std::vector<std::vector<storage::Property>> snapshots;
     std::vector<storage::RecordId> index_matches;  ///< index-scan buffer
+    /// Borrowed pointer to the executor's materialized match list (set by
+    /// poseidon_index_matches when available). Sharing it keeps compiled
+    /// and interpreted morsels in agreement on match ordering and count
+    /// (PipelineExecutor::SourceCardinality drives the morsel split).
+    const std::vector<storage::RecordId>* shared_matches = nullptr;
   };
   std::vector<std::unique_ptr<ThreadSlots>> threads;
 
@@ -128,6 +133,13 @@ uint64_t poseidon_index_match_at(void* state, uint32_t thread, uint64_t i);
 /// Injects the emulated PMem read latency for [ptr, ptr+len). Generated
 /// code calls this only when JitStateHeader::read_latency is nonzero.
 void poseidon_touch(void* state, const void* ptr, uint64_t len);
+
+/// Starts the emulated-PMem asynchronous fill for [ptr, ptr+len) without
+/// blocking (the hardware prefetch instruction is emitted inline by the
+/// generated code). A later poseidon_touch of the same block pays only the
+/// residual latency. Called only when JitStateHeader::read_latency is
+/// nonzero.
+void poseidon_prefetch(void* state, const void* ptr, uint64_t len);
 
 /// Emits a finished tuple. `tail_idx` < 0 sends it to the collector;
 /// otherwise the tuple enters the interpreter pipeline at operator

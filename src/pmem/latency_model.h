@@ -18,6 +18,7 @@
 #ifndef POSEIDON_PMEM_LATENCY_MODEL_H_
 #define POSEIDON_PMEM_LATENCY_MODEL_H_
 
+#include <chrono>
 #include <cstdint>
 
 #include "util/spin_timer.h"
@@ -27,6 +28,11 @@ namespace poseidon::pmem {
 /// Size of the internal DCPMM write-combining block (C3).
 inline constexpr uint64_t kPmemBlockSize = 256;
 inline constexpr uint64_t kCacheLineSize = 64;
+
+/// Number of in-flight software prefetches the model tracks per thread,
+/// mirroring the small number of fill buffers a core can keep outstanding
+/// against the DIMM. Prefetches beyond this evict the oldest entry.
+inline constexpr uint32_t kPrefetchSlots = 8;
 
 struct LatencyModel {
   /// Extra nanoseconds per 256-byte block on a read access (0 = disabled).
@@ -52,18 +58,48 @@ struct LatencyModel {
   /// accesses within one block (sequential scans over 64 B records, chained
   /// property records in the same block) are served buffer-hot, which is
   /// what gives PMem its near-sequential-bandwidth behaviour (C3).
+  ///
+  /// Blocks announced via OnPrefetch earlier only pay the *remaining* time
+  /// until the in-flight fill completes (possibly zero), so software
+  /// prefetching overlaps PMem latency with real work — exactly the effect a
+  /// hardware `prefetchnta` has against a DCPMM.
   void OnRead(const void* addr, uint64_t len) const {
     if (read_block_ns == 0 || len == 0) return;
-    thread_local uint64_t last_block = ~0ull;
+    PrefetchRing& ring = TlsRing();
     auto a = reinterpret_cast<uint64_t>(addr);
     uint64_t first = a / kPmemBlockSize;
     uint64_t last = (a + len - 1) / kPmemBlockSize;
-    uint64_t charged = 0;
+    uint64_t wait_ns = 0;
+    uint64_t now = 0;  // fetched lazily; steady_clock reads are not free
     for (uint64_t b = first; b <= last; ++b) {
-      if (b != last_block) ++charged;
+      if (b == ring.last_block) continue;
+      if (uint64_t* ready_at = ring.Find(b)) {
+        if (now == 0) now = NowNs();
+        if (*ready_at > now) wait_ns += *ready_at - now;
+        continue;  // fill already in flight; pay only the residual
+      }
+      wait_ns += read_block_ns;
     }
-    last_block = last;
-    if (charged != 0) SpinWaitNs(read_block_ns * charged);
+    ring.last_block = last;
+    if (wait_ns != 0) SpinWaitNs(wait_ns);
+  }
+
+  /// Announces an upcoming read of [addr, addr+len): starts a modeled fill
+  /// that completes `read_block_ns` from now for each touched block. Pair
+  /// with __builtin_prefetch so the DRAM emulation machine also warms its
+  /// real caches. A later OnRead of the same block spins only for whatever
+  /// portion of the fill has not yet elapsed.
+  void OnPrefetch(const void* addr, uint64_t len) const {
+    if (read_block_ns == 0 || len == 0) return;
+    PrefetchRing& ring = TlsRing();
+    auto a = reinterpret_cast<uint64_t>(addr);
+    uint64_t first = a / kPmemBlockSize;
+    uint64_t last = (a + len - 1) / kPmemBlockSize;
+    uint64_t now = NowNs();
+    for (uint64_t b = first; b <= last; ++b) {
+      if (b == ring.last_block || ring.Find(b) != nullptr) continue;
+      ring.Insert(b, now + read_block_ns);
+    }
   }
 
   /// Models flushing `lines` dirty cache lines.
@@ -74,6 +110,45 @@ struct LatencyModel {
   /// Models a store fence.
   void OnDrain() const {
     if (drain_ns != 0) SpinWaitNs(drain_ns);
+  }
+
+ private:
+  /// Per-thread view of the DIMM's buffering: the most recently accessed
+  /// block (served hot) plus up to kPrefetchSlots fills in flight.
+  struct PrefetchRing {
+    uint64_t last_block = ~0ull;
+    uint64_t blocks[kPrefetchSlots];
+    uint64_t ready_at_ns[kPrefetchSlots] = {};
+    uint32_t next = 0;
+
+    PrefetchRing() {
+      for (uint64_t& b : blocks) b = ~0ull;
+    }
+
+    uint64_t* Find(uint64_t block) {
+      for (uint32_t i = 0; i < kPrefetchSlots; ++i) {
+        if (blocks[i] == block) return &ready_at_ns[i];
+      }
+      return nullptr;
+    }
+
+    void Insert(uint64_t block, uint64_t ready_at) {
+      blocks[next] = block;
+      ready_at_ns[next] = ready_at;
+      next = (next + 1) % kPrefetchSlots;
+    }
+  };
+
+  static PrefetchRing& TlsRing() {
+    thread_local PrefetchRing ring;
+    return ring;
+  }
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   }
 };
 

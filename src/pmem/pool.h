@@ -141,6 +141,15 @@ class Pool {
     latency_.OnRead(addr, len);
   }
 
+  /// Starts a modeled asynchronous fill of [addr, addr+len) and issues a
+  /// hardware prefetch. A later TouchRead of the same 256 B block pays only
+  /// the portion of the PMem latency that has not yet elapsed, so scan
+  /// kernels can hide read latency behind useful work (software prefetch).
+  void TouchPrefetch(const void* addr, uint64_t len) const {
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/0);
+    latency_.OnPrefetch(addr, len);
+  }
+
   // --- Root object -------------------------------------------------------
 
   /// The root offset is the application's entry point into the pool

@@ -16,6 +16,7 @@ Result<QueryResult> QueryEngine::Execute(const Plan& plan,
   ctx.store = store_;
   ctx.indexes = indexes_;
   ctx.params = &params;
+  ctx.scan = scan_options_;
   PipelineExecutor exec(plan, ctx, &out);
   POSEIDON_RETURN_IF_ERROR(exec.Prepare());
 

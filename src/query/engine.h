@@ -29,8 +29,9 @@ class QueryEngine {
   QueryEngine(storage::GraphStore* store, index::IndexManager* indexes,
               size_t num_threads);
 
-  /// Executes `plan` inside `tx`. With `parallel` set and a scannable
-  /// source, morsels run on the worker pool.
+  /// Executes `plan` inside `tx`. With `parallel` set and a splittable
+  /// source (NodeScan table slots, index-scan match positions), morsels run
+  /// on the worker pool.
   Result<QueryResult> Execute(const Plan& plan, tx::Transaction* tx,
                               const std::vector<Value>& params,
                               bool parallel = false);
@@ -39,10 +40,15 @@ class QueryEngine {
   index::IndexManager* indexes() const { return indexes_; }
   ThreadPool* pool() { return &pool_; }
 
+  /// Batched-scan knobs applied to every execution (ablation surface).
+  const storage::ScanOptions& scan_options() const { return scan_options_; }
+  void set_scan_options(const storage::ScanOptions& o) { scan_options_ = o; }
+
  private:
   storage::GraphStore* store_;
   index::IndexManager* indexes_;
   ThreadPool pool_;
+  storage::ScanOptions scan_options_ = storage::ScanOptions::FromEnv();
 };
 
 }  // namespace poseidon::query

@@ -25,6 +25,23 @@ uint64_t JoinKeyHash(const Value& v) {
   return HashCombine(static_cast<uint64_t>(v.kind()), v.raw());
 }
 
+bool IsIndexSource(const Op* op) {
+  return op != nullptr && (op->kind == OpKind::kIndexScan ||
+                           op->kind == OpKind::kIndexRangeScan);
+}
+
+// Per-worker tuple sink: while set, terminal pushes append here instead of
+// taking the collector lock; RunMorsel flushes the buffer once per morsel.
+thread_local std::vector<Tuple>* tl_sink = nullptr;
+
+struct ScopedSink {
+  explicit ScopedSink(std::vector<Tuple>* sink) : prev_(tl_sink) {
+    tl_sink = sink;
+  }
+  ~ScopedSink() { tl_sink = prev_; }
+  std::vector<Tuple>* prev_;
+};
+
 }  // namespace
 
 PipelineExecutor::PipelineExecutor(const Plan& plan, ExecContext ctx,
@@ -146,20 +163,58 @@ Status PipelineExecutor::Prepare() {
       }
     }
   }
+  if (IsIndexSource(ops_.empty() ? nullptr : ops_.front())) {
+    POSEIDON_RETURN_IF_ERROR(MaterializeIndexMatches());
+  }
   prepared_ = true;
+  return Status::Ok();
+}
+
+Status PipelineExecutor::MaterializeIndexMatches() {
+  const Op* src = ops_.front();
+  if (ctx_.indexes == nullptr) {
+    return Status::FailedPrecondition("no index manager configured");
+  }
+  index::BPlusTree* tree = ctx_.indexes->Find(src->label, src->key);
+  if (tree == nullptr) {
+    return Status::FailedPrecondition("no index on (label, key)");
+  }
+  Tuple t;
+  POSEIDON_ASSIGN_OR_RETURN(Value lo, Eval(src->value, t, &ctx_));
+  source_lo_key_ = index::IndexKeyOf(lo.ToPVal());
+  source_hi_key_ = source_lo_key_;
+  if (src->kind == OpKind::kIndexRangeScan) {
+    POSEIDON_ASSIGN_OR_RETURN(Value hi, Eval(src->value2, t, &ctx_));
+    source_hi_key_ = index::IndexKeyOf(hi.ToPVal());
+  }
+  source_matches_.clear();
+  tree->ScanRange(index::BTreeKey{source_lo_key_, 0},
+                  index::BTreeKey{source_hi_key_, ~0ull},
+                  [&](const index::BTreeKey&, RecordId id) {
+                    source_matches_.push_back(id);
+                    return true;
+                  });
+  source_matches_valid_ = true;
   return Status::Ok();
 }
 
 uint64_t PipelineExecutor::SourceCardinality() const {
   const Op* src = ops_.empty() ? nullptr : ops_.front();
-  if (src == nullptr || src->kind != OpKind::kNodeScan) return 0;
-  return ctx_.store->nodes().NumSlots();
+  if (src == nullptr) return 0;
+  if (src->kind == OpKind::kNodeScan) return ctx_.store->nodes().NumSlots();
+  if (IsIndexSource(src) && source_matches_valid_) {
+    return source_matches_.size();
+  }
+  return 0;
 }
 
 Status PipelineExecutor::Run() {
   if (!prepared_) POSEIDON_RETURN_IF_ERROR(Prepare());
-  if (!ops_.empty() && ops_.front()->kind == OpKind::kNodeScan) {
-    // Scannable source; an empty table is a valid zero-slot scan.
+  const Op* src = ops_.empty() ? nullptr : ops_.front();
+  if (src != nullptr && (src->kind == OpKind::kNodeScan ||
+                         IsIndexSource(src))) {
+    // Scannable source; an empty table / empty match set is a valid
+    // zero-unit scan.
     Status s = RunSourceRange(0, SourceCardinality());
     if (!s.ok() && !IsStop(s)) return s;
   } else {
@@ -170,89 +225,132 @@ Status PipelineExecutor::Run() {
 }
 
 Status PipelineExecutor::RunMorsel(uint64_t begin, uint64_t end) {
-  Status s = RunSourceRange(begin, end);
+  // Buffer terminal tuples locally; one collector lock per morsel.
+  std::vector<Tuple> local;
+  Status s;
+  {
+    ScopedSink sink(&local);
+    s = RunSourceRange(begin, end);
+  }
+  collector_->AddBatch(std::move(local));
   if (IsStop(s)) return Status::Ok();
   return s;
 }
 
+Status PipelineExecutor::PushIndexMatch(const Op* src, RecordId id,
+                                        Tuple& t) {
+  // Re-validate against the snapshot: the index is a secondary structure
+  // maintained post-commit.
+  auto n = ctx_.tx->GetNode(id);
+  if (!n.ok()) {
+    if (n.status().IsNotFound()) return Status::Ok();
+    return n.status();
+  }
+  if (src->label != kInvalidCode && n->rec.label != src->label) {
+    return Status::Ok();
+  }
+  PVal p = n->from_snapshot
+               ? [&] {
+                   for (const auto& pr : n->snapshot) {
+                     if (pr.key == src->key) return pr.value;
+                   }
+                   return PVal::Null();
+                 }()
+               : ctx_.store->properties().Get(n->rec.props, src->key);
+  int64_t k = index::IndexKeyOf(p);
+  if (p.is_null() || k < source_lo_key_ || k > source_hi_key_) {
+    return Status::Ok();
+  }
+  t.clear();
+  t.push_back(Value::Node(id));
+  return Push(1, t);
+}
+
 Status PipelineExecutor::RunSourceRange(uint64_t begin, uint64_t end) {
   const Op* src = ops_.front();
-  if (src->kind != OpKind::kNodeScan) {
-    return Status::Internal("morsel execution requires a NodeScan source");
-  }
-  auto& table = ctx_.store->nodes();
-  uint64_t slots = table.NumSlots();
-  if (end > slots) end = slots;
+  const storage::ScanOptions& opts = ctx_.scan;
   Tuple t;
-  for (uint64_t id = begin; id < end; ++id) {
-    if (!table.IsOccupied(id)) continue;
-    auto n = ctx_.tx->GetNode(id);
-    if (!n.ok()) {
-      if (n.status().IsNotFound()) continue;  // invisible to this snapshot
-      return n.status();
+  switch (src->kind) {
+    case OpKind::kNodeScan: {
+      auto& table = ctx_.store->nodes();
+      uint64_t slots = table.NumSlots();
+      if (end > slots) end = slots;
+      if (!opts.batch_enabled) {
+        // Seed behaviour: slot-at-a-time occupancy probing, no prefetch.
+        for (uint64_t id = begin; id < end; ++id) {
+          if (!table.IsOccupied(id)) continue;
+          auto n = ctx_.tx->GetNode(id);
+          if (!n.ok()) {
+            if (n.status().IsNotFound()) continue;  // invisible to snapshot
+            return n.status();
+          }
+          if (src->label != kInvalidCode && n->rec.label != src->label) {
+            continue;
+          }
+          t.clear();
+          t.push_back(Value::Node(id));
+          Status s = Push(1, t);
+          if (!s.ok()) return s;
+        }
+        return Status::Ok();
+      }
+      // Batched fast path: gather occupied ids from the occupancy words
+      // (whole empty words skipped), then consume software-pipelined —
+      // the record `prefetch_distance` ahead is filling while the current
+      // one goes through the pipeline.
+      uint64_t cap = opts.batch_size == 0 ? 1 : opts.batch_size;
+      std::vector<RecordId> ids(cap);
+      uint64_t d = opts.prefetch_distance;
+      RecordId cursor = begin;
+      for (;;) {
+        uint64_t count = table.ScanBatch(&cursor, end, opts, ids.data(), cap);
+        if (count == 0) return Status::Ok();
+        for (uint64_t i = 0; i < count; ++i) {
+          if (d != 0 && i + d < count) table.Prefetch(ids[i + d]);
+          RecordId id = ids[i];
+          auto n = ctx_.tx->GetNode(id);
+          if (!n.ok()) {
+            if (n.status().IsNotFound()) continue;  // invisible to snapshot
+            return n.status();
+          }
+          if (src->label != kInvalidCode && n->rec.label != src->label) {
+            continue;
+          }
+          t.clear();
+          t.push_back(Value::Node(id));
+          Status s = Push(1, t);
+          if (!s.ok()) return s;
+        }
+      }
     }
-    if (src->label != kInvalidCode && n->rec.label != src->label) continue;
-    t.clear();
-    t.push_back(Value::Node(id));
-    Status s = Push(1, t);
-    if (!s.ok()) return s;
+
+    case OpKind::kIndexScan:
+    case OpKind::kIndexRangeScan: {
+      // Morsels address positions in the materialized match vector.
+      if (!source_matches_valid_) {
+        return Status::Internal("index matches not materialized");
+      }
+      uint64_t n = source_matches_.size();
+      if (end > n) end = n;
+      uint64_t d = opts.batch_enabled ? opts.prefetch_distance : 0;
+      auto& table = ctx_.store->nodes();
+      for (uint64_t i = begin; i < end; ++i) {
+        if (d != 0 && i + d < end) table.Prefetch(source_matches_[i + d]);
+        Status s = PushIndexMatch(src, source_matches_[i], t);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+
+    default:
+      return Status::Internal("morsel execution requires a scannable source");
   }
-  return Status::Ok();
 }
 
 Status PipelineExecutor::RunNonScanSource() {
   const Op* src = ops_.front();
   Tuple t;
   switch (src->kind) {
-    case OpKind::kIndexScan:
-    case OpKind::kIndexRangeScan: {
-      if (ctx_.indexes == nullptr) {
-        return Status::FailedPrecondition("no index manager configured");
-      }
-      index::BPlusTree* tree = ctx_.indexes->Find(src->label, src->key);
-      if (tree == nullptr) {
-        return Status::FailedPrecondition("no index on (label, key)");
-      }
-      POSEIDON_ASSIGN_OR_RETURN(Value lo, Eval(src->value, t, &ctx_));
-      int64_t lo_key = index::IndexKeyOf(lo.ToPVal());
-      int64_t hi_key = lo_key;
-      if (src->kind == OpKind::kIndexRangeScan) {
-        POSEIDON_ASSIGN_OR_RETURN(Value hi, Eval(src->value2, t, &ctx_));
-        hi_key = index::IndexKeyOf(hi.ToPVal());
-      }
-      std::vector<RecordId> matches;
-      tree->ScanRange(index::BTreeKey{lo_key, 0},
-                      index::BTreeKey{hi_key, ~0ull},
-                      [&](const index::BTreeKey&, RecordId id) {
-                        matches.push_back(id);
-                        return true;
-                      });
-      for (RecordId id : matches) {
-        // Re-validate against the snapshot: the index is a secondary
-        // structure maintained post-commit.
-        auto n = ctx_.tx->GetNode(id);
-        if (!n.ok()) {
-          if (n.status().IsNotFound()) continue;
-          return n.status();
-        }
-        if (src->label != kInvalidCode && n->rec.label != src->label) continue;
-        PVal p = n->from_snapshot
-                     ? [&] {
-                         for (const auto& pr : n->snapshot) {
-                           if (pr.key == src->key) return pr.value;
-                         }
-                         return PVal::Null();
-                       }()
-                     : ctx_.store->properties().Get(n->rec.props, src->key);
-        int64_t k = index::IndexKeyOf(p);
-        if (p.is_null() || k < lo_key || k > hi_key) continue;
-        t.clear();
-        t.push_back(Value::Node(id));
-        Status s = Push(1, t);
-        if (!s.ok()) return s;
-      }
-      return Status::Ok();
-    }
     case OpKind::kCreateNode: {
       // Create as an access path (paper §6.2: NodeScan and Create are the
       // two access paths): one empty input tuple.
@@ -266,7 +364,11 @@ Status PipelineExecutor::RunNonScanSource() {
 
 Status PipelineExecutor::Push(size_t i, Tuple& t) {
   if (i >= ops_.size()) {
-    collector_->Add(t);
+    if (tl_sink != nullptr) {
+      tl_sink->push_back(t);
+    } else {
+      collector_->Add(t);
+    }
     return Status::Ok();
   }
   const Op* op = ops_[i];

@@ -23,6 +23,7 @@
 #include "index/index_manager.h"
 #include "query/plan.h"
 #include "query/value.h"
+#include "storage/scan_options.h"
 #include "tx/transaction.h"
 
 namespace poseidon::query {
@@ -33,6 +34,7 @@ struct ExecContext {
   storage::GraphStore* store = nullptr;
   index::IndexManager* indexes = nullptr;       // may be null
   const std::vector<Value>* params = nullptr;   // may be null
+  storage::ScanOptions scan;                    // batched-scan knobs
 };
 
 /// Thread-safe sink receiving final tuples.
@@ -41,6 +43,19 @@ class ResultCollector {
   void Add(const Tuple& t) {
     std::lock_guard<std::mutex> lock(mu_);
     rows_.push_back(t);
+  }
+
+  /// Merges a per-worker tuple buffer under a single lock acquisition
+  /// (morsel workers buffer locally and flush here once per morsel).
+  void AddBatch(std::vector<Tuple>&& batch) {
+    if (batch.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rows_.empty()) {
+      rows_ = std::move(batch);
+    } else {
+      rows_.insert(rows_.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+    }
   }
 
   uint64_t size() const {
@@ -82,9 +97,18 @@ class PipelineExecutor {
   /// after all morsels completed.
   Status Finish();
 
-  /// Number of source slots for morsel splitting; 0 when the source is not
-  /// a table scan (index lookups, create pipelines).
+  /// Number of source units for morsel splitting: table slots for NodeScan,
+  /// materialized index matches for IndexScan/IndexRangeScan (after
+  /// Prepare), 0 when the source cannot be split (create pipelines).
   uint64_t SourceCardinality() const;
+
+  /// Materialized index-source matches (record ids in index order) when the
+  /// pipeline source is an IndexScan/IndexRangeScan; nullptr otherwise.
+  /// Morsel ranges for index sources address positions in this vector. The
+  /// JIT runtime shares it so compiled and interpreted morsels agree.
+  const std::vector<storage::RecordId>* SourceMatches() const {
+    return source_matches_valid_ ? &source_matches_ : nullptr;
+  }
 
   /// Evaluates `e` against `t` in `ctx` (shared with the JIT runtime).
   static Result<Value> Eval(const Expr& e, const Tuple& t, ExecContext* ctx);
@@ -130,6 +154,11 @@ class PipelineExecutor {
 
   Status RunSourceRange(uint64_t begin, uint64_t end);
   Status RunNonScanSource();
+  /// Collects + bounds-stamps the index matches for an index-source
+  /// pipeline (called from Prepare).
+  Status MaterializeIndexMatches();
+  /// Snapshot re-validation + push for one index match.
+  Status PushIndexMatch(const Op* src, storage::RecordId id, Tuple& t);
 
   const Op* root_;
   ExecContext ctx_;
@@ -137,6 +166,11 @@ class PipelineExecutor {
 
   std::vector<const Op*> ops_;  // source .. sink order
   std::vector<std::unique_ptr<OpState>> states_;
+  // Index-source morsel support (filled by Prepare).
+  std::vector<storage::RecordId> source_matches_;
+  int64_t source_lo_key_ = 0;
+  int64_t source_hi_key_ = 0;
+  bool source_matches_valid_ = false;
   bool prepared_ = false;
 };
 

@@ -156,25 +156,34 @@ const char* AggName(AggFn fn) {
   return "?";
 }
 
-void PrintOp(const Op* op, const storage::Dictionary* dict, int indent,
-             std::string* out) {
+/// Execution-mode suffix attached to pipeline sources in EXPLAIN output.
+std::string AnnotationSuffix(const ExplainAnnotation* ann) {
+  if (ann == nullptr) return "";
+  return " [parallel=" + std::to_string(ann->threads) +
+         ", morsel=" + std::to_string(ann->morsel) +
+         ", batch=" + (ann->batch ? "on" : "off") + "]";
+}
+
+void PrintOp(const Op* op, const storage::Dictionary* dict,
+             const ExplainAnnotation* ann, int indent, std::string* out) {
   if (op == nullptr) return;
-  PrintOp(op->input.get(), dict, indent, out);
+  PrintOp(op->input.get(), dict, ann, indent, out);
   out->append(indent * 2, ' ');
   switch (op->kind) {
     case OpKind::kNodeScan:
-      out->append("NodeScan(" + CodeName(op->label, dict) + ")");
+      out->append("NodeScan(" + CodeName(op->label, dict) + ")" +
+                  AnnotationSuffix(ann));
       break;
     case OpKind::kIndexScan:
       out->append("IndexScan(" + CodeName(op->label, dict) + "." +
                   CodeName(op->key, dict) + " = " +
-                  ExprName(op->value, dict) + ")");
+                  ExprName(op->value, dict) + ")" + AnnotationSuffix(ann));
       break;
     case OpKind::kIndexRangeScan:
       out->append("IndexRangeScan(" + CodeName(op->label, dict) + "." +
                   CodeName(op->key, dict) + " in [" +
                   ExprName(op->value, dict) + ", " +
-                  ExprName(op->value2, dict) + "])");
+                  ExprName(op->value2, dict) + "])" + AnnotationSuffix(ann));
       break;
     case OpKind::kExpand:
       out->append("ForeachRelationship(c" + std::to_string(op->column) +
@@ -231,7 +240,8 @@ void PrintOp(const Op* op, const storage::Dictionary* dict, int indent,
     case OpKind::kHashJoin:
       out->append("HashJoin(c" + std::to_string(op->left_key_col) + " = c" +
                   std::to_string(op->right_key_col) + ") build:\n");
-      PrintOp(op->right.get(), dict, indent + 2, out);
+      // Build sides are materialized serially; no source annotation.
+      PrintOp(op->right.get(), dict, nullptr, indent + 2, out);
       out->erase(out->find_last_not_of('\n') + 1);
       break;
     case OpKind::kCreateNode:
@@ -253,9 +263,10 @@ void PrintOp(const Op* op, const storage::Dictionary* dict, int indent,
 
 }  // namespace
 
-std::string Plan::ToString(const storage::Dictionary* dict) const {
+std::string Plan::ToString(const storage::Dictionary* dict,
+                           const ExplainAnnotation* ann) const {
   std::string out;
-  PrintOp(root.get(), dict, 0, &out);
+  PrintOp(root.get(), dict, ann, 0, &out);
   return out;
 }
 

@@ -121,6 +121,15 @@ struct Op {
   int right_key_col = -1;  ///< hash join build column
 };
 
+/// Execution-mode annotation for EXPLAIN output: how the engine would run
+/// the pipeline source (worker threads, morsel granularity, batched-scan
+/// kernels).
+struct ExplainAnnotation {
+  size_t threads = 0;
+  uint64_t morsel = 0;
+  bool batch = false;
+};
+
 /// A complete query plan. `root` is the sink-most operator.
 struct Plan {
   std::unique_ptr<Op> root;
@@ -138,8 +147,11 @@ struct Plan {
   const Op* Source() const;
 
   /// Human-readable plan rendering (EXPLAIN). Labels and property keys are
-  /// decoded through `dict` when provided, otherwise shown as codes.
-  std::string ToString(const storage::Dictionary* dict = nullptr) const;
+  /// decoded through `dict` when provided, otherwise shown as codes. With
+  /// `ann`, pipeline sources carry an execution-mode suffix:
+  ///   `[parallel=<n threads>, morsel=<size>, batch=<on|off>]`.
+  std::string ToString(const storage::Dictionary* dict = nullptr,
+                       const ExplainAnnotation* ann = nullptr) const;
 };
 
 /// Fluent construction of linear plans (joins attach via HashJoin(build)).

@@ -20,12 +20,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <functional>
 #include <cstring>
 #include <mutex>
 #include <vector>
 
 #include "pmem/pool.h"
+#include "storage/scan_options.h"
 #include "storage/types.h"
 #include "util/status.h"
 
@@ -227,6 +229,102 @@ class ChunkedTable {
     for (RecordId id = 0; id < slots; ++id) {
       if (R* r = AtOccupied(id)) f(id, *r);
     }
+  }
+
+  /// Issues a software prefetch for the record slot (hardware prefetch plus
+  /// a modeled in-flight PMem fill). Safe on any id below NumSlots();
+  /// adjacency walks use it to fetch the next record of an offset chain
+  /// while the current one is processed.
+  void Prefetch(RecordId id) const {
+    if (id == kNullId) return;
+    if (id / kRecordsPerChunk >= num_chunks_.load(std::memory_order_acquire))
+      return;
+    pool_->TouchPrefetch(SlotPtr(id), sizeof(R));
+  }
+
+  /// Batched occupancy scan: fills `ids` with up to `cap` occupied slot ids
+  /// from [*cursor, min(end, NumSlots())), skipping whole empty 64-bit
+  /// occupancy words via countr_zero and prefetching the next chunk header
+  /// while the current chunk's bitmap is consumed. Advances *cursor past the
+  /// last examined slot; returns the number of ids emitted (0 = range
+  /// exhausted). Bitmap words are probed with acquire loads; record payloads
+  /// are NOT touched here — consumers pair At() with Prefetch() to overlap
+  /// the PMem read latency (see ForEachBatch).
+  uint64_t ScanBatch(RecordId* cursor, RecordId end, const ScanOptions& opts,
+                     RecordId* ids, uint64_t cap) const {
+    uint64_t slots = NumSlots();
+    if (end > slots) end = slots;
+    RecordId id = *cursor;
+    uint64_t count = 0;
+    uint64_t cur_chunk = ~0ull;
+    while (id < end && count < cap) {
+      uint64_t chunk = id / kRecordsPerChunk;
+      if (chunk != cur_chunk) {
+        cur_chunk = chunk;
+        uint64_t next_chunk = chunk + 1;
+        if (opts.prefetch_distance != 0 &&
+            next_chunk * kRecordsPerChunk < end) {
+          // Chunks never shrink, so next_chunk's mirror entry is valid.
+          pool_->TouchPrefetch(chunk_ptrs_[next_chunk], kHeaderBytes);
+        }
+      }
+      uint64_t slot = id % kRecordsPerChunk;
+      const auto* h = reinterpret_cast<const ChunkHeader*>(chunk_ptrs_[chunk]);
+      uint64_t bits = std::atomic_ref<const uint64_t>(h->bitmap[slot / 64])
+                          .load(std::memory_order_acquire);
+      bits &= ~0ull << (slot % 64);  // drop slots below the cursor
+      RecordId word_base = id - (slot % 64);
+      if (bits == 0) {  // whole-word skip: 64 slots in one test
+        id = word_base + 64;
+        continue;
+      }
+      while (bits != 0) {
+        RecordId hit = word_base + std::countr_zero(bits);
+        if (hit >= end) {
+          bits = 0;
+          break;
+        }
+        ids[count++] = hit;
+        bits &= bits - 1;
+        if (count == cap) {
+          *cursor = hit + 1;
+          return count;
+        }
+      }
+      id = word_base + 64;
+    }
+    *cursor = id < end ? id : end;
+    return count;
+  }
+
+  /// Invokes f(id, record&) for every occupied slot in [begin, end) using
+  /// the batch kernel: gather a batch of ids from the bitmap, then consume
+  /// it software-pipelined — prefetch the record `prefetch_distance` ahead,
+  /// touch/process the current one — so the modeled PMem fill of slot
+  /// i+distance overlaps the processing of slot i.
+  template <typename F>
+  void ForEachBatchRange(RecordId begin, RecordId end, const ScanOptions& opts,
+                         F&& f) const {
+    uint64_t cap = opts.batch_size == 0 ? 1 : opts.batch_size;
+    std::vector<RecordId> ids(cap);
+    RecordId cursor = begin;
+    uint64_t d = opts.prefetch_distance;
+    for (;;) {
+      uint64_t n = ScanBatch(&cursor, end, opts, ids.data(), cap);
+      if (n == 0) return;
+      for (uint64_t i = 0; i < n; ++i) {
+        if (d != 0 && i + d < n) {
+          pool_->TouchPrefetch(SlotPtr(ids[i + d]), sizeof(R));
+        }
+        f(ids[i], *At(ids[i]));
+      }
+    }
+  }
+
+  /// ForEach through the batch kernels (whole table).
+  template <typename F>
+  void ForEachBatch(F&& f, const ScanOptions& opts = ScanOptions{}) const {
+    ForEachBatchRange(0, NumSlots(), opts, std::forward<F>(f));
   }
 
  private:

@@ -205,6 +205,9 @@ Status Transaction::ForEachOutgoing(
       cur = raw.next_src;
       continue;
     }
+    // Start the fill of the next link before the callback runs, so its PMem
+    // read latency overlaps the per-relationship work.
+    store_->relationships().Prefetch(r->rec.next_src);
     if (!fn(cur, r->rec)) return Status::Ok();
     cur = r->rec.next_src;
   }
@@ -226,6 +229,7 @@ Status Transaction::ForEachIncoming(
       cur = raw.next_dst;
       continue;
     }
+    store_->relationships().Prefetch(r->rec.next_dst);
     if (!fn(cur, r->rec)) return Status::Ok();
     cur = r->rec.next_dst;
   }

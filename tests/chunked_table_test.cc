@@ -110,6 +110,88 @@ TEST_F(ChunkedTableTest, ForEachSkipsDeleted) {
   }
 }
 
+TEST_F(ChunkedTableTest, BatchScanMatchesForEachOnSparseTable) {
+  // Build a pathological occupancy pattern across 3 chunks: every 64th slot
+  // occupied (one bit per occupancy word), a whole chunk of empty words in
+  // the middle, plus freed-and-recycled slots — then require ForEachBatch
+  // to report exactly the records ForEach does, for several batch-size /
+  // prefetch-distance combinations.
+  constexpr uint64_t kCount = 512 * 3;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        table_->Insert(MakeNode(static_cast<DictCode>(i + 1))).ok());
+  }
+  for (uint64_t i = 0; i < kCount; ++i) {
+    if (i % 64 != 0) {
+      ASSERT_TRUE(table_->Delete(i).ok());
+    }
+  }
+  // Whole-word gaps spanning chunk 1 entirely.
+  for (uint64_t i = 512; i < 1024; i += 64) {
+    ASSERT_TRUE(table_->Delete(i).ok());
+  }
+  // Freed slots recycled with fresh content.
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        table_->Insert(MakeNode(static_cast<DictCode>(9000 + i))).ok());
+  }
+
+  std::vector<std::pair<RecordId, DictCode>> expected;
+  table_->ForEach([&](RecordId id, NodeRecord& r) {
+    expected.emplace_back(id, r.label);
+  });
+  ASSERT_FALSE(expected.empty());
+
+  ScanOptions combos[4];
+  combos[0] = ScanOptions{};  // defaults: batch 256, prefetch 4
+  combos[1].batch_size = 1;
+  combos[2].batch_size = 7;   // batch boundary lands mid-word
+  combos[2].prefetch_distance = 0;
+  combos[3].batch_size = 65536;
+  combos[3].prefetch_distance = 64;
+  for (const ScanOptions& opts : combos) {
+    std::vector<std::pair<RecordId, DictCode>> got;
+    table_->ForEachBatch(
+        [&](RecordId id, const NodeRecord& r) {
+          got.emplace_back(id, r.label);
+        },
+        opts);
+    EXPECT_EQ(got, expected) << "batch_size=" << opts.batch_size
+                             << " prefetch=" << opts.prefetch_distance;
+  }
+}
+
+TEST_F(ChunkedTableTest, BatchScanRangeHonorsMorselBounds) {
+  for (uint64_t i = 0; i < 700; ++i) {
+    ASSERT_TRUE(
+        table_->Insert(MakeNode(static_cast<DictCode>(i + 1))).ok());
+  }
+  ASSERT_TRUE(table_->Delete(130).ok());
+  // Range bounds intentionally not multiples of 64: the kernel must mask
+  // partial first/last occupancy words.
+  constexpr RecordId kBegin = 100, kEnd = 421;
+  std::vector<RecordId> got;
+  table_->ForEachBatchRange(kBegin, kEnd, ScanOptions{},
+                            [&](RecordId id, const NodeRecord&) {
+                              got.push_back(id);
+                            });
+  std::vector<RecordId> expected;
+  for (RecordId id = kBegin; id < kEnd; ++id) {
+    if (id != 130) expected.push_back(id);
+  }
+  EXPECT_EQ(got, expected);
+
+  // End beyond NumSlots() clamps instead of reading past the table.
+  got.clear();
+  table_->ForEachBatchRange(650, table_->NumSlots() + 5000, ScanOptions{},
+                            [&](RecordId id, const NodeRecord&) {
+                              got.push_back(id);
+                            });
+  EXPECT_EQ(got.size(), 50u);
+  EXPECT_EQ(got.front(), 650u);
+  EXPECT_EQ(got.back(), 699u);
+}
+
 TEST(ChunkedTableDirectoryTest, DirectoryGrowthBeyondInitialCapacity) {
   // Small chunks (64 records) overflow the initial 1024-entry chunk
   // directory after 65536 records; GrowDirectory must relocate it without

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <thread>
 
+#include "query/engine.h"
 #include "tx/transaction.h"
 #include "util/random.h"
 
@@ -242,6 +243,82 @@ TEST_F(ConcurrencyTest, ConcurrentAdjacencyInsertsOnDistinctNodes) {
                     }).ok());
     EXPECT_EQ(degree, kEdges) << "hub " << t;
   }
+}
+
+TEST_F(ConcurrencyTest, MorselParallelScanNeverSeesUncommittedVersions) {
+  // Morsel-parallel batched scans race writers that insert "poison" nodes
+  // (balance < 0) and abort, interleaved with committed inserts
+  // (balance >= 0). MVTO visibility must hold on every worker: a parallel
+  // scan may never surface an uncommitted or aborted version.
+  constexpr int kSeed = 600;  // spans multiple occupancy words + morsels
+  {
+    auto tx = mgr_->Begin();
+    for (int i = 0; i < kSeed; ++i) {
+      ASSERT_TRUE(tx->CreateNode(account_, {{balance_, PVal::Int(i)}}).ok());
+    }
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+
+  query::QueryEngine engine(store_.get(), nullptr, 4);
+  using query::CmpOp;
+  using query::Expr;
+  using query::PlanBuilder;
+  using query::Value;
+  query::Plan poison_count = PlanBuilder()
+                                 .NodeScan(account_)
+                                 .FilterProperty(0, balance_, CmpOp::kLt,
+                                                 Expr::Literal(Value::Int(0)))
+                                 .Count()
+                                 .Build();
+  query::Plan committed_count =
+      PlanBuilder()
+          .NodeScan(account_)
+          .FilterProperty(0, balance_, CmpOp::kGe,
+                          Expr::Literal(Value::Int(0)))
+          .Count()
+          .Build();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        {  // poison insert, always rolled back
+          auto tx = mgr_->Begin();
+          (void)tx->CreateNode(account_, {{balance_, PVal::Int(-1)}});
+          tx->Abort();
+        }
+        {  // committed insert
+          auto tx = mgr_->Begin();
+          (void)tx->CreateNode(account_, {{balance_, PVal::Int(1)}});
+          (void)tx->Commit();
+        }
+      }
+    });
+  }
+
+  int poison_seen = 0;
+  int64_t last_committed = kSeed;
+  for (int reads = 0; reads < 150;) {
+    auto tx = mgr_->Begin();
+    auto poison = engine.Execute(poison_count, tx.get(), {},
+                                 /*parallel=*/true);
+    auto committed = engine.Execute(committed_count, tx.get(), {},
+                                    /*parallel=*/true);
+    if (!poison.ok() || !committed.ok()) continue;  // writer lock: retry
+    ++reads;
+    if (poison->rows[0][0].AsInt() != 0) ++poison_seen;
+    int64_t now_committed = committed->rows[0][0].AsInt();
+    EXPECT_GE(now_committed, last_committed)
+        << "commit visibility must be monotonic across parallel scans";
+    last_committed = now_committed;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(poison_seen, 0)
+      << "morsel-parallel scan surfaced uncommitted/aborted versions";
+  EXPECT_GT(last_committed, kSeed) << "writers must make progress";
 }
 
 }  // namespace

@@ -135,6 +135,43 @@ TEST(PlanTest, DirectionAndLabelsInSignature) {
             mk(Direction::kOut, 5).Signature());
 }
 
+TEST(PlanTest, ToStringAnnotatesPipelineSources) {
+  Plan p = PlanBuilder()
+               .IndexRangeScan(7, 8, Expr::Literal(Value::Int(1)),
+                               Expr::Literal(Value::Int(9)))
+               .Count()
+               .Build();
+  // Without an annotation, EXPLAIN output is unchanged.
+  std::string plain = p.ToString();
+  EXPECT_NE(plain.find("IndexRangeScan"), std::string::npos);
+  EXPECT_EQ(plain.find("parallel="), std::string::npos);
+
+  ExplainAnnotation ann;
+  ann.threads = 4;
+  ann.morsel = 2048;
+  ann.batch = true;
+  std::string annotated = p.ToString(nullptr, &ann);
+  EXPECT_NE(annotated.find("[parallel=4, morsel=2048, batch=on]"),
+            std::string::npos);
+
+  ann.batch = false;
+  EXPECT_NE(p.ToString(nullptr, &ann).find("batch=off"), std::string::npos);
+
+  // Only the pipeline source gets the suffix — exactly one occurrence, on
+  // the scan line, and join build sides are excluded.
+  Plan build = PlanBuilder().NodeScan(2).Build();
+  Plan join = PlanBuilder()
+                  .NodeScan(1)
+                  .HashJoin(std::move(build), 0, 0)
+                  .Count()
+                  .Build();
+  ann.batch = true;
+  std::string js = join.ToString(nullptr, &ann);
+  size_t first = js.find("[parallel=");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(js.find("[parallel=", first + 1), std::string::npos);
+}
+
 // --- Latency model ----------------------------------------------------------
 
 TEST(LatencyModelTest, DramModelIsDisabled) {
