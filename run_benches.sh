@@ -6,6 +6,21 @@
 #     bench_common.h's BenchJson (driven by POSEIDON_BENCH_JSON_DIR),
 #   * bench_pmem_micro writes google-benchmark's JSON schema via
 #     --benchmark_out (includes the batched-scan prefetch on/off entries).
+#
+# `run_benches.sh --check` instead builds the ThreadSanitizer configuration
+# (POSEIDON_TSAN) in build-tsan/ and runs the race-sensitive test subset
+# (ctest -L tsan): the MVTO, commit-pipeline, and concurrency suites.
+
+if [ "${1:-}" = "--check" ]; then
+  set -e
+  cmake -B /root/repo/build-tsan -S /root/repo -DPOSEIDON_TSAN=ON
+  cmake --build /root/repo/build-tsan -j"$(nproc)" --target \
+      concurrency_test mvto_test commit_pipeline_test tx_edge_test
+  ctest --test-dir /root/repo/build-tsan -L tsan --output-on-failure
+  echo "TSAN CHECK DONE"
+  exit 0
+fi
+
 export POSEIDON_BENCH_PERSONS=${POSEIDON_BENCH_PERSONS:-1000}
 export POSEIDON_BENCH_RUNS=${POSEIDON_BENCH_RUNS:-50}
 export POSEIDON_BENCH_THREADS=${POSEIDON_BENCH_THREADS:-2}

@@ -29,6 +29,8 @@ Result<std::unique_ptr<GraphDb>> GraphDb::Init(const GraphDbOptions& options,
   pool_options.crash_shadow = options.crash_shadow;
   pool_options.has_latency_override = options.has_latency_override;
   pool_options.latency_override = options.latency_override;
+  pool_options.commit_pipeline = options.commit_pipeline;
+  pool_options.redo_segments = options.redo_segments;
 
   if (create) {
     POSEIDON_ASSIGN_OR_RETURN(db->pool_,

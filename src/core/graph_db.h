@@ -45,6 +45,12 @@ struct GraphDbOptions {
   /// applied to all executions; defaults honour the POSEIDON_SCAN_* env
   /// variables for ablation sweeps.
   storage::ScanOptions scan = storage::ScanOptions::FromEnv();
+  /// Parallel commit pipeline master switch: -1 = POSEIDON_COMMIT_PIPELINE
+  /// env (default on). Off reproduces the serialized baseline commit path
+  /// for ablations.
+  int commit_pipeline = -1;
+  /// Redo-log segment count: 0 = POSEIDON_REDO_SEGMENTS env (default 8).
+  uint32_t redo_segments = 0;
 };
 
 class GraphDb {

@@ -5,7 +5,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 
@@ -14,16 +16,58 @@ namespace poseidon::pmem {
 namespace {
 
 constexpr uint64_t kMagic = 0x504f534549444f4eull;  // "POSEIDON"
-constexpr uint64_t kVersion = 1;
+constexpr uint64_t kVersion = 2;  // v2: segmented redo log
 constexpr uint64_t kHeaderReserved = 4096;
 constexpr uint64_t kDefaultRedoSize = 8ull << 20;
 constexpr uint64_t kMaxSizeClassBytes = 64ull << 10;
+constexpr uint32_t kMaxRedoSegments = 64;
+constexpr uint64_t kSegmentHeaderBytes = 24;  // state + commit_ts + count
 
 uint64_t AlignUp(uint64_t x, uint64_t align) {
   return (x + align - 1) & ~(align - 1);
 }
 
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return end == v ? fallback : static_cast<int>(parsed);
+}
+
 }  // namespace
+
+void AtomicStoreCopy(void* dst, const void* src, uint64_t len) {
+  auto d = reinterpret_cast<uintptr_t>(dst);
+  auto s = reinterpret_cast<uintptr_t>(src);
+  if (((d | s | len) & 7) != 0) {
+    std::memcpy(dst, src, len);
+    return;
+  }
+  auto* dw = reinterpret_cast<uint64_t*>(dst);
+  auto* sw = reinterpret_cast<const uint64_t*>(src);
+  for (uint64_t i = 0; i < len / 8; ++i) {
+    uint64_t v;
+    std::memcpy(&v, &sw[i], sizeof(v));
+    std::atomic_ref<uint64_t>(dw[i]).store(v, std::memory_order_release);
+  }
+}
+
+void AtomicLoadCopy(void* dst, const void* src, uint64_t len) {
+  auto d = reinterpret_cast<uintptr_t>(dst);
+  auto s = reinterpret_cast<uintptr_t>(src);
+  if (((d | s | len) & 7) != 0) {
+    std::memcpy(dst, src, len);
+    return;
+  }
+  auto* dw = reinterpret_cast<uint64_t*>(dst);
+  auto* sw = reinterpret_cast<const uint64_t*>(src);
+  for (uint64_t i = 0; i < len / 8; ++i) {
+    uint64_t v =
+        std::atomic_ref<const uint64_t>(sw[i]).load(std::memory_order_acquire);
+    std::memcpy(&dw[i], &v, sizeof(v));
+  }
+}
 
 struct Pool::Header {
   uint64_t magic;
@@ -35,10 +79,23 @@ struct Pool::Header {
   uint64_t bump;  // next never-allocated byte
   uint64_t redo_area;
   uint64_t redo_size;
+  uint64_t redo_segments;
   uint64_t free_lists[kNumSizeClasses];
 };
 
 // --- Lifecycle --------------------------------------------------------------
+
+void Pool::Configure(const PoolOptions& options) {
+  pipelined_ = options.commit_pipeline >= 0
+                   ? options.commit_pipeline != 0
+                   : EnvInt("POSEIDON_COMMIT_PIPELINE", 1) != 0;
+  if (options.has_latency_override) {
+    latency_ = options.latency_override;
+  } else {
+    latency_ = mode_ == PoolMode::kPmem ? LatencyModel::EmulatedPmem()
+                                        : LatencyModel::Dram();
+  }
+}
 
 Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
                                            const PoolOptions& options) {
@@ -49,20 +106,15 @@ Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
   pool->mode_ = options.mode;
   pool->capacity_ = options.capacity;
   POSEIDON_RETURN_IF_ERROR(pool->MapRegion(path, /*create=*/true));
+  pool->Configure(options);
   pool->InitHeader(options);
-  if (options.has_latency_override) {
-    pool->latency_ = options.latency_override;
-  } else {
-    pool->latency_ = options.mode == PoolMode::kPmem
-                         ? LatencyModel::EmulatedPmem()
-                         : LatencyModel::Dram();
-  }
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
     std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
   }
   pool->redo_log_ = std::make_unique<RedoLog>(
-      pool.get(), pool->header()->redo_area, pool->header()->redo_size);
+      pool.get(), pool->header()->redo_area, pool->header()->redo_size,
+      static_cast<uint32_t>(pool->header()->redo_segments));
   return pool;
 }
 
@@ -77,17 +129,16 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
   POSEIDON_RETURN_IF_ERROR(pool->ValidateHeader());
   pool->capacity_ = pool->header()->capacity;
   pool->recovered_from_crash_ = pool->header()->clean_shutdown == 0;
-  if (options.has_latency_override) {
-    pool->latency_ = options.latency_override;
-  } else {
-    pool->latency_ = LatencyModel::EmulatedPmem();
-  }
+  pool->Configure(options);
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
     std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
   }
+  uint32_t segments = static_cast<uint32_t>(std::clamp<uint64_t>(
+      pool->header()->redo_segments, 1, kMaxRedoSegments));
   pool->redo_log_ = std::make_unique<RedoLog>(
-      pool.get(), pool->header()->redo_area, pool->header()->redo_size);
+      pool.get(), pool->header()->redo_area, pool->header()->redo_size,
+      segments);
   pool->redo_log_->Recover();
   pool->header()->clean_shutdown = 0;
   pool->Persist(&pool->header()->clean_shutdown, sizeof(uint64_t));
@@ -158,6 +209,14 @@ Status Pool::MapRegion(const std::string& path, bool create) {
 void Pool::InitHeader(const PoolOptions& options) {
   static_assert(sizeof(Header) <= kHeaderReserved,
                 "header must fit reserved page");
+  uint32_t segments = options.redo_segments != 0
+                          ? options.redo_segments
+                          : static_cast<uint32_t>(std::clamp(
+                                EnvInt("POSEIDON_REDO_SEGMENTS", 8), 1,
+                                static_cast<int>(kMaxRedoSegments)));
+  segments = std::clamp<uint32_t>(segments, 1, kMaxRedoSegments);
+  if (!pipelined_) segments = 1;  // serialized baseline: one pool-wide log
+
   auto* h = header();
   std::memset(h, 0, sizeof(Header));
   h->magic = kMagic;
@@ -169,11 +228,16 @@ void Pool::InitHeader(const PoolOptions& options) {
   h->root = kNullOffset;
   h->redo_area = kHeaderReserved;
   h->redo_size = kDefaultRedoSize;
+  h->redo_segments = segments;
   h->bump = AlignUp(kHeaderReserved + kDefaultRedoSize, kPmemBlockSize);
-  // Ensure the redo log starts idle.
-  std::memset(base_ + h->redo_area, 0, 16);
+  // Ensure every redo segment starts idle.
+  uint64_t seg_size = (h->redo_size / segments) & ~(kCacheLineSize - 1);
+  for (uint32_t i = 0; i < segments; ++i) {
+    char* seg = base_ + h->redo_area + static_cast<uint64_t>(i) * seg_size;
+    std::memset(seg, 0, kSegmentHeaderBytes);
+    Persist(seg, kSegmentHeaderBytes);
+  }
   Persist(h, sizeof(Header));
-  Persist(base_ + h->redo_area, 16);
 }
 
 Status Pool::ValidateHeader() const {
@@ -207,7 +271,7 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
   }
   std::lock_guard<std::mutex> lock(alloc_mu_);
   auto* h = header();
-  ++stats_.alloc_calls;
+  stats_.alloc_calls.fetch_add(1, std::memory_order_relaxed);
 
   int size_class = SizeClassFor(size);
   if (size_class >= 0 && align <= kCacheLineSize) {
@@ -217,8 +281,8 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
       Offset next;
       std::memcpy(&next, base_ + head, sizeof(next));
       h->free_lists[size_class] = next;
-      Persist(&h->free_lists[size_class], sizeof(Offset));
-      ++stats_.alloc_from_free_list;
+      PersistDeferred(&h->free_lists[size_class], sizeof(Offset));
+      stats_.alloc_from_free_list.fetch_add(1, std::memory_order_relaxed);
       return head;
     }
     size = SizeClassBytes(size_class);
@@ -230,21 +294,21 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
     return Status::ResourceExhausted("pool exhausted");
   }
   h->bump = off + size;
-  Persist(&h->bump, sizeof(uint64_t));
+  PersistDeferred(&h->bump, sizeof(uint64_t));
   return off;
 }
 
 Result<Offset> Pool::AllocateZeroed(uint64_t size, uint64_t align) {
   POSEIDON_ASSIGN_OR_RETURN(Offset off, Allocate(size, align));
   std::memset(base_ + off, 0, size);
-  Persist(base_ + off, size);
+  PersistDeferred(base_ + off, size);
   return off;
 }
 
 void Pool::Free(Offset off, uint64_t size) {
   assert(off != kNullOffset && off < capacity_);
   std::lock_guard<std::mutex> lock(alloc_mu_);
-  ++stats_.free_calls;
+  stats_.free_calls.fetch_add(1, std::memory_order_relaxed);
   int size_class = SizeClassFor(size);
   if (size_class < 0) {
     // Large blocks are not tracked; higher layers arena-manage them.
@@ -253,38 +317,81 @@ void Pool::Free(Offset off, uint64_t size) {
   auto* h = header();
   Offset old_head = h->free_lists[size_class];
   std::memcpy(base_ + off, &old_head, sizeof(Offset));
-  Persist(base_ + off, sizeof(Offset));
+  PersistDeferred(base_ + off, sizeof(Offset));
   h->free_lists[size_class] = off;
-  Persist(&h->free_lists[size_class], sizeof(Offset));
+  PersistDeferred(&h->free_lists[size_class], sizeof(Offset));
 }
 
 // --- Persistence primitives ---------------------------------------------
 
+void Pool::CopyToShadow(uint64_t begin, uint64_t end) {
+  if (shadow_frozen_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  auto base_addr = reinterpret_cast<uint64_t>(base_);
+  AtomicLoadCopy(shadow_.get() + (begin - base_addr),
+                 reinterpret_cast<const void*>(begin), end - begin);
+}
+
+void Pool::FlushAccounted(const void* addr, uint64_t len,
+                          uint64_t unique_lines) {
+  if (len == 0) return;
+  stats_.flushed_lines.fetch_add(unique_lines, std::memory_order_relaxed);
+  if (mode_ == PoolMode::kPmem && unique_lines > 0) {
+    latency_.OnFlush(unique_lines);
+  }
+  if (shadow_ != nullptr) {
+    // Crash simulation: flushed bytes become durable. Whole cache lines are
+    // flushed, matching clwb semantics.
+    auto a = reinterpret_cast<uint64_t>(addr);
+    uint64_t begin = (a / kCacheLineSize) * kCacheLineSize;
+    uint64_t end = ((a + len - 1) / kCacheLineSize + 1) * kCacheLineSize;
+    auto base_addr = reinterpret_cast<uint64_t>(base_);
+    if (begin < base_addr) begin = base_addr;
+    if (end > base_addr + capacity_) end = base_addr + capacity_;
+    if (begin < end) CopyToShadow(begin, end);
+  }
+}
+
 void Pool::Flush(const void* addr, uint64_t len) {
+  if (len == 0) return;
+  auto a = reinterpret_cast<uint64_t>(addr);
+  uint64_t lines = (a + len - 1) / kCacheLineSize - a / kCacheLineSize + 1;
+  FlushAccounted(addr, len, lines);
+}
+
+void Pool::Drain() {
+  stats_.drains.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == PoolMode::kPmem) latency_.OnDrain();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+bool FlushBatch::Seen(uint64_t line) {
+  // Bounded backward scan: dedup targets the short-range repeats a commit
+  // produces (record body + unlock word, marker line across phases); a
+  // sliding window keeps huge bulk-load commits O(1) per line.
+  size_t begin = lines_.size() > 64 ? lines_.size() - 64 : 0;
+  for (size_t i = lines_.size(); i > begin; --i) {
+    if (lines_[i - 1] == line) return true;
+  }
+  lines_.push_back(line);
+  return false;
+}
+
+void FlushBatch::Flush(const void* addr, uint64_t len) {
   if (len == 0) return;
   auto a = reinterpret_cast<uint64_t>(addr);
   uint64_t first = a / kCacheLineSize;
   uint64_t last = (a + len - 1) / kCacheLineSize;
-  uint64_t lines = last - first + 1;
-  stats_.flushed_lines += lines;
-  if (mode_ == PoolMode::kPmem) latency_.OnFlush(lines);
-  if (shadow_ != nullptr) {
-    // Crash simulation: flushed bytes become durable. Whole cache lines are
-    // flushed, matching clwb semantics.
-    uint64_t begin = first * kCacheLineSize;
-    uint64_t end = (last + 1) * kCacheLineSize;
-    auto base_addr = reinterpret_cast<uint64_t>(base_);
-    if (begin < base_addr) begin = base_addr;
-    if (end > base_addr + capacity_) end = base_addr + capacity_;
-    std::memcpy(shadow_.get() + (begin - base_addr),
-                reinterpret_cast<const void*>(begin), end - begin);
+  uint64_t unique = 0;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (!Seen(line)) ++unique;
   }
-}
-
-void Pool::Drain() {
-  ++stats_.drains;
-  if (mode_ == PoolMode::kPmem) latency_.OnDrain();
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  pool_->FlushAccounted(addr, len, unique);
+  uint64_t total = last - first + 1;
+  if (unique < total) {
+    pool_->stats_.deduped_lines.fetch_add(total - unique,
+                                          std::memory_order_relaxed);
+  }
 }
 
 // --- Root ------------------------------------------------------------------
@@ -301,8 +408,18 @@ void Pool::set_root(Offset off) {
 void Pool::SimulateCrash() {
   assert(shadow_ != nullptr &&
          "SimulateCrash requires PoolOptions::crash_shadow");
+  std::lock_guard<std::mutex> lock(shadow_mu_);
   std::memcpy(base_, shadow_.get(), capacity_);
   recovered_from_crash_ = true;
+  // The durable image and the live image coincide again: resume recording.
+  shadow_frozen_.store(false, std::memory_order_release);
+}
+
+void Pool::FreezeShadow() {
+  assert(shadow_ != nullptr && "FreezeShadow requires PoolOptions::crash_shadow");
+  // Acquire the shadow lock so no in-flight flush straddles the freeze.
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_frozen_.store(true, std::memory_order_release);
 }
 
 // --- Introspection ----------------------------------------------------------
@@ -310,77 +427,229 @@ void Pool::SimulateCrash() {
 uint64_t Pool::bytes_used() const { return header()->bump; }
 uint64_t Pool::pool_id() const { return header()->pool_id; }
 
+void Pool::ResetStats() {
+  stats_.alloc_calls.store(0, std::memory_order_relaxed);
+  stats_.alloc_from_free_list.store(0, std::memory_order_relaxed);
+  stats_.free_calls.store(0, std::memory_order_relaxed);
+  stats_.flushed_lines.store(0, std::memory_order_relaxed);
+  stats_.deduped_lines.store(0, std::memory_order_relaxed);
+  stats_.drains.store(0, std::memory_order_relaxed);
+}
+
 // --- RedoLog ---------------------------------------------------------------
 
-// Log area layout:
-//   [0]  u64 state       (0 = idle, 1 = committed)
-//   [8]  u64 num_entries
-//   [16] entries: { u64 target, u64 len, len bytes (padded to 8) } ...
+RedoLog::RedoLog(Pool* pool, Offset area, uint64_t area_size,
+                 uint32_t num_segments)
+    : pool_(pool),
+      area_(area),
+      area_size_(area_size),
+      num_segments_(num_segments == 0 ? 1 : num_segments),
+      segment_size_((area_size / (num_segments == 0 ? 1 : num_segments)) &
+                    ~(kCacheLineSize - 1)) {}
 
-RedoLog::RedoLog(Pool* pool, Offset area, uint64_t area_size)
-    : pool_(pool), area_(area), area_size_(area_size) {}
+uint32_t RedoLog::AcquireSegment(uint32_t hint) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (uint32_t i = 0; i < num_segments_; ++i) {
+      uint32_t idx = (hint + i) % num_segments_;
+      if ((busy_ & (1ull << idx)) == 0) {
+        busy_ |= 1ull << idx;
+        return idx;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void RedoLog::ReleaseSegment(uint32_t idx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ &= ~(1ull << idx);
+  }
+  cv_.notify_one();
+}
 
 bool RedoLog::Recover() {
-  char* log = pool_->base_ + area_;
-  uint64_t state;
-  std::memcpy(&state, log, sizeof(state));
-  if (state != 1) {
-    // Crash before the commit marker: the log is ignored; nothing was
-    // applied to home locations, so the update atomically never happened.
-    if (state != 0) {
+  // Collect the segments whose commit marker is durable, then replay them in
+  // commit-timestamp order: conflicting writes are serialized by record
+  // locks, so timestamp order equals commit order and the replay reproduces
+  // the pre-crash apply sequence.
+  struct Pending {
+    uint64_t commit_ts;
+    uint32_t segment;
+  };
+  std::vector<Pending> pending;
+  for (uint32_t i = 0; i < num_segments_; ++i) {
+    char* seg = pool_->base_ + segment_offset(i);
+    uint64_t state;
+    std::memcpy(&state, seg, sizeof(state));
+    if (state == 1) {
+      uint64_t ts;
+      std::memcpy(&ts, seg + 8, sizeof(ts));
+      pending.push_back(Pending{ts, i});
+    } else if (state != 0) {
       // Arbitrary garbage (e.g. first use): reset to idle.
       state = 0;
-      std::memcpy(log, &state, sizeof(state));
-      pool_->Persist(log, sizeof(state));
+      std::memcpy(seg, &state, sizeof(state));
+      pool_->Persist(seg, sizeof(state));
     }
-    return false;
   }
-  // Crash after the commit marker: re-apply every entry (idempotent).
-  uint64_t num_entries;
-  std::memcpy(&num_entries, log + 8, sizeof(num_entries));
-  uint64_t pos = 16;
-  for (uint64_t i = 0; i < num_entries; ++i) {
-    uint64_t target, len;
-    std::memcpy(&target, log + pos, sizeof(target));
-    std::memcpy(&len, log + pos + 8, sizeof(len));
-    pos += 16;
-    std::memcpy(pool_->base_ + target, log + pos, len);
-    pool_->Flush(pool_->base_ + target, len);
-    pos += (len + 7) & ~7ull;
+  if (pending.empty()) return false;
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.commit_ts < b.commit_ts;
+            });
+  for (const Pending& p : pending) {
+    char* seg = pool_->base_ + segment_offset(p.segment);
+    uint64_t num_entries;
+    std::memcpy(&num_entries, seg + 16, sizeof(num_entries));
+    uint64_t pos = kSegmentHeaderBytes;
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      if (pos + 16 > segment_size_) break;  // defensive: truncated log
+      uint64_t target, len;
+      std::memcpy(&target, seg + pos, sizeof(target));
+      std::memcpy(&len, seg + pos + 8, sizeof(len));
+      pos += 16;
+      if (pos + len > segment_size_ || target + len > pool_->capacity_) break;
+      std::memcpy(pool_->base_ + target, seg + pos, len);
+      pool_->Flush(pool_->base_ + target, len);
+      pos += (len + 7) & ~7ull;
+    }
   }
   pool_->Drain();
-  uint64_t zero = 0;
-  std::memcpy(log, &zero, sizeof(zero));
-  pool_->Persist(log, sizeof(zero));
+  for (const Pending& p : pending) {
+    char* seg = pool_->base_ + segment_offset(p.segment);
+    uint64_t zero = 0;
+    std::memcpy(seg, &zero, sizeof(zero));
+    pool_->Flush(seg, sizeof(zero));
+  }
+  pool_->Drain();
   return true;
 }
 
-RedoTx::RedoTx(RedoLog* log) : log_(log) { log_->mu_.lock(); }
+// --- RedoTx -----------------------------------------------------------------
 
-RedoTx::~RedoTx() { log_->mu_.unlock(); }
+namespace {
+/// Per-thread preferred segment slot: steady-state committers keep reusing
+/// the same segment, so the acquisition scan is a single bit test.
+uint32_t ThreadSegmentHint() {
+  static std::atomic<uint32_t> counter{0};
+  thread_local uint32_t hint = counter.fetch_add(1, std::memory_order_relaxed);
+  return hint;
+}
+}  // namespace
+
+RedoTx::RedoTx(RedoLog* log)
+    : log_(log), pipelined_(log->pool_->pipelined()) {
+  segment_ = log_->AcquireSegment(ThreadSegmentHint() % log_->num_segments());
+  seg_ = log_->pool_->base_ + log_->segment_offset(segment_);
+}
+
+RedoTx::~RedoTx() { log_->ReleaseSegment(segment_); }
 
 void RedoTx::Stage(Offset target, const void* data, uint64_t len) {
   assert(!committed_);
-  Entry e;
-  e.target = target;
-  e.len = len;
-  e.data.resize(len);
-  std::memcpy(e.data.data(), data, len);
-  staged_bytes_ += 16 + ((len + 7) & ~7ull);
-  entries_.push_back(std::move(e));
+  uint64_t padded = (len + 7) & ~7ull;
+  if (!pipelined_) {
+    // Serialized baseline (the seed path): buffer the entry in DRAM; Commit
+    // copies it into the log.
+    Entry e;
+    e.target = target;
+    e.len = len;
+    e.data.resize(len);
+    std::memcpy(e.data.data(), data, len);
+    staged_bytes_ += 16 + padded;
+    entries_.push_back(std::move(e));
+    return;
+  }
+  // Pipelined: append directly into the exclusively-owned segment. The
+  // entry bytes are plain stores — nothing here is durable (or flushed)
+  // until Commit's phase 1.
+  if (overflow_ || pos_ + 16 + padded > log_->segment_size_) {
+    overflow_ = true;
+    return;
+  }
+  std::memcpy(seg_ + pos_, &target, sizeof(target));
+  std::memcpy(seg_ + pos_ + 8, &len, sizeof(len));
+  std::memcpy(seg_ + pos_ + 16, data, len);
+  pos_ += 16 + padded;
+  ++num_entries_;
 }
 
-Status RedoTx::Commit() {
+Status RedoTx::Commit(uint64_t commit_ts, const DrainFn& drain) {
   assert(!committed_);
   committed_ = true;
+  return pipelined_ ? CommitPipelined(commit_ts, drain)
+                    : CommitSerialized(commit_ts, drain);
+}
+
+Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   Pool* pool = log_->pool_;
-  if (16 + staged_bytes_ > log_->area_size_) {
+  if (overflow_) {
     return Status::ResourceExhausted("redo log area too small for commit");
   }
-  char* log = pool->base_ + log_->area_;
+  auto do_drain = [&] {
+    if (drain) {
+      drain();
+    } else {
+      pool->Drain();
+    }
+  };
+  FlushBatch batch(pool);
+  auto* state = reinterpret_cast<uint64_t*>(seg_);
+
+  // Phase 1: commit record (timestamp + count) and entries, one coalesced
+  // flush, one drain. The flush range starts inside the segment's first
+  // cache line, so the line holding the still-idle marker is durable too —
+  // a reused segment can never pair a stale marker with fresh entries.
+  std::memcpy(seg_ + 8, &commit_ts, sizeof(commit_ts));
+  std::memcpy(seg_ + 16, &num_entries_, sizeof(num_entries_));
+  batch.Flush(seg_ + 8, pos_ - 8);
+  do_drain();
+
+  // Phase 2: 8-byte atomic commit marker (C4: the only failure-atomic store
+  // size). Once durable, the transaction is logically committed. The
+  // marker's line was already flushed in phase 1, so coalescing makes this
+  // flush latency-free; the drain is what publishes it.
+  std::atomic_ref<uint64_t>(*state).store(1, std::memory_order_release);
+  batch.Flush(seg_, sizeof(uint64_t));
+  do_drain();
+
+  // Phase 3: apply to home locations with 8-byte atomic word stores (readers
+  // run seqlock-style validated copies concurrently) and coalesced flushes —
+  // a record staged as body + unlock word shares lines between the two
+  // entries and is flushed once.
+  uint64_t pos = kSegmentHeaderBytes;
+  for (uint64_t i = 0; i < num_entries_; ++i) {
+    uint64_t target, len;
+    std::memcpy(&target, seg_ + pos, sizeof(target));
+    std::memcpy(&len, seg_ + pos + 8, sizeof(len));
+    pos += 16;
+    AtomicStoreCopy(pool->base_ + target, seg_ + pos, len);
+    batch.Flush(pool->base_ + target, len);
+    pos += (len + 7) & ~7ull;
+  }
+  do_drain();
+
+  // Phase 4: clear the marker — flushed but NOT drained. Replay is
+  // idempotent, so a crash that loses the clear just re-applies this commit;
+  // the next commit in this segment drains the line in its phase 1 before
+  // writing a new marker.
+  std::atomic_ref<uint64_t>(*state).store(0, std::memory_order_release);
+  batch.Flush(seg_, sizeof(uint64_t));
+  return Status::Ok();
+}
+
+Status RedoTx::CommitSerialized(uint64_t commit_ts, const DrainFn& drain) {
+  (void)drain;  // group commit is part of the pipeline; baseline drains solo
+  Pool* pool = log_->pool_;
+  if (kSegmentHeaderBytes + staged_bytes_ > log_->segment_size_) {
+    return Status::ResourceExhausted("redo log area too small for commit");
+  }
+  char* log = seg_;
 
   // Phase 1: write entries and count, then persist them.
-  uint64_t pos = 16;
+  uint64_t pos = kSegmentHeaderBytes;
   for (const Entry& e : entries_) {
     std::memcpy(log + pos, &e.target, sizeof(e.target));
     std::memcpy(log + pos + 8, &e.len, sizeof(e.len));
@@ -388,19 +657,19 @@ Status RedoTx::Commit() {
     std::memcpy(log + pos, e.data.data(), e.len);
     pos += (e.len + 7) & ~7ull;
   }
+  std::memcpy(log + 8, &commit_ts, sizeof(commit_ts));
   uint64_t num_entries = entries_.size();
-  std::memcpy(log + 8, &num_entries, sizeof(num_entries));
+  std::memcpy(log + 16, &num_entries, sizeof(num_entries));
   pool->Persist(log + 8, pos - 8);
 
-  // Phase 2: 8-byte atomic commit marker (C4: the only failure-atomic store
-  // size). Once durable, the transaction is logically committed.
+  // Phase 2: 8-byte atomic commit marker.
   uint64_t one = 1;
   std::memcpy(log, &one, sizeof(one));
   pool->Persist(log, sizeof(one));
 
   // Phase 3: apply to home locations and persist.
   for (const Entry& e : entries_) {
-    std::memcpy(pool->base_ + e.target, e.data.data(), e.len);
+    AtomicStoreCopy(pool->base_ + e.target, e.data.data(), e.len);
     pool->Flush(pool->base_ + e.target, e.len);
   }
   pool->Drain();

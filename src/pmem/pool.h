@@ -10,8 +10,10 @@
 //     records are reused instead of deallocated (DG5 / C5),
 //   * persistence primitives Flush/Drain/Persist emulating clwb + sfence
 //     with the LatencyModel applied (DG4 / C4),
-//   * a redo log for failure-atomic multi-word updates (the role PMDK
-//     transactions play in the paper's commit path, §5.1),
+//   * a segmented redo log for failure-atomic multi-word updates (the role
+//     PMDK transactions play in the paper's commit path, §5.1); concurrent
+//     committers append to independent segments and recovery replays all
+//     marked segments in commit-timestamp order,
 //   * optional crash simulation: with `crash_shadow` enabled, only bytes
 //     that were explicitly flushed survive SimulateCrash(), which lets tests
 //     verify failure atomicity without real power loss.
@@ -21,8 +23,10 @@
 
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,21 +56,45 @@ struct PoolOptions {
   LatencyModel latency_override;
   /// Maintain a shadow copy so SimulateCrash() can drop unflushed stores.
   bool crash_shadow = false;
+  /// Commit-pipeline master switch: -1 = env POSEIDON_COMMIT_PIPELINE
+  /// (default on). Off reproduces the serialized baseline commit path:
+  /// strict Persist (flush+drain) on every metadata store, DRAM-staged redo
+  /// entries, a 4th drain clearing the commit marker, and no cache-line
+  /// flush coalescing.
+  int commit_pipeline = -1;
+  /// Redo-log segment count: 0 = env POSEIDON_REDO_SEGMENTS (default 8,
+  /// clamped to [1, 64]). Forced to 1 when the commit pipeline is off.
+  uint32_t redo_segments = 0;
 };
 
 /// Number of allocator size classes: 64, 128, 256, 512, 1 KiB ... 64 KiB.
 inline constexpr int kNumSizeClasses = 11;
 
-/// Statistics counters (volatile; informational).
+/// Statistics counters (volatile; informational). Fields are atomics so
+/// concurrent committers can bump them race-free; read them like plain
+/// integers.
 struct PoolStats {
-  uint64_t alloc_calls = 0;
-  uint64_t alloc_from_free_list = 0;
-  uint64_t free_calls = 0;
-  uint64_t flushed_lines = 0;
-  uint64_t drains = 0;
+  std::atomic<uint64_t> alloc_calls{0};
+  std::atomic<uint64_t> alloc_from_free_list{0};
+  std::atomic<uint64_t> free_calls{0};
+  /// Cache lines whose flush latency was actually paid.
+  std::atomic<uint64_t> flushed_lines{0};
+  /// Cache lines a FlushBatch skipped because the same line was already
+  /// flushed earlier in the same commit (flush coalescing).
+  std::atomic<uint64_t> deduped_lines{0};
+  std::atomic<uint64_t> drains{0};
 };
 
+/// Copies `len` bytes with 8-byte atomic word accesses (release stores /
+/// acquire loads) when everything is 8-aligned, falling back to memcpy
+/// otherwise. Commit appliers and seqlock-style readers both use it so a
+/// record image can be copied concurrently with an in-place apply without a
+/// data race; MVTO validation handles the logical interleavings.
+void AtomicStoreCopy(void* dst, const void* src, uint64_t len);
+void AtomicLoadCopy(void* dst, const void* src, uint64_t len);
+
 class RedoLog;
+class FlushBatch;
 
 class Pool {
  public:
@@ -135,6 +163,19 @@ class Pool {
     Drain();
   }
 
+  /// Flush-or-Persist depending on the commit-pipeline mode. Pipelined:
+  /// metadata stores (allocator heads, occupancy bits, the timestamp
+  /// high-water mark) are only *flushed* here; the next commit's redo drain
+  /// makes them durable before anything that depends on them. Serialized
+  /// baseline: full Persist, as the seed engine did.
+  void PersistDeferred(const void* addr, uint64_t len) {
+    if (pipelined_) {
+      Flush(addr, len);
+    } else {
+      Persist(addr, len);
+    }
+  }
+
   /// Injects the PMem read latency for a read of [addr, addr+len).
   /// Storage-layer record accessors call this on their PMem-resident data.
   void TouchRead(const void* addr, uint64_t len) const {
@@ -159,8 +200,14 @@ class Pool {
 
   // --- Failure-atomic multi-word updates --------------------------------
 
-  /// The pool-wide redo log (see RedoLog). Commits are serialized.
+  /// The pool's segmented redo log (see RedoLog). Concurrent commits use
+  /// independent segments; the serialized baseline (commit pipeline off)
+  /// runs with a single segment.
   RedoLog* redo_log() { return redo_log_.get(); }
+
+  /// True when the parallel commit pipeline is active (deferred metadata
+  /// drains, flush coalescing, 3-drain redo commits).
+  bool pipelined() const { return pipelined_; }
 
   // --- Crash simulation ---------------------------------------------------
 
@@ -168,7 +215,14 @@ class Pool {
   /// Flush() covering it, emulating power loss. Requires crash_shadow.
   /// After this call the pool content equals what a post-crash Open() of the
   /// file would observe; callers then re-run recovery paths against it.
+  /// Not thread-safe: quiesce writers first (see FreezeShadow).
   void SimulateCrash();
+
+  /// Freezes the durable image at this instant: subsequent flushes no longer
+  /// reach the crash shadow, so concurrent writers may keep running and a
+  /// later SimulateCrash() restores the state as of the freeze — a crash at
+  /// an arbitrary point under full concurrency. SimulateCrash() unfreezes.
+  void FreezeShadow();
 
   /// True if the previous session did not close this pool cleanly.
   bool recovered_from_crash() const { return recovered_from_crash_; }
@@ -182,11 +236,12 @@ class Pool {
   const LatencyModel& latency() const { return latency_; }
   const PoolStats& stats() const { return stats_; }
   /// Resets volatile statistics counters.
-  void ResetStats() { stats_ = PoolStats{}; }
+  void ResetStats();
 
  private:
   friend class RedoLog;
   friend class RedoTx;
+  friend class FlushBatch;
 
   Pool() = default;
 
@@ -196,8 +251,15 @@ class Pool {
   Status MapRegion(const std::string& path, bool create);
   void InitHeader(const PoolOptions& options);
   Status ValidateHeader() const;
+  void Configure(const PoolOptions& options);
   static int SizeClassFor(uint64_t size);
   static uint64_t SizeClassBytes(int size_class);
+
+  /// Pays flush latency for `lines` cache lines and copies the (line-
+  /// aligned, pool-clamped) range into the crash shadow. Shared by Flush and
+  /// FlushBatch, which passes the deduplicated line count.
+  void FlushAccounted(const void* addr, uint64_t len, uint64_t unique_lines);
+  void CopyToShadow(uint64_t begin_addr, uint64_t end_addr);
 
   char* base_ = nullptr;
   uint64_t capacity_ = 0;
@@ -205,13 +267,43 @@ class Pool {
   PoolMode mode_ = PoolMode::kPmem;
   LatencyModel latency_;
   bool recovered_from_crash_ = false;
+  bool pipelined_ = true;
 
   // Crash simulation shadow: bytes flushed so far (i.e. durable content).
+  // shadow_mu_ serializes shadow writes from concurrent flushers; the
+  // source bytes are read with 8-byte atomic loads so a flush racing a
+  // commit apply on a neighbouring record in the same line is benign.
   std::unique_ptr<char[]> shadow_;
+  std::mutex shadow_mu_;
+  std::atomic<bool> shadow_frozen_{false};
 
   std::unique_ptr<RedoLog> redo_log_;
   mutable std::mutex alloc_mu_;
   mutable PoolStats stats_;
+};
+
+/// Per-commit cache-line flush coalescing (Götze et al.: flush dedup at
+/// cache-line granularity dominates PMem write-path cost). A FlushBatch
+/// remembers which lines it already flushed; re-flushing a line within the
+/// same batch still updates the crash shadow (the bytes are durable) but
+/// pays no additional flush_line_ns and is counted in
+/// PoolStats::deduped_lines.
+class FlushBatch {
+ public:
+  explicit FlushBatch(Pool* pool) : pool_(pool) { lines_.reserve(16); }
+
+  void Flush(const void* addr, uint64_t len);
+
+  /// Forgets the seen-line set (start of a new coalescing scope).
+  void Clear() { lines_.clear(); }
+
+  Pool* pool() const { return pool_; }
+
+ private:
+  bool Seen(uint64_t line);
+
+  Pool* pool_;
+  std::vector<uint64_t> lines_;  // line numbers already flushed this batch
 };
 
 /// Failure-atomic multi-word update via redo logging (the mechanism behind
@@ -220,44 +312,70 @@ class Pool {
 ///   RedoTx tx(pool->redo_log());
 ///   tx.Stage(offset_a, &a, sizeof(a));
 ///   tx.Stage(offset_b, &b, sizeof(b));
-///   tx.Commit();   // all-or-nothing after a crash
+///   tx.Commit(commit_ts);   // all-or-nothing after a crash
 ///
 /// Commit persists the staged entries, atomically sets a commit marker,
 /// applies the entries to their home locations, persists them, and clears
-/// the marker. Open() replays a marked log (crash after marker) and discards
-/// an unmarked one (crash before marker).
+/// the marker. Open() replays marked segments (crash after marker) in
+/// commit-timestamp order and discards unmarked ones (crash before marker).
+///
+/// Segment layout (each of area_size/num_segments bytes):
+///   [0]  u64 state       (0 = idle, 1 = committed)
+///   [8]  u64 commit_ts   (replay order key)
+///   [16] u64 num_entries
+///   [24] entries: { u64 target, u64 len, len bytes (padded to 8) } ...
 class RedoLog {
  public:
-  explicit RedoLog(Pool* pool, Offset area, uint64_t area_size);
+  RedoLog(Pool* pool, Offset area, uint64_t area_size, uint32_t num_segments);
 
-  /// Applies a committed-but-unapplied log if present. Called by Pool::Open.
-  /// Returns true if a replay happened.
+  /// Applies committed-but-unapplied segments in commit-timestamp order.
+  /// Called by Pool::Open. Returns true if any replay happened.
   bool Recover();
 
   Offset area() const { return area_; }
   uint64_t area_size() const { return area_size_; }
+  uint32_t num_segments() const { return num_segments_; }
+  uint64_t segment_size() const { return segment_size_; }
+  Offset segment_offset(uint32_t i) const {
+    return area_ + static_cast<uint64_t>(i) * segment_size_;
+  }
 
  private:
   friend class RedoTx;
 
+  /// Blocks until a segment is free; prefers `hint` (a per-thread slot) so
+  /// steady-state committers keep reusing "their" segment.
+  uint32_t AcquireSegment(uint32_t hint);
+  void ReleaseSegment(uint32_t idx);
+
   Pool* pool_;
   Offset area_;
   uint64_t area_size_;
+  uint32_t num_segments_;
+  uint64_t segment_size_;
   std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t busy_ = 0;  // bitmask, one bit per segment
 };
 
 class RedoTx {
  public:
-  /// Acquires the pool-wide redo log; commits are serialized.
+  /// Drain hook for the commit phases: group commit passes a leader/follower
+  /// batched drain; empty = Pool::Drain.
+  using DrainFn = std::function<void()>;
+
+  /// Acquires a free redo-log segment (per-thread preferred slot). With one
+  /// segment this degenerates to the serialized pool-wide log.
   explicit RedoTx(RedoLog* log);
 
-  /// Releases the log. A destructed-but-uncommitted tx has no effect.
+  /// Releases the segment. A destructed-but-uncommitted tx has no effect.
   ~RedoTx();
 
   RedoTx(const RedoTx&) = delete;
   RedoTx& operator=(const RedoTx&) = delete;
 
   /// Stages `len` bytes to be written to pool offset `target` at commit.
+  /// Pipelined mode appends straight into the owned segment (no DRAM copy).
   void Stage(Offset target, const void* data, uint64_t len);
 
   /// Convenience for single values.
@@ -267,10 +385,18 @@ class RedoTx {
   }
 
   /// Atomically applies all staged writes. Fails (without applying) if the
-  /// staged data exceeds the log area.
-  Status Commit();
+  /// staged data exceeds the segment. `commit_ts` orders crash replay across
+  /// segments; `drain` replaces Pool::Drain in every commit phase.
+  Status Commit(uint64_t commit_ts = 0, const DrainFn& drain = {});
+
+  uint32_t segment() const { return segment_; }
 
  private:
+  Status CommitPipelined(uint64_t commit_ts, const DrainFn& drain);
+  Status CommitSerialized(uint64_t commit_ts, const DrainFn& drain);
+
+  // Serialized-baseline staging (the seed path): entries buffered in DRAM
+  // and copied into the log at commit.
   struct Entry {
     Offset target;
     uint64_t len;
@@ -278,9 +404,15 @@ class RedoTx {
   };
 
   RedoLog* log_;
-  std::vector<Entry> entries_;
-  uint64_t staged_bytes_ = 0;
+  uint32_t segment_ = 0;
+  char* seg_ = nullptr;       // segment base pointer
+  uint64_t pos_ = 24;         // append cursor (pipelined staging)
+  uint64_t num_entries_ = 0;
+  bool overflow_ = false;
   bool committed_ = false;
+  bool pipelined_ = true;
+  std::vector<Entry> entries_;  // serialized-baseline staging only
+  uint64_t staged_bytes_ = 0;
 };
 
 }  // namespace poseidon::pmem

@@ -159,8 +159,17 @@ class ChunkedTable {
       id = next_fresh_slot_++;
     }
     char* slot = SlotPtr(id);
-    std::memcpy(slot, &record, sizeof(R));
-    pool_->Persist(slot, sizeof(R));
+    // Word-atomic store: concurrent stable readers (seqlock-style copies)
+    // may race a slot being recycled; record structs are 8-byte multiples.
+    if constexpr (sizeof(R) % 8 == 0) {
+      pmem::AtomicStoreCopy(slot, &record, sizeof(R));
+    } else {
+      std::memcpy(slot, &record, sizeof(R));
+    }
+    // Pipelined pools defer the drain to the inserting transaction's commit:
+    // the payload flush is ordered before the occupancy flush below, and
+    // both land before the commit marker that makes the record reachable.
+    pool_->PersistDeferred(slot, sizeof(R));
     SetBit(id, true);
     ++num_records_;
     return id;
@@ -349,7 +358,7 @@ class ChunkedTable {
     uint64_t mask = 1ull << (slot % 64);
     uint64_t updated = value ? (word | mask) : (word & ~mask);
     std::atomic_ref<uint64_t>(word).store(updated, std::memory_order_release);
-    pool_->Persist(&word, sizeof(word));
+    pool_->PersistDeferred(&word, sizeof(word));
   }
 
   /// Appends a zeroed chunk: chunk persisted first, then directory entry,

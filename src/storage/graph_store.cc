@@ -1,5 +1,7 @@
 #include "storage/graph_store.h"
 
+#include <atomic>
+
 namespace poseidon::storage {
 
 Result<std::unique_ptr<GraphStore>> GraphStore::Create(pmem::Pool* pool) {
@@ -50,10 +52,19 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(pmem::Pool* pool) {
 }
 
 void GraphStore::PersistTimestamp(Timestamp ts) {
+  // CAS-max: concurrent committers race to advance the high-water mark.
   auto* root = this->root();
-  if (root->next_timestamp >= ts) return;
-  root->next_timestamp = ts;
-  pool_->Persist(&root->next_timestamp, sizeof(Timestamp));
+  std::atomic_ref<Timestamp> hwm(root->next_timestamp);
+  Timestamp cur = hwm.load(std::memory_order_relaxed);
+  while (cur < ts) {
+    if (hwm.compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
+      // Pipelined: flush only — the committing transaction's redo drain
+      // orders it before the commit marker, so no durable bts can ever
+      // exceed a durable next_timestamp.
+      pool_->PersistDeferred(&root->next_timestamp, sizeof(Timestamp));
+      return;
+    }
+  }
 }
 
 }  // namespace poseidon::storage

@@ -1,6 +1,8 @@
 #include "tx/transaction.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 namespace poseidon::tx {
@@ -40,6 +42,14 @@ PVal FindProp(const std::vector<Property>& props, DictCode key) {
   return PVal::Null();
 }
 
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return end == v ? fallback : static_cast<int>(parsed);
+}
+
 }  // namespace
 
 // --- Transaction: lifecycle --------------------------------------------------
@@ -68,7 +78,10 @@ Status Transaction::ReadStable(const Table& table, RecordId id, R* out) {
       return Status::Aborted("record locked by transaction " +
                              std::to_string(txn));
     }
-    std::memcpy(out, rec, sizeof(R));
+    // Word-atomic copy: a concurrent commit applies with 8-byte atomic
+    // stores, so the racing copy is data-race-free; the seqlock check below
+    // rejects torn logical content.
+    pmem::AtomicLoadCopy(out, rec, sizeof(R));
     std::atomic_thread_fence(std::memory_order_acquire);
     Timestamp txn2 = AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
     Timestamp bts2 = AtomicTs(rec->tx.bts).load(std::memory_order_acquire);
@@ -270,12 +283,14 @@ Result<Transaction::NodeWrite*> Transaction::LockNode(RecordId id) {
   if (rec->tx.bts > id_) {
     return unlock_and(Status::Aborted("newer node version committed"));
   }
-  if (rec->tx.rts > id_) {
+  if (AtomicTs(rec->tx.rts).load(std::memory_order_acquire) > id_) {
     // MVTO write rule: cannot overwrite a version a newer tx already read.
     return unlock_and(Status::Aborted("node read by newer transaction"));
   }
   NodeWrite w;
-  w.before = *rec;
+  // Word-atomic copy: concurrent lockers CAS the txn_id word and readers
+  // CAS-max rts while we copy the record we just locked.
+  pmem::AtomicLoadCopy(&w.before, rec, sizeof(NodeRecord));
   w.before.tx.txn_id = kUnlocked;
   w.rec = w.before;
   store_->properties().ReadChain(rec->props, &w.props_before);
@@ -317,11 +332,12 @@ Result<Transaction::RelWrite*> Transaction::LockRel(RecordId id) {
   if (rec->tx.bts > id_) {
     return unlock_and(Status::Aborted("newer relationship version"));
   }
-  if (rec->tx.rts > id_) {
+  if (AtomicTs(rec->tx.rts).load(std::memory_order_acquire) > id_) {
     return unlock_and(Status::Aborted("relationship read by newer tx"));
   }
   RelWrite w;
-  w.before = *rec;
+  // Word-atomic copy: see LockNode.
+  pmem::AtomicLoadCopy(&w.before, rec, sizeof(RelationshipRecord));
   w.before.tx.txn_id = kUnlocked;
   w.rec = w.before;
   store_->properties().ReadChain(rec->props, &w.props_before);
@@ -494,6 +510,10 @@ Status Transaction::CommitImpl() {
   std::vector<std::pair<RecordId, NodeWrite*>> node_deletes_for_index;
   std::vector<GcItem> gc_items;
 
+  // Announce ourselves to the group-commit leader election for the whole
+  // durable section (staging + redo commit): a leader only waits for
+  // committers that are actually headed for a drain point.
+  TransactionManager::CommitSection in_flight(mgr_);
   pmem::RedoTx redo(pool->redo_log());
   static const Timestamp kZeroTs = kUnlocked;
 
@@ -627,8 +647,14 @@ Status Transaction::CommitImpl() {
   }
 
   // The failure-atomic point: either every staged image (and unlock) becomes
-  // durable, or none does (paper: PMDK transaction at commit, DG4).
-  POSEIDON_RETURN_IF_ERROR(redo.Commit());
+  // durable, or none does (paper: PMDK transaction at commit, DG4). The
+  // commit timestamp orders crash replay across redo segments; with group
+  // commit, every phase drain is batched across concurrent committers.
+  pmem::RedoTx::DrainFn drain;
+  if (mgr_->group_commit_enabled_) {
+    drain = [this] { mgr_->GroupDrain(); };
+  }
+  POSEIDON_RETURN_IF_ERROR(redo.Commit(id_, drain));
 
   // --- Post-commit bookkeeping (volatile / secondary) ----------------------
   for (auto& [id, w] : node_writes_) {
@@ -684,7 +710,100 @@ TransactionManager::TransactionManager(storage::GraphStore* store,
                                        index::IndexManager* indexes)
     : store_(store),
       indexes_(indexes),
-      next_ts_(store->persisted_timestamp() + 1) {}
+      next_ts_(store->persisted_timestamp() + 1) {
+  bool pipelined = store->pool()->pipelined();
+  group_commit_enabled_ =
+      pipelined && EnvInt("POSEIDON_GROUP_COMMIT", 1) != 0;
+  // Default 0: opportunistic batching. The leader drains immediately for
+  // the members that have already arrived; committers that show up during
+  // the drain form the next batch. A positive window makes the leader sleep
+  // for up to that long collecting the in-flight committers — only worth it
+  // when the modeled drain cost exceeds the scheduling latency (e.g. a
+  // latency override emulating remote PMem fsync-class drains).
+  int window = EnvInt("POSEIDON_GROUP_COMMIT_WINDOW_US", 0);
+  group_window_us_ = window > 0 ? static_cast<uint64_t>(window) : 0;
+  bg_gc_ = pipelined && EnvInt("POSEIDON_BG_GC", 1) != 0;
+  if (bg_gc_) {
+    gc_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(gc_wake_mu_);
+      while (!gc_stop_.load(std::memory_order_acquire)) {
+        gc_wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        if (gc_stop_.load(std::memory_order_acquire)) break;
+        RunGc();
+      }
+    });
+  }
+}
+
+TransactionManager::~TransactionManager() {
+  if (gc_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(gc_wake_mu_);
+      gc_stop_.store(true, std::memory_order_release);
+    }
+    gc_wake_cv_.notify_all();
+    gc_thread_.join();
+    // Drain what the epoch thread left behind so shutdown matches the
+    // inline-GC baseline.
+    RunGc();
+  }
+}
+
+TransactionManager::CommitSection::CommitSection(TransactionManager* m)
+    : mgr(m) {
+  mgr->committers_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TransactionManager::CommitSection::~CommitSection() {
+  mgr->committers_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (mgr->group_commit_enabled_) {
+    // A leader may be waiting for this committer to reach a drain point;
+    // if we left the durable section instead (commit done or aborted),
+    // re-evaluate its batch-complete predicate.
+    std::lock_guard<std::mutex> lock(mgr->group_mu_);
+    mgr->arrive_cv_.notify_all();
+  }
+}
+
+void TransactionManager::GroupDrain() {
+  auto* pool = store_->pool();
+  std::unique_lock<std::mutex> lock(group_mu_);
+  uint64_t my_batch = group_gen_;
+  ++group_members_;
+  arrive_cv_.notify_all();  // leader predicate may now hold
+  for (;;) {
+    if (group_done_gen_ >= my_batch) return;  // a leader drained for us
+    if (!leader_active_) {
+      leader_active_ = true;
+      // Bounded wait (window > 0 only): collect the committers currently
+      // inside their durable section. Single-threaded commits sail through
+      // without sleeping (members == in-flight == 1); with the default
+      // window of 0 the leader never sleeps and batches only the members
+      // already queued behind it.
+      if (group_window_us_ > 0) {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(group_window_us_);
+        arrive_cv_.wait_until(lock, deadline, [&] {
+          return group_members_ >=
+                 committers_in_flight_.load(std::memory_order_acquire);
+        });
+      }
+      uint64_t batch = group_gen_++;  // close the batch; next arrivals queue
+      group_members_ = 0;
+      lock.unlock();
+      pool->Drain();  // one physical sfence for the whole batch
+      group_drains_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      group_done_gen_ = batch;
+      leader_active_ = false;
+      done_cv_.notify_all();
+      return;
+    }
+    done_cv_.wait(lock, [&] {
+      return group_done_gen_ >= my_batch || !leader_active_;
+    });
+  }
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   Timestamp ts = next_ts_.fetch_add(1, std::memory_order_acq_rel);
@@ -712,7 +831,9 @@ void TransactionManager::Finish(Timestamp ts, bool committed) {
     aborts_.fetch_add(1, std::memory_order_relaxed);
   }
   // Transaction-level GC (paper §5.3): reclaim at transaction granularity.
-  RunGc();
+  // With the commit pipeline, reclamation runs on the background epoch
+  // thread instead, so commit latency no longer pays version pruning.
+  if (!bg_gc_) RunGc();
 }
 
 void TransactionManager::Defer(GcItem item) {
@@ -753,6 +874,16 @@ Status TransactionManager::RecoverInFlight() {
   // Uncommitted inserts (locked, bts == 0) vanish; locked committed records
   // are unlocked in place — their durable payload was never touched because
   // updates reach PMem only through the commit redo transaction.
+  //
+  // Durability note: BOTH branches must persist their cleared state before
+  // recovery is declared done, and they must do so the same way. The unlock
+  // branch used to Persist (flush + drain) every txn_id individually while
+  // the drop branch relied on Delete's internal persist — a crash between
+  // the two could resurrect a lock that recovery had already released. Now
+  // every cleared field and occupancy bit is flushed as it is written and a
+  // single drain at the end makes the whole sweep durable atomically-enough:
+  // re-running recovery after a crash mid-sweep redoes the idempotent work.
+  auto* pool = store_->pool();
   std::vector<RecordId> drop_nodes, drop_rels;
   store_->nodes().ForEach([&](RecordId id, storage::NodeRecord& rec) {
     if (rec.tx.txn_id == kUnlocked) return;
@@ -760,7 +891,7 @@ Status TransactionManager::RecoverInFlight() {
       drop_nodes.push_back(id);
     } else {
       rec.tx.txn_id = kUnlocked;
-      store_->pool()->Persist(&rec.tx.txn_id, sizeof(Timestamp));
+      pool->Flush(&rec.tx.txn_id, sizeof(Timestamp));
     }
   });
   store_->relationships().ForEach(
@@ -770,7 +901,7 @@ Status TransactionManager::RecoverInFlight() {
           drop_rels.push_back(id);
         } else {
           rec.tx.txn_id = kUnlocked;
-          store_->pool()->Persist(&rec.tx.txn_id, sizeof(Timestamp));
+          pool->Flush(&rec.tx.txn_id, sizeof(Timestamp));
         }
       });
   for (RecordId id : drop_nodes) {
@@ -779,6 +910,7 @@ Status TransactionManager::RecoverInFlight() {
   for (RecordId id : drop_rels) {
     POSEIDON_RETURN_IF_ERROR(store_->relationships().Delete(id));
   }
+  pool->Drain();
   return Status::Ok();
 }
 

@@ -25,11 +25,13 @@
 #ifndef POSEIDON_TX_TRANSACTION_H_
 #define POSEIDON_TX_TRANSACTION_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -191,8 +193,18 @@ struct GcItem {
 class TransactionManager {
  public:
   /// `indexes` may be null (no secondary-index maintenance).
+  ///
+  /// When the pool runs the parallel commit pipeline, the manager also
+  /// activates (a) group commit — concurrent committers elect a leader that
+  /// issues one drain for the whole batch (bounded by
+  /// POSEIDON_GROUP_COMMIT_WINDOW_US; disable with POSEIDON_GROUP_COMMIT=0)
+  /// — and (b) a background epoch thread that runs RunGc() off the commit
+  /// path (disable with POSEIDON_BG_GC=0).
   TransactionManager(storage::GraphStore* store,
                      index::IndexManager* indexes);
+
+  /// Stops the background GC thread.
+  ~TransactionManager();
 
   /// Releases in-flight locks left by a crash: uncommitted inserts
   /// (txn-id != 0, bts == 0) are dropped; locked committed records are
@@ -220,12 +232,31 @@ class TransactionManager {
 
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
+  /// Physical drains issued by group-commit leaders (<= commits when
+  /// batching is effective).
+  uint64_t group_drains() const { return group_drains_; }
+  bool group_commit_enabled() const { return group_commit_enabled_; }
+  bool background_gc_enabled() const { return bg_gc_; }
 
  private:
   friend class Transaction;
 
   void Finish(storage::Timestamp ts, bool committed);
   void Defer(GcItem item);
+
+  /// Leader/follower batched drain used for every commit-phase sfence: the
+  /// first committer to arrive becomes leader, waits (bounded) for the other
+  /// in-flight committers to reach their drain point, and issues a single
+  /// Pool::Drain on behalf of the batch.
+  void GroupDrain();
+
+  /// RAII tag for the durable section of a commit; the group-commit leader
+  /// only waits for committers that are actually inside it.
+  struct CommitSection {
+    explicit CommitSection(TransactionManager* m);
+    ~CommitSection();
+    TransactionManager* mgr;
+  };
 
   storage::GraphStore* store_;
   index::IndexManager* indexes_;
@@ -242,6 +273,26 @@ class TransactionManager {
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
+
+  // --- Group commit (pipelined pools only) ------------------------------
+  bool group_commit_enabled_ = false;
+  uint64_t group_window_us_ = 50;
+  std::mutex group_mu_;
+  std::condition_variable arrive_cv_;  // wakes a waiting leader
+  std::condition_variable done_cv_;    // wakes followers
+  uint64_t group_gen_ = 1;       // id of the currently-forming batch
+  uint64_t group_done_gen_ = 0;  // highest batch whose drain completed
+  uint32_t group_members_ = 0;   // arrivals in the forming batch
+  bool leader_active_ = false;
+  std::atomic<uint32_t> committers_in_flight_{0};
+  std::atomic<uint64_t> group_drains_{0};
+
+  // --- Background version GC (pipelined pools only) ---------------------
+  bool bg_gc_ = false;
+  std::atomic<bool> gc_stop_{false};
+  std::mutex gc_wake_mu_;
+  std::condition_variable gc_wake_cv_;
+  std::thread gc_thread_;
 };
 
 }  // namespace poseidon::tx

@@ -18,6 +18,21 @@ using storage::DictCode;
 using storage::PVal;
 using storage::RecordId;
 
+// ThreadSanitizer serializes atomics and instruments every access (10-20x);
+// the stress loops shrink so `ctest -L tsan` stays tractable — race coverage
+// comes from the interleavings, not the iteration count.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kStressScale = 8;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kStressScale = 8;
+#else
+constexpr int kStressScale = 1;
+#endif
+#else
+constexpr int kStressScale = 1;
+#endif
+
 class ConcurrencyTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -251,6 +266,7 @@ TEST_F(ConcurrencyTest, MorselParallelScanNeverSeesUncommittedVersions) {
   // (balance >= 0). MVTO visibility must hold on every worker: a parallel
   // scan may never surface an uncommitted or aborted version.
   constexpr int kSeed = 600;  // spans multiple occupancy words + morsels
+  const int kReads = 150 / kStressScale;
   {
     auto tx = mgr_->Begin();
     for (int i = 0; i < kSeed; ++i) {
@@ -299,7 +315,7 @@ TEST_F(ConcurrencyTest, MorselParallelScanNeverSeesUncommittedVersions) {
 
   int poison_seen = 0;
   int64_t last_committed = kSeed;
-  for (int reads = 0; reads < 150;) {
+  for (int reads = 0; reads < kReads;) {
     auto tx = mgr_->Begin();
     auto poison = engine.Execute(poison_count, tx.get(), {},
                                  /*parallel=*/true);
