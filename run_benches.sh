@@ -7,9 +7,14 @@
 #   * bench_pmem_micro writes google-benchmark's JSON schema via
 #     --benchmark_out (includes the batched-scan prefetch on/off entries).
 #
-# `run_benches.sh --check` instead builds the ThreadSanitizer configuration
-# (POSEIDON_TSAN) in build-tsan/ and runs the race-sensitive test subset
-# (ctest -L tsan): the MVTO, commit-pipeline, and concurrency suites.
+# `run_benches.sh --check` instead builds the sanitizer configurations and
+# runs the sensitive test subsets:
+#   * build-tsan/ (POSEIDON_TSAN): the race-sensitive suites (ctest -L tsan)
+#     — MVTO, commit pipeline, concurrency;
+#   * build-asan/ (POSEIDON_ASAN, ASan+UBSan): the fault-injection suites
+#     (ctest -L fault) — crash-point exploration, corrupt-segment recovery,
+#     diskgraph fault paths — where a missed bounds check on crafted-garbage
+#     input becomes a memory error.
 
 if [ "${1:-}" = "--check" ]; then
   set -e
@@ -18,6 +23,11 @@ if [ "${1:-}" = "--check" ]; then
       concurrency_test mvto_test commit_pipeline_test tx_edge_test
   ctest --test-dir /root/repo/build-tsan -L tsan --output-on-failure
   echo "TSAN CHECK DONE"
+  cmake -B /root/repo/build-asan -S /root/repo -DPOSEIDON_ASAN=ON
+  cmake --build /root/repo/build-asan -j"$(nproc)" --target \
+      crash_explorer_test fault_injection_test crash_property_test
+  ctest --test-dir /root/repo/build-asan -L fault --output-on-failure
+  echo "ASAN FAULT CHECK DONE"
   exit 0
 fi
 

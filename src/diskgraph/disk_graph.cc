@@ -7,6 +7,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/backoff.h"
+#include "util/env.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/spin_timer.h"
 
@@ -28,25 +31,165 @@ Result<std::unique_ptr<DiskGraph>> DiskGraph::Create(
                             PageFile::Open(options.dir + "/rels.db"));
   POSEIDON_ASSIGN_OR_RETURN(g->prop_file_,
                             PageFile::Open(options.dir + "/props.db"));
+  // WAL is opened WITHOUT O_TRUNC and replayed before any buffer pool
+  // exists: committed batches land in the page files, a torn tail is
+  // discarded, and only then is the log reset for this session.
+  std::string wal = options.dir + "/wal.log";
+  g->wal_fd_ = ::open(wal.c_str(), O_RDWR | O_CREAT, 0644);
+  if (g->wal_fd_ < 0) {
+    return Status::IoError("open WAL failed: " + std::string(strerror(errno)));
+  }
+  POSEIDON_RETURN_IF_ERROR(g->ReplayWal(wal));
   g->node_pool_ = std::make_unique<BufferPool>(g->node_file_.get(),
                                                options.buffer_pages);
   g->rel_pool_ =
       std::make_unique<BufferPool>(g->rel_file_.get(), options.buffer_pages);
   g->prop_pool_ = std::make_unique<BufferPool>(g->prop_file_.get(),
                                                options.buffer_pages);
-  std::string wal = options.dir + "/wal.log";
-  g->wal_fd_ = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (g->wal_fd_ < 0) {
-    return Status::IoError("open WAL failed: " + std::string(strerror(errno)));
-  }
   std::string dict = options.dir + "/dict.log";
-  g->dict_fd_ = ::open(dict.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  g->dict_fd_ = ::open(dict.c_str(), O_RDWR | O_CREAT, 0644);
   if (g->dict_fd_ < 0) {
     return Status::IoError("open dict log failed: " +
                            std::string(strerror(errno)));
   }
   g->dict_reverse_.push_back("");  // code 0 = invalid
+  POSEIDON_RETURN_IF_ERROR(g->RecoverDictionary(dict));
+  POSEIDON_RETURN_IF_ERROR(g->RecoverCounts());
   return g;
+}
+
+Status DiskGraph::ReplayWal(const std::string& wal_path) {
+  off_t size = ::lseek(wal_fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IoError("lseek(" + wal_path +
+                           ") failed: " + std::string(strerror(errno)));
+  }
+  if (size > 0) {
+    struct Image {
+      uint64_t file;
+      uint64_t page;
+      std::vector<char> data;
+    };
+    std::vector<Image> batch;
+    bool applied = false;
+    off_t pos = 0;
+    for (;;) {
+      uint64_t header[2];
+      if (::pread(wal_fd_, header, sizeof(header), pos) !=
+          static_cast<ssize_t>(sizeof(header))) {
+        break;  // end of log or torn record header
+      }
+      pos += static_cast<off_t>(sizeof(header));
+      if (header[0] == ~0ull) {
+        // Commit marker. A count mismatch means the log itself is damaged;
+        // everything from here on is untrustworthy.
+        if (header[1] != batch.size()) break;
+        for (const Image& img : batch) {
+          PageFile* pf = img.file == kNodeFile  ? node_file_.get()
+                         : img.file == kRelFile ? rel_file_.get()
+                                                : prop_file_.get();
+          POSEIDON_RETURN_IF_ERROR(pf->WritePage(img.page, img.data.data()));
+        }
+        batch.clear();
+        ++wal_batches_replayed_;
+        applied = true;
+        continue;
+      }
+      if (header[0] > kPropFile) break;  // garbage file tag
+      Image img;
+      img.file = header[0];
+      img.page = header[1];
+      img.data.resize(kPageSize);
+      if (::pread(wal_fd_, img.data.data(), kPageSize, pos) !=
+          static_cast<ssize_t>(kPageSize)) {
+        break;  // torn page image
+      }
+      pos += static_cast<off_t>(kPageSize);
+      batch.push_back(std::move(img));
+    }
+    // An unterminated trailing batch is a crash mid-commit: discarded, as
+    // its marker (and hence its durability promise) never hit the disk.
+    if (applied) {
+      POSEIDON_RETURN_IF_ERROR(node_file_->Sync());
+      POSEIDON_RETURN_IF_ERROR(rel_file_->Sync());
+      POSEIDON_RETURN_IF_ERROR(prop_file_->Sync());
+    }
+  }
+  // Replayed batches now live in the page files; start this session's log
+  // fresh.
+  if (::ftruncate(wal_fd_, 0) != 0 || ::lseek(wal_fd_, 0, SEEK_SET) < 0) {
+    return Status::IoError("WAL reset failed: " +
+                           std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status DiskGraph::RecoverDictionary(const std::string& dict_path) {
+  off_t size = ::lseek(dict_fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IoError("lseek(" + dict_path +
+                           ") failed: " + std::string(strerror(errno)));
+  }
+  off_t pos = 0;
+  while (pos + static_cast<off_t>(sizeof(uint32_t)) <= size) {
+    uint32_t len;
+    if (::pread(dict_fd_, &len, sizeof(len), pos) !=
+        static_cast<ssize_t>(sizeof(len))) {
+      break;
+    }
+    if (pos + static_cast<off_t>(sizeof(len)) + static_cast<off_t>(len) >
+        size) {
+      break;  // torn tail: entry length exceeds the file
+    }
+    std::string s(len, '\0');
+    if (len > 0 && ::pread(dict_fd_, s.data(), len,
+                           pos + static_cast<off_t>(sizeof(len))) !=
+                       static_cast<ssize_t>(len)) {
+      break;
+    }
+    auto code = static_cast<DictCode>(dict_reverse_.size());
+    dict_[s] = code;
+    dict_reverse_.push_back(std::move(s));
+    pos += static_cast<off_t>(sizeof(len)) + static_cast<off_t>(len);
+  }
+  // Drop a torn tail so this session's appends start at a clean boundary.
+  if (pos < size && ::ftruncate(dict_fd_, pos) != 0) {
+    return Status::IoError("dict log truncate failed: " +
+                           std::string(strerror(errno)));
+  }
+  if (::lseek(dict_fd_, pos, SEEK_SET) < 0) {
+    return Status::IoError("dict log seek failed: " +
+                           std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status DiskGraph::RecoverCounts() {
+  // Occupancy scan over the recovered page files. Records only reach the
+  // files through committed WAL batches (or an eviction of a page later
+  // confirmed by a commit marker), so the highest in-use slot bounds the
+  // durable id space. Property slots are conservatively bumped past every
+  // existing page — recovery may skip a few free slots, never reuse a live
+  // one.
+  std::vector<char> buf(kPageSize);
+  num_nodes_ = 0;
+  for (uint64_t page = 0; page < node_file_->num_pages(); ++page) {
+    POSEIDON_RETURN_IF_ERROR(node_file_->ReadPage(page, buf.data()));
+    const auto* recs = reinterpret_cast<const DiskNode*>(buf.data());
+    for (uint64_t i = 0; i < kNodesPerPage; ++i) {
+      if (recs[i].in_use != 0) num_nodes_ = page * kNodesPerPage + i + 1;
+    }
+  }
+  num_rels_ = 0;
+  for (uint64_t page = 0; page < rel_file_->num_pages(); ++page) {
+    POSEIDON_RETURN_IF_ERROR(rel_file_->ReadPage(page, buf.data()));
+    const auto* recs = reinterpret_cast<const DiskRel*>(buf.data());
+    for (uint64_t i = 0; i < kRelsPerPage; ++i) {
+      if (recs[i].in_use != 0) num_rels_ = page * kRelsPerPage + i + 1;
+    }
+  }
+  num_props_ = prop_file_->num_pages() * kPropsPerPage;
+  return Status::Ok();
 }
 
 DiskGraph::~DiskGraph() {
@@ -56,6 +199,11 @@ DiskGraph::~DiskGraph() {
 
 uint64_t DiskGraph::buffer_misses() const {
   return node_pool_->misses() + rel_pool_->misses() + prop_pool_->misses();
+}
+
+uint64_t DiskGraph::read_retries() const {
+  return node_pool_->read_retries() + rel_pool_->read_retries() +
+         prop_pool_->read_retries();
 }
 
 Result<DiskNode*> DiskGraph::NodeAt(RecordId id, bool for_write) {
@@ -192,10 +340,27 @@ Status DiskGraph::WalAppend() {
       static_cast<ssize_t>(sizeof(marker))) {
     return Status::IoError("WAL marker write failed");
   }
-  if (::fdatasync(wal_fd_) != 0) {
-    return Status::IoError("WAL fsync failed");
+  return SyncWal();
+}
+
+Status DiskGraph::SyncWal() {
+  // The commit fsync is the one disk operation whose transient failure
+  // (injectable via the diskgraph.fsync fault site) is worth riding out:
+  // retry with bounded backoff, then surface the error — the batch stays in
+  // dirty_pages_, so a later Commit() re-logs it and recovery stays sound.
+  util::Backoff backoff(util::Backoff::FromEnv(/*max_attempts=*/3));
+  for (;;) {
+    bool injected =
+        util::FaultRegistry::Instance().ShouldFail("diskgraph.fsync");
+    if (!injected && ::fdatasync(wal_fd_) == 0) return Status::Ok();
+    ++fsync_retries_;
+    if (!backoff.Next()) {
+      return Status::IoError(
+          injected ? std::string(
+                         "WAL fsync failed: injected fault (diskgraph.fsync)")
+                   : "WAL fsync failed: " + std::string(strerror(errno)));
+    }
   }
-  return Status::Ok();
 }
 
 Status DiskGraph::Commit() {
@@ -205,13 +370,8 @@ Status DiskGraph::Commit() {
   dirty_pages_.clear();
   // fsync latency floor: the bench filesystem may be tmpfs, where
   // fdatasync is free; a durable SSD commit is not.
-  static const uint64_t kFsyncFloorUs = [] {
-    const char* v = std::getenv("POSEIDON_DISK_FSYNC_US");
-    if (v == nullptr || *v == '\0') return 500ull;
-    char* end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 10);
-    return end == v ? 500ull : parsed;
-  }();
+  static const uint64_t kFsyncFloorUs =
+      util::EnvU64("POSEIDON_DISK_FSYNC_US", 500);
   uint64_t elapsed_us = static_cast<uint64_t>(watch.ElapsedUs());
   if (elapsed_us < kFsyncFloorUs) SpinWaitNs((kFsyncFloorUs - elapsed_us) * 1000);
   return Status::Ok();

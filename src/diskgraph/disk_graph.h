@@ -64,6 +64,11 @@ struct DiskGraphOptions {
 
 class DiskGraph {
  public:
+  /// Opens (or creates) the store in `options.dir`. An existing directory is
+  /// recovered: complete WAL batches are replayed into the page files (a
+  /// torn tail is discarded), the dictionary log is reloaded, and the record
+  /// counts are rebuilt by scanning occupancy — so a crash after Commit()
+  /// loses nothing and a crash mid-commit loses only the in-flight batch.
   static Result<std::unique_ptr<DiskGraph>> Create(
       const DiskGraphOptions& options);
 
@@ -115,6 +120,12 @@ class DiskGraph {
   uint64_t num_nodes() const { return num_nodes_; }
   uint64_t num_relationships() const { return num_rels_; }
   uint64_t buffer_misses() const;
+  /// Complete WAL batches applied by recovery at Create().
+  uint64_t wal_batches_replayed() const { return wal_batches_replayed_; }
+  /// Commit fsyncs that failed transiently and were retried with backoff.
+  uint64_t fsync_retries() const { return fsync_retries_; }
+  /// Transient page-read retries across the three buffer pools.
+  uint64_t read_retries() const;
 
  private:
   DiskGraph() = default;
@@ -130,6 +141,15 @@ class DiskGraph {
                                   const std::vector<Property>& props);
   Result<PVal> ChainGet(RecordId head, DictCode key);
   Status WalAppend();
+  Status SyncWal();
+
+  /// Crash recovery at Create(): applies every marker-terminated WAL batch
+  /// directly to the page files, fsyncs them, and truncates the WAL.
+  Status ReplayWal(const std::string& wal_path);
+  /// Reloads dict.log (truncating a torn tail) and rebuilds the DRAM maps.
+  Status RecoverDictionary(const std::string& dict_path);
+  /// Rebuilds num_nodes_/num_rels_/num_props_ from the recovered files.
+  Status RecoverCounts();
 
   std::unique_ptr<PageFile> node_file_, rel_file_, prop_file_;
   std::unique_ptr<BufferPool> node_pool_, rel_pool_, prop_pool_;
@@ -138,6 +158,8 @@ class DiskGraph {
   uint64_t num_nodes_ = 0;
   uint64_t num_rels_ = 0;
   uint64_t num_props_ = 0;
+  uint64_t wal_batches_replayed_ = 0;
+  uint64_t fsync_retries_ = 0;
 
   // Dirty page tracking per table for the WAL (page numbers).
   std::vector<std::pair<int, uint64_t>> dirty_pages_;

@@ -7,29 +7,24 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/backoff.h"
+#include "util/env.h"
+#include "util/fault.h"
 #include "util/spin_timer.h"
 
 namespace poseidon::diskgraph {
 
 namespace {
 
-uint64_t EnvLatency(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return end == v ? fallback : static_cast<uint64_t>(parsed);
-}
-
 // SSD random-read latency paid on buffer misses.
-uint64_t MissLatencyUs() { return EnvLatency("POSEIDON_DISK_MISS_US", 80); }
+uint64_t MissLatencyUs() { return util::EnvU64("POSEIDON_DISK_MISS_US", 80); }
 
 // Per-page-access cost paid on buffer HITS, modelling the software stack a
 // real disk-based graph DBMS puts between the query and a cached page
 // (pin/unpin, latching, record deserialization — absent from the PMem
 // engine's direct byte-addressable access). Configurable; documented in
 // EXPERIMENTS.md.
-uint64_t HitLatencyNs() { return EnvLatency("POSEIDON_DISK_HIT_NS", 2000); }
+uint64_t HitLatencyNs() { return util::EnvU64("POSEIDON_DISK_HIT_NS", 2000); }
 
 }  // namespace
 
@@ -54,6 +49,9 @@ Status PageFile::ReadPage(uint64_t page_no, void* buf) const {
     std::memset(buf, 0, kPageSize);
     return Status::Ok();
   }
+  if (util::FaultRegistry::Instance().ShouldFail("diskgraph.read")) {
+    return Status::IoError("pread failed: injected fault (diskgraph.read)");
+  }
   ssize_t n = ::pread(fd_, buf, kPageSize,
                       static_cast<off_t>(page_no * kPageSize));
   if (n < 0) {
@@ -76,6 +74,10 @@ Status PageFile::WritePage(uint64_t page_no, const void* buf) {
 }
 
 Status PageFile::Sync() {
+  if (util::FaultRegistry::Instance().ShouldFail("diskgraph.fsync")) {
+    return Status::IoError(
+        "fdatasync failed: injected fault (diskgraph.fsync)");
+  }
   if (::fdatasync(fd_) != 0) {
     return Status::IoError("fdatasync failed: " +
                            std::string(strerror(errno)));
@@ -104,7 +106,15 @@ Result<char*> BufferPool::FetchPage(uint64_t page_no) {
   Frame frame;
   frame.page_no = page_no;
   frame.data = std::make_unique<char[]>(kPageSize);
-  POSEIDON_RETURN_IF_ERROR(file_->ReadPage(page_no, frame.data.get()));
+  // A transient read failure (injectable; on real hardware a recoverable
+  // media error) is retried with bounded backoff before surfacing.
+  util::Backoff backoff(util::Backoff::FromEnv(/*max_attempts=*/3));
+  for (;;) {
+    Status read = file_->ReadPage(page_no, frame.data.get());
+    if (read.ok()) break;
+    ++read_retries_;
+    if (!backoff.Next()) return read;
+  }
   // The SSD random-read cost this machine cannot produce natively.
   SpinWaitNs(miss_latency_us_ * 1000);
   lru_.push_front(std::move(frame));

@@ -70,6 +70,8 @@ class BufferPool {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Page reads that failed transiently and were retried with backoff.
+  uint64_t read_retries() const { return read_retries_; }
 
  private:
   struct Frame {
@@ -89,6 +91,7 @@ class BufferPool {
   std::unordered_map<uint64_t, std::list<Frame>::iterator> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t read_retries_ = 0;
 };
 
 }  // namespace poseidon::diskgraph

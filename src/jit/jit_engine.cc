@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "jit/runtime.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/spin_timer.h"
 
@@ -156,6 +157,13 @@ Result<CompiledQuery> JitEngine::Compile(const query::Plan& plan,
 
 Result<JitEngine::PendingCompile> JitEngine::BeginCompile(
     const query::Plan& plan, const JitOptions& options) {
+  // Injectable compile failure (jit.compile): lets tests and benches prove
+  // the query layer degrades to interpretation instead of failing the query
+  // when codegen breaks (OOM in ORC, unsupported plan shape, ...).
+  if (util::FaultRegistry::Instance().ShouldFail("jit.compile")) {
+    return Status::Internal("JIT compilation failed: injected fault "
+                            "(jit.compile)");
+  }
   uint64_t query_id = QueryIdFor(plan, options);
   PendingCompile pending;
   pending.options = options;

@@ -163,16 +163,25 @@ Result<QueryResult> JitQueryEngine::Execute(
     }
 
     case ExecutionMode::kJit: {
-      POSEIDON_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                                engine_->Compile(plan, jit_options));
-      stats->compile_ms = compiled.codegen_ms + compiled.optimize_ms +
-                          compiled.compile_ms;
-      stats->cache_hit = compiled.from_persistent_cache;
-      stats->memo_hit = compiled.from_memo;
+      auto compiled = engine_->Compile(plan, jit_options);
+      if (!compiled.ok()) {
+        // Graceful degradation: a compile failure (injectable via the
+        // jit.compile fault site) costs the speedup, not the query — run
+        // the same plan through the interpreter instead of surfacing an
+        // engine-internal error to the client.
+        stats->jit_fallback = true;
+        POSEIDON_RETURN_IF_ERROR(exec.Run());
+        ++stats->interpreted_morsels;
+        break;
+      }
+      stats->compile_ms = compiled->codegen_ms + compiled->optimize_ms +
+                          compiled->compile_ms;
+      stats->cache_hit = compiled->from_persistent_cache;
+      stats->memo_hit = compiled->from_memo;
       stats->used_jit = true;
       auto state = MakeState(plan, ctx, &collector, &exec, 1);
       POSEIDON_RETURN_IF_ERROR(
-          RunCompiledSerial(compiled, state.get(), &exec, stats));
+          RunCompiledSerial(*compiled, state.get(), &exec, stats));
       POSEIDON_RETURN_IF_ERROR(exec.Finish());
       break;
     }
@@ -225,6 +234,9 @@ Result<QueryResult> JitQueryEngine::Execute(
             bg_done_.notify_all();
           }).detach();
         }
+      } else {
+        // Compile setup failed: all morsels run interpreted.
+        stats->jit_fallback = true;
       }
 
       uint64_t slots = exec.SourceCardinality();

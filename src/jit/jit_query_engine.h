@@ -41,6 +41,7 @@ struct ExecStats {
   bool memo_hit = false;
   uint64_t jit_morsels = 0;
   uint64_t interpreted_morsels = 0;
+  bool jit_fallback = false;  ///< compile failed; query ran interpreted
 };
 
 class JitQueryEngine {

@@ -1,0 +1,18 @@
+#include "pmem/fault_injector.h"
+
+#include "pmem/pool.h"
+
+namespace poseidon::pmem {
+
+void FaultInjector::OnPersistPoint(Pool* pool) {
+  uint64_t point = counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t armed = armed_.load(std::memory_order_acquire);
+  if (armed == 0 || point != armed) return;
+  // Fire exactly once: freeze the durable image before this primitive runs,
+  // so the simulated crash cuts the persistence stream at this point.
+  armed_.store(0, std::memory_order_release);
+  pool->FreezeShadow();
+  fired_at_.store(point, std::memory_order_release);
+}
+
+}  // namespace poseidon::pmem

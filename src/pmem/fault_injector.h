@@ -1,0 +1,80 @@
+// Crash-point scheduler for the PMem pool (tentpole leg 1 of the
+// fault-injection subsystem).
+//
+// Every persistence primitive the pool executes — each Flush (including
+// FlushBatch-coalesced and PersistDeferred flushes) and each Drain — is a
+// *numbered injection point*: the injector assigns them 1, 2, 3, ... in
+// execution order. Arming point k freezes the crash shadow the moment the
+// k-th primitive begins, BEFORE it copies anything durable — i.e. the
+// durable image is exactly "everything persisted strictly before point k",
+// which is the state a power loss at that instant would leave on media.
+//
+// The workload keeps running after the freeze (later stores and flushes are
+// volatile-only); the test then calls Pool::SimulateCrash() to revert to
+// the frozen image and re-runs recovery. Running the same deterministic
+// workload with k = 1..points_seen() enumerates every flush/drain ordering
+// the commit path can be cut at — the exhaustive crash-state exploration
+// that Persistent Memory Transactions-style testing demands.
+//
+// Determinism caveat: background threads (POSEIDON_BG_GC, group commit)
+// interleave their own flushes into the numbering; exhaustive sweeps should
+// disable them and drive a single-threaded workload.
+//
+// The injector is created only when PoolOptions::crash_shadow is set, so
+// production pools pay nothing (a null-pointer test on the flush path).
+// POSEIDON_CRASH_POINT=<k> arms point k at Create/Open time for driving
+// whole binaries (e.g. the recovery bench sweep).
+
+#ifndef POSEIDON_PMEM_FAULT_INJECTOR_H_
+#define POSEIDON_PMEM_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace poseidon::pmem {
+
+class Pool;
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms the scheduler: the `point`-th persistence primitive from now on
+  /// (1-based) freezes the crash shadow. 0 disarms. Counting is NOT reset —
+  /// arm before the workload starts.
+  void ArmCrashPoint(uint64_t point) {
+    armed_.store(point, std::memory_order_release);
+  }
+
+  void Disarm() { ArmCrashPoint(0); }
+
+  /// Called by the pool at the top of every Flush/Drain. Assigns the point
+  /// number and fires the armed crash, freezing `pool`'s shadow before the
+  /// primitive does any durability work.
+  void OnPersistPoint(Pool* pool);
+
+  /// Persistence primitives executed so far (== the highest point number
+  /// assigned). A dry run of a workload reports how many crash points an
+  /// exhaustive sweep must cover.
+  uint64_t points_seen() const {
+    return counter_.load(std::memory_order_acquire);
+  }
+
+  /// Point number the armed crash fired at (0 = has not fired).
+  uint64_t crash_fired_at() const {
+    return fired_at_.load(std::memory_order_acquire);
+  }
+
+  bool crash_fired() const { return crash_fired_at() != 0; }
+
+ private:
+  std::atomic<uint64_t> counter_{0};   // points assigned so far
+  std::atomic<uint64_t> armed_{0};     // 0 = disarmed
+  std::atomic<uint64_t> fired_at_{0};  // 0 = not fired
+};
+
+}  // namespace poseidon::pmem
+
+#endif  // POSEIDON_PMEM_FAULT_INJECTOR_H_

@@ -1,29 +1,16 @@
 #include "pmem/latency_model.h"
 
-#include <cstdlib>
+#include "util/env.h"
 
 namespace poseidon::pmem {
-
-namespace {
-
-uint64_t EnvOr(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v) return fallback;
-  return static_cast<uint64_t>(parsed);
-}
-
-}  // namespace
 
 LatencyModel LatencyModel::EmulatedPmem() {
   LatencyModel m;
   // DRAM random access is ~85 ns on commodity servers; Optane adds roughly
   // 200+ ns on an uncached block read, giving the ~3x factor in C1.
-  m.read_block_ns = EnvOr("POSEIDON_PMEM_READ_NS", 200);
-  m.flush_line_ns = EnvOr("POSEIDON_PMEM_FLUSH_NS", 90);
-  m.drain_ns = EnvOr("POSEIDON_PMEM_DRAIN_NS", 100);
+  m.read_block_ns = util::EnvU64("POSEIDON_PMEM_READ_NS", 200);
+  m.flush_line_ns = util::EnvU64("POSEIDON_PMEM_FLUSH_NS", 90);
+  m.drain_ns = util::EnvU64("POSEIDON_PMEM_DRAIN_NS", 100);
   return m;
 }
 

@@ -7,32 +7,45 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <random>
+
+#include "pmem/fault_injector.h"
+#include "util/crc32c.h"
+#include "util/env.h"
 
 namespace poseidon::pmem {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x504f534549444f4eull;  // "POSEIDON"
-constexpr uint64_t kVersion = 2;  // v2: segmented redo log
+constexpr uint64_t kVersion = 3;  // v3: checksummed header + redo segments
 constexpr uint64_t kHeaderReserved = 4096;
 constexpr uint64_t kDefaultRedoSize = 8ull << 20;
 constexpr uint64_t kMaxSizeClassBytes = 64ull << 10;
 constexpr uint32_t kMaxRedoSegments = 64;
-constexpr uint64_t kSegmentHeaderBytes = 24;  // state + commit_ts + count
+constexpr uint64_t kSegmentHeaderBytes = kRedoSegmentHeaderBytes;
 
 uint64_t AlignUp(uint64_t x, uint64_t align) {
   return (x + align - 1) & ~(align - 1);
 }
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  long parsed = std::strtol(v, &end, 10);
-  return end == v ? fallback : static_cast<int>(parsed);
+using poseidon::util::EnvInt;
+
+/// Checksum of a redo segment: the commit_ts + num_entries words plus the
+/// entry bytes [kSegmentHeaderBytes, end_pos). The state word and the crc
+/// slot itself are excluded (state flips idle<->committed after the crc is
+/// written).
+uint64_t SegmentCrc(const char* seg, uint64_t end_pos) {
+  uint32_t crc = util::Crc32c(seg + 8, 16);
+  if (end_pos > kSegmentHeaderBytes) {
+    crc = util::Crc32c(seg + kSegmentHeaderBytes, end_pos - kSegmentHeaderBytes,
+                       crc);
+  }
+  return crc;
 }
 
 }  // namespace
@@ -81,7 +94,26 @@ struct Pool::Header {
   uint64_t redo_size;
   uint64_t redo_segments;
   uint64_t free_lists[kNumSizeClasses];
+  /// CRC32C of the immutable configuration fields (magic, version,
+  /// capacity, pool_id, redo_area, redo_size, redo_segments). Written once
+  /// at InitHeader; Open refuses a header whose configuration no longer
+  /// hashes — a bit flip in, say, redo_segments would otherwise silently
+  /// change the segment geometry recovery walks. Mutable fields (root,
+  /// bump, free lists, clean_shutdown) are protected by the redo protocol
+  /// instead.
+  uint64_t config_crc;
 };
+
+namespace {
+/// Folds the immutable header fields: magic..pool_id (bytes [0,32)) and
+/// redo_area..redo_segments (bytes [56,80)).
+uint64_t HeaderConfigCrc(const void* header_base) {
+  const char* h = static_cast<const char*>(header_base);
+  uint32_t crc = util::Crc32c(h, 32);
+  crc = util::Crc32c(h + 56, 24, crc);
+  return crc;
+}
+}  // namespace
 
 // --- Lifecycle --------------------------------------------------------------
 
@@ -111,6 +143,9 @@ Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
     std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
+    pool->fault_injector_ = std::make_unique<FaultInjector>();
+    uint64_t crash_point = util::EnvU64("POSEIDON_CRASH_POINT", 0);
+    if (crash_point != 0) pool->fault_injector_->ArmCrashPoint(crash_point);
   }
   pool->redo_log_ = std::make_unique<RedoLog>(
       pool.get(), pool->header()->redo_area, pool->header()->redo_size,
@@ -133,13 +168,40 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
     std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
+    pool->fault_injector_ = std::make_unique<FaultInjector>();
+    uint64_t crash_point = util::EnvU64("POSEIDON_CRASH_POINT", 0);
+    if (crash_point != 0) pool->fault_injector_->ArmCrashPoint(crash_point);
   }
+  // The header's segment count is authoritative: it fixed the segment
+  // geometry at creation, and trusting a different env/options value here
+  // would make recovery walk segment boundaries that don't match the
+  // on-media log. Diagnose the mismatch, then ignore the request.
   uint32_t segments = static_cast<uint32_t>(std::clamp<uint64_t>(
       pool->header()->redo_segments, 1, kMaxRedoSegments));
+  uint32_t requested =
+      options.redo_segments != 0
+          ? options.redo_segments
+          : static_cast<uint32_t>(std::clamp(
+                EnvInt("POSEIDON_REDO_SEGMENTS", static_cast<int>(segments)),
+                1, static_cast<int>(kMaxRedoSegments)));
+  if (requested != segments) {
+    std::string warning =
+        "redo segment-count mismatch: pool header says " +
+        std::to_string(segments) + ", reopen requested " +
+        std::to_string(requested) + "; header value wins";
+    std::fprintf(stderr, "poseidon: %s\n", warning.c_str());
+    pool->recovery_report_.warnings.push_back(std::move(warning));
+  }
   pool->redo_log_ = std::make_unique<RedoLog>(
       pool.get(), pool->header()->redo_area, pool->header()->redo_size,
       segments);
-  pool->redo_log_->Recover();
+  size_t pre_recovery_warnings = pool->recovery_report_.warnings.size();
+  pool->redo_log_->Recover(&pool->recovery_report_);
+  for (size_t i = pre_recovery_warnings;
+       i < pool->recovery_report_.warnings.size(); ++i) {
+    std::fprintf(stderr, "poseidon: %s\n",
+                 pool->recovery_report_.warnings[i].c_str());
+  }
   pool->header()->clean_shutdown = 0;
   pool->Persist(&pool->header()->clean_shutdown, sizeof(uint64_t));
   return pool;
@@ -193,8 +255,15 @@ Status Pool::MapRegion(const std::string& path, bool create) {
       return Status::IoError("fstat failed: " + std::string(strerror(errno)));
     }
     capacity_ = static_cast<uint64_t>(st.st_size);
+    if (capacity_ == 0) {
+      return Status::Corruption("pool file " + path +
+                                " is empty (zero length)");
+    }
     if (capacity_ < kHeaderReserved) {
-      return Status::Corruption("pool file too small");
+      return Status::Corruption(
+          "pool file " + path + " is truncated: " + std::to_string(capacity_) +
+          " bytes, smaller than the " + std::to_string(kHeaderReserved) +
+          "-byte header page");
     }
   }
   mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
@@ -209,6 +278,10 @@ Status Pool::MapRegion(const std::string& path, bool create) {
 void Pool::InitHeader(const PoolOptions& options) {
   static_assert(sizeof(Header) <= kHeaderReserved,
                 "header must fit reserved page");
+  static_assert(offsetof(Header, pool_id) == 24 &&
+                    offsetof(Header, redo_area) == 56 &&
+                    offsetof(Header, redo_segments) == 72,
+                "HeaderConfigCrc hashes bytes [0,32) and [56,80)");
   uint32_t segments = options.redo_segments != 0
                           ? options.redo_segments
                           : static_cast<uint32_t>(std::clamp(
@@ -229,6 +302,7 @@ void Pool::InitHeader(const PoolOptions& options) {
   h->redo_area = kHeaderReserved;
   h->redo_size = kDefaultRedoSize;
   h->redo_segments = segments;
+  h->config_crc = HeaderConfigCrc(h);
   h->bump = AlignUp(kHeaderReserved + kDefaultRedoSize, kPmemBlockSize);
   // Ensure every redo segment starts idle.
   uint64_t seg_size = (h->redo_size / segments) & ~(kCacheLineSize - 1);
@@ -241,11 +315,41 @@ void Pool::InitHeader(const PoolOptions& options) {
 }
 
 Status Pool::ValidateHeader() const {
+  // capacity_ still holds the mapped file size here; Open() adopts the
+  // header capacity only after validation passes.
   const auto* h = header();
-  if (h->magic != kMagic) return Status::Corruption("bad pool magic");
-  if (h->version != kVersion) return Status::Corruption("bad pool version");
-  if (h->capacity > capacity_) {
-    return Status::Corruption("pool header capacity exceeds file size");
+  if (h->magic != kMagic) {
+    return Status::Corruption("bad pool magic (not a poseidon pool file?)");
+  }
+  if (h->version != kVersion) {
+    return Status::Corruption("unsupported pool version " +
+                              std::to_string(h->version) + " (engine speaks " +
+                              std::to_string(kVersion) + ")");
+  }
+  if (h->capacity != capacity_) {
+    return Status::Corruption(
+        "pool header capacity " + std::to_string(h->capacity) +
+        " does not match file size " + std::to_string(capacity_) +
+        " (truncated or resized pool file)");
+  }
+  if (h->config_crc != HeaderConfigCrc(h)) {
+    return Status::Corruption(
+        "pool header configuration checksum mismatch (bit flip or torn "
+        "header write)");
+  }
+  if (h->redo_area < sizeof(Header) || h->redo_size == 0 ||
+      h->redo_area + h->redo_size > h->capacity ||
+      h->redo_area + h->redo_size < h->redo_area) {
+    return Status::Corruption("pool header redo-log area out of bounds");
+  }
+  if (h->redo_segments < 1 || h->redo_segments > kMaxRedoSegments) {
+    return Status::Corruption("pool header redo segment count " +
+                              std::to_string(h->redo_segments) +
+                              " outside [1, " +
+                              std::to_string(kMaxRedoSegments) + "]");
+  }
+  if (h->bump > h->capacity || h->root >= h->capacity) {
+    return Status::Corruption("pool header allocator state out of bounds");
   }
   return Status::Ok();
 }
@@ -335,6 +439,10 @@ void Pool::CopyToShadow(uint64_t begin, uint64_t end) {
 void Pool::FlushAccounted(const void* addr, uint64_t len,
                           uint64_t unique_lines) {
   if (len == 0) return;
+  // Crash-point scheduling: every flush is a numbered injection point, and
+  // an armed point freezes the shadow BEFORE this flush copies into it —
+  // the simulated power loss hits just as the clwb was about to retire.
+  if (fault_injector_ != nullptr) fault_injector_->OnPersistPoint(this);
   stats_.flushed_lines.fetch_add(unique_lines, std::memory_order_relaxed);
   if (mode_ == PoolMode::kPmem && unique_lines > 0) {
     latency_.OnFlush(unique_lines);
@@ -360,6 +468,7 @@ void Pool::Flush(const void* addr, uint64_t len) {
 }
 
 void Pool::Drain() {
+  if (fault_injector_ != nullptr) fault_injector_->OnPersistPoint(this);
   stats_.drains.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == PoolMode::kPmem) latency_.OnDrain();
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -469,30 +578,110 @@ void RedoLog::ReleaseSegment(uint32_t idx) {
   cv_.notify_one();
 }
 
-bool RedoLog::Recover() {
+namespace {
+/// Walks a marked segment's entry list without applying anything. Returns
+/// Ok and sets *end_pos to one past the last entry byte when every entry
+/// lies inside the segment and targets a range inside the pool; returns the
+/// reason otherwise. Validation runs BEFORE the checksum so a garbage
+/// num_entries cannot send the CRC (or the replay) out of bounds.
+Status WalkSegmentEntries(const char* seg, uint64_t segment_size,
+                          uint64_t pool_capacity, uint64_t num_entries,
+                          uint64_t* end_pos) {
+  if (num_entries > (segment_size - kSegmentHeaderBytes) / 16) {
+    return Status::Corruption("entry count " + std::to_string(num_entries) +
+                              " cannot fit the segment");
+  }
+  uint64_t pos = kSegmentHeaderBytes;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    if (pos + 16 > segment_size) {
+      return Status::Corruption("entry " + std::to_string(i) +
+                                " header past segment end");
+    }
+    uint64_t target, len;
+    std::memcpy(&target, seg + pos, sizeof(target));
+    std::memcpy(&len, seg + pos + 8, sizeof(len));
+    pos += 16;
+    uint64_t padded = (len + 7) & ~7ull;
+    if (padded < len || pos + padded > segment_size || pos + padded < pos) {
+      return Status::Corruption("entry " + std::to_string(i) +
+                                " data past segment end");
+    }
+    if (target + len > pool_capacity || target + len < target) {
+      return Status::Corruption("entry " + std::to_string(i) +
+                                " targets bytes outside the pool");
+    }
+    pos += padded;
+  }
+  *end_pos = pos;
+  return Status::Ok();
+}
+}  // namespace
+
+bool RedoLog::Recover(RecoveryReport* report) {
   // Collect the segments whose commit marker is durable, then replay them in
   // commit-timestamp order: conflicting writes are serialized by record
   // locks, so timestamp order equals commit order and the replay reproduces
   // the pre-crash apply sequence.
+  //
+  // A marked segment is replayed only if it validates: entry bounds first,
+  // then the CRC32C over commit_ts + num_entries + entry bytes. Anything
+  // else — a torn entry flush, a bit flip, a garbage count — discards
+  // exactly that segment with a Corruption diagnostic in the report. The
+  // other segments still replay; the open still succeeds.
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
   struct Pending {
     uint64_t commit_ts;
     uint32_t segment;
+    uint64_t end_pos;
   };
   std::vector<Pending> pending;
+  std::vector<uint32_t> discard;  // corrupt or garbage: reset to idle
   for (uint32_t i = 0; i < num_segments_; ++i) {
+    ++report->segments_scanned;
     char* seg = pool_->base_ + segment_offset(i);
     uint64_t state;
     std::memcpy(&state, seg, sizeof(state));
-    if (state == 1) {
-      uint64_t ts;
-      std::memcpy(&ts, seg + 8, sizeof(ts));
-      pending.push_back(Pending{ts, i});
-    } else if (state != 0) {
+    if (state == 0) continue;
+    if (state != 1) {
       // Arbitrary garbage (e.g. first use): reset to idle.
-      state = 0;
-      std::memcpy(seg, &state, sizeof(state));
-      pool_->Persist(seg, sizeof(state));
+      ++report->segments_reset_garbage;
+      report->warnings.push_back("redo segment " + std::to_string(i) +
+                                 ": garbage state word, reset to idle");
+      discard.push_back(i);
+      continue;
     }
+    uint64_t ts, num_entries, stored_crc;
+    std::memcpy(&ts, seg + 8, sizeof(ts));
+    std::memcpy(&num_entries, seg + 16, sizeof(num_entries));
+    std::memcpy(&stored_crc, seg + 24, sizeof(stored_crc));
+    uint64_t end_pos = 0;
+    Status valid = WalkSegmentEntries(seg, segment_size_, pool_->capacity_,
+                                      num_entries, &end_pos);
+    if (valid.ok() && SegmentCrc(seg, end_pos) != stored_crc) {
+      valid = Status::Corruption("checksum mismatch (torn or corrupt entry "
+                                 "bytes under a durable commit marker)");
+    }
+    if (!valid.ok()) {
+      ++report->segments_discarded_corrupt;
+      std::string warning = "redo segment " + std::to_string(i) +
+                            " discarded, not replayed: " +
+                            std::string(valid.message());
+      if (report->status.ok()) report->status = Status::Corruption(warning);
+      report->warnings.push_back(std::move(warning));
+      discard.push_back(i);
+      continue;
+    }
+    pending.push_back(Pending{ts, i, end_pos});
+  }
+  // Reset discarded segments to idle so the damage is contained: the next
+  // open sees a clean log instead of re-diagnosing (or worse, a later torn
+  // write upgrading garbage to a "valid" segment).
+  for (uint32_t i : discard) {
+    char* seg = pool_->base_ + segment_offset(i);
+    uint64_t zero = 0;
+    std::memcpy(seg, &zero, sizeof(zero));
+    pool_->Persist(seg, sizeof(zero));
   }
   if (pending.empty()) return false;
   std::sort(pending.begin(), pending.end(),
@@ -505,16 +694,16 @@ bool RedoLog::Recover() {
     std::memcpy(&num_entries, seg + 16, sizeof(num_entries));
     uint64_t pos = kSegmentHeaderBytes;
     for (uint64_t i = 0; i < num_entries; ++i) {
-      if (pos + 16 > segment_size_) break;  // defensive: truncated log
       uint64_t target, len;
       std::memcpy(&target, seg + pos, sizeof(target));
       std::memcpy(&len, seg + pos + 8, sizeof(len));
       pos += 16;
-      if (pos + len > segment_size_ || target + len > pool_->capacity_) break;
       std::memcpy(pool_->base_ + target, seg + pos, len);
       pool_->Flush(pool_->base_ + target, len);
       pos += (len + 7) & ~7ull;
+      ++report->entries_applied;
     }
+    ++report->segments_replayed;
   }
   pool_->Drain();
   for (const Pending& p : pending) {
@@ -604,6 +793,8 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   // a reused segment can never pair a stale marker with fresh entries.
   std::memcpy(seg_ + 8, &commit_ts, sizeof(commit_ts));
   std::memcpy(seg_ + 16, &num_entries_, sizeof(num_entries_));
+  uint64_t crc = SegmentCrc(seg_, pos_);
+  std::memcpy(seg_ + 24, &crc, sizeof(crc));
   batch.Flush(seg_ + 8, pos_ - 8);
   do_drain();
 
@@ -660,6 +851,8 @@ Status RedoTx::CommitSerialized(uint64_t commit_ts, const DrainFn& drain) {
   std::memcpy(log + 8, &commit_ts, sizeof(commit_ts));
   uint64_t num_entries = entries_.size();
   std::memcpy(log + 16, &num_entries, sizeof(num_entries));
+  uint64_t crc = SegmentCrc(log, pos);
+  std::memcpy(log + 24, &crc, sizeof(crc));
   pool->Persist(log + 8, pos - 8);
 
   // Phase 2: 8-byte atomic commit marker.

@@ -70,6 +70,31 @@ struct PoolOptions {
 /// Number of allocator size classes: 64, 128, 256, 512, 1 KiB ... 64 KiB.
 inline constexpr int kNumSizeClasses = 11;
 
+/// Redo-log segment header: state + commit_ts + num_entries + crc.
+/// Entries start at this offset within a segment (see RedoLog).
+inline constexpr uint64_t kRedoSegmentHeaderBytes = 32;
+
+/// What Pool::Open's redo-log recovery did, segment by segment. Corrupt
+/// segments (torn writes, bit flips — anything failing the CRC32C or bounds
+/// validation) are discarded, never replayed; `status` carries the first
+/// Status::Corruption diagnostic and `warnings` one line per incident, so
+/// callers can distinguish a clean recovery from a degraded one.
+struct RecoveryReport {
+  uint64_t segments_scanned = 0;
+  uint64_t segments_replayed = 0;
+  /// Committed-marked segments whose checksum or entry bounds were invalid;
+  /// reset to idle without applying anything.
+  uint64_t segments_discarded_corrupt = 0;
+  /// Segments whose state word held garbage (neither idle nor committed).
+  uint64_t segments_reset_garbage = 0;
+  uint64_t entries_applied = 0;
+  std::vector<std::string> warnings;
+  /// Ok when every marked segment replayed cleanly; Corruption otherwise
+  /// (the pool still opens — recovery degrades gracefully by discarding
+  /// exactly the damaged segments).
+  Status status;
+};
+
 /// Statistics counters (volatile; informational). Fields are atomics so
 /// concurrent committers can bump them race-free; read them like plain
 /// integers.
@@ -95,6 +120,7 @@ void AtomicLoadCopy(void* dst, const void* src, uint64_t len);
 
 class RedoLog;
 class FlushBatch;
+class FaultInjector;
 
 class Pool {
  public:
@@ -227,6 +253,14 @@ class Pool {
   /// True if the previous session did not close this pool cleanly.
   bool recovered_from_crash() const { return recovered_from_crash_; }
 
+  /// Crash-point scheduler (see pmem/fault_injector.h). Non-null only when
+  /// the pool was built with crash_shadow; every Flush/Drain reports to it.
+  FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
+  /// What redo-log recovery replayed/discarded at Open() (empty report for
+  /// Create()). See RecoveryReport.
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
   // --- Introspection ------------------------------------------------------
 
   PoolMode mode() const { return mode_; }
@@ -278,6 +312,8 @@ class Pool {
   std::atomic<bool> shadow_frozen_{false};
 
   std::unique_ptr<RedoLog> redo_log_;
+  std::unique_ptr<FaultInjector> fault_injector_;
+  RecoveryReport recovery_report_;
   mutable std::mutex alloc_mu_;
   mutable PoolStats stats_;
 };
@@ -323,14 +359,22 @@ class FlushBatch {
 ///   [0]  u64 state       (0 = idle, 1 = committed)
 ///   [8]  u64 commit_ts   (replay order key)
 ///   [16] u64 num_entries
-///   [24] entries: { u64 target, u64 len, len bytes (padded to 8) } ...
+///   [24] u64 crc         (CRC32C of bytes [8,24) + the entry bytes)
+///   [32] entries: { u64 target, u64 len, len bytes (padded to 8) } ...
+///
+/// The checksum makes a committed marker self-validating: recovery replays
+/// a marked segment only when its entry bytes hash to the stored CRC, so a
+/// torn entry flush or media bit flip is detected and the segment discarded
+/// instead of replaying garbage.
 class RedoLog {
  public:
   RedoLog(Pool* pool, Offset area, uint64_t area_size, uint32_t num_segments);
 
-  /// Applies committed-but-unapplied segments in commit-timestamp order.
-  /// Called by Pool::Open. Returns true if any replay happened.
-  bool Recover();
+  /// Applies committed-but-unapplied segments in commit-timestamp order,
+  /// discarding any segment that fails checksum or bounds validation.
+  /// Called by Pool::Open. Returns true if any replay happened; fills
+  /// `report` (may be null) with per-segment accounting.
+  bool Recover(RecoveryReport* report = nullptr);
 
   Offset area() const { return area_; }
   uint64_t area_size() const { return area_size_; }
@@ -406,7 +450,7 @@ class RedoTx {
   RedoLog* log_;
   uint32_t segment_ = 0;
   char* seg_ = nullptr;       // segment base pointer
-  uint64_t pos_ = 24;         // append cursor (pipelined staging)
+  uint64_t pos_ = kRedoSegmentHeaderBytes;  // append cursor (pipelined)
   uint64_t num_entries_ = 0;
   bool overflow_ = false;
   bool committed_ = false;

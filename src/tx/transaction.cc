@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/backoff.h"
+#include "util/env.h"
+
 namespace poseidon::tx {
 
 using storage::DictCode;
@@ -42,13 +45,7 @@ PVal FindProp(const std::vector<Property>& props, DictCode key) {
   return PVal::Null();
 }
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  long parsed = std::strtol(v, &end, 10);
-  return end == v ? fallback : static_cast<int>(parsed);
-}
+using poseidon::util::EnvInt;
 
 }  // namespace
 
@@ -65,7 +62,12 @@ Transaction::~Transaction() {
 
 template <typename Table, typename R>
 Status Transaction::ReadStable(const Table& table, RecordId id, R* out) {
-  for (int attempt = 0; attempt < 1024; ++attempt) {
+  // Bounded exponential backoff instead of the seed's tight 1024-iteration
+  // spin: under commit contention the reader yields the cache line instead
+  // of ping-ponging it, and exhaustion is an Aborted (retryable by the
+  // client) rather than an engine-internal error.
+  util::Backoff backoff(mgr_->read_backoff_);
+  do {
     R* rec = table.At(id);
     Timestamp txn = AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
     if (txn != kUnlocked && txn != id_) {
@@ -87,8 +89,11 @@ Status Transaction::ReadStable(const Table& table, RecordId id, R* out) {
     Timestamp bts2 = AtomicTs(rec->tx.bts).load(std::memory_order_acquire);
     if (txn2 == txn && bts2 == out->tx.bts) return Status::Ok();
     // A concurrent commit raced our copy; retry against the new state.
-  }
-  return Status::Internal("record would not stabilize");
+    mgr_->read_retries_.fetch_add(1, std::memory_order_relaxed);
+  } while (backoff.Next());
+  mgr_->retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Aborted("record would not stabilize after " +
+                         std::to_string(backoff.attempts()) + " attempts");
 }
 
 template <typename R>
@@ -121,7 +126,8 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
   if (id == kNullId || !table.IsOccupied(id)) {
     return Status::NotFound("record does not exist");
   }
-  for (int retry = 0; retry < 64; ++retry) {
+  util::Backoff backoff(mgr_->visibility_backoff_);
+  do {
     R copy;
     POSEIDON_RETURN_IF_ERROR(ReadStable(table, id, &copy));
     if (copy.tx.bts == 0) {
@@ -139,7 +145,11 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
       Timestamp txn2 =
           AtomicTs(rec->tx.txn_id).load(std::memory_order_acquire);
       Timestamp bts2 = AtomicTs(rec->tx.bts).load(std::memory_order_acquire);
-      if (txn2 != kUnlocked || bts2 != copy.tx.bts) continue;
+      if (txn2 != kUnlocked || bts2 != copy.tx.bts) {
+        // A writer slipped in between visibility check and rts bump.
+        mgr_->read_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // backs off via the loop condition
+      }
       Resolved<R> r;
       r.rec = copy;
       return r;
@@ -154,8 +164,10 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
     r.from_snapshot = true;
     r.snapshot = std::move(v->props);
     return r;
-  }
-  return Status::Internal("record would not stabilize");
+  } while (backoff.Next());
+  mgr_->retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Aborted("record visibility would not stabilize after " +
+                         std::to_string(backoff.attempts()) + " attempts");
 }
 
 Result<Resolved<NodeRecord>> Transaction::GetNode(RecordId id) {
@@ -711,6 +723,10 @@ TransactionManager::TransactionManager(storage::GraphStore* store,
     : store_(store),
       indexes_(indexes),
       next_ts_(store->persisted_timestamp() + 1) {
+  read_backoff_ =
+      util::Backoff::FromEnv(EnvInt("POSEIDON_TX_RETRY_ATTEMPTS", 1024));
+  visibility_backoff_ =
+      util::Backoff::FromEnv(EnvInt("POSEIDON_TX_RETRY_ATTEMPTS", 64));
   bool pipelined = store->pool()->pipelined();
   group_commit_enabled_ =
       pipelined && EnvInt("POSEIDON_GROUP_COMMIT", 1) != 0;

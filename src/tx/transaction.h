@@ -38,6 +38,7 @@
 #include "index/index_manager.h"
 #include "storage/graph_store.h"
 #include "tx/version_store.h"
+#include "util/backoff.h"
 
 namespace poseidon::tx {
 
@@ -232,6 +233,12 @@ class TransactionManager {
 
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
+  /// Read-path retries: seqlock re-reads + visibility re-checks that had to
+  /// back off because a concurrent commit raced the copy.
+  uint64_t read_retries() const { return read_retries_; }
+  /// Reads that exhausted their backoff budget and aborted
+  /// (POSEIDON_TX_RETRY_ATTEMPTS, POSEIDON_BACKOFF_*).
+  uint64_t retry_exhausted() const { return retry_exhausted_; }
   /// Physical drains issued by group-commit leaders (<= commits when
   /// batching is effective).
   uint64_t group_drains() const { return group_drains_; }
@@ -273,6 +280,14 @@ class TransactionManager {
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> read_retries_{0};
+  std::atomic<uint64_t> retry_exhausted_{0};
+
+  // Backoff parameters resolved once at construction (the env is not probed
+  // on the read hot path). Both honour POSEIDON_TX_RETRY_ATTEMPTS; the
+  // defaults keep the seed engine's per-site budgets.
+  util::Backoff::Options read_backoff_;        // seqlock stabilization (1024)
+  util::Backoff::Options visibility_backoff_;  // post-rts-bump re-check (64)
 
   // --- Group commit (pipelined pools only) ------------------------------
   bool group_commit_enabled_ = false;

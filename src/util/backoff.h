@@ -1,0 +1,71 @@
+// Bounded exponential backoff shared by every retry loop in the engine:
+// the MVTO seqlock read-stabilization loops (tx::Transaction), the
+// diskgraph transient-I/O retries (fsync / page read), and any future
+// retry-on-contention site. Replaces the ad-hoc fixed-iteration `for`
+// spins that predated it.
+//
+// Semantics: construct, do the attempt, and call Next() after a failed
+// attempt. Next() spins for the current delay (exponentially growing,
+// capped) and returns false once the attempt budget is exhausted — the
+// caller then gives up with a Status instead of looping forever.
+//
+// Knobs (see EXPERIMENTS.md):
+//   POSEIDON_BACKOFF_BASE_NS  first-retry spin (default 64 ns; 0 = no spin)
+//   POSEIDON_BACKOFF_MAX_NS   per-retry spin cap (default 8192 ns)
+
+#ifndef POSEIDON_UTIL_BACKOFF_H_
+#define POSEIDON_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/env.h"
+#include "util/spin_timer.h"
+
+namespace poseidon::util {
+
+class Backoff {
+ public:
+  struct Options {
+    int max_attempts = 64;        ///< total attempts (incl. the first)
+    uint64_t base_spin_ns = 64;   ///< spin before the first retry
+    uint64_t max_spin_ns = 8192;  ///< spin cap (exponential growth stops)
+  };
+
+  /// Default spin parameters honour the POSEIDON_BACKOFF_* environment.
+  static Options FromEnv(int max_attempts) {
+    Options o;
+    o.max_attempts = max_attempts;
+    o.base_spin_ns = EnvU64("POSEIDON_BACKOFF_BASE_NS", o.base_spin_ns);
+    o.max_spin_ns = EnvU64("POSEIDON_BACKOFF_MAX_NS", o.max_spin_ns);
+    return o;
+  }
+
+  explicit Backoff(const Options& options)
+      : options_(options), spin_ns_(options.base_spin_ns) {}
+  explicit Backoff(int max_attempts) : Backoff(FromEnv(max_attempts)) {}
+
+  /// Call after a failed attempt: spins (current delay, then doubles it up
+  /// to the cap) and returns true if another attempt is allowed.
+  bool Next() {
+    ++attempt_;
+    if (attempt_ >= options_.max_attempts) return false;
+    SpinWaitNs(spin_ns_);
+    spin_ns_ = spin_ns_ >= options_.max_spin_ns ? options_.max_spin_ns
+                                                : spin_ns_ * 2;
+    return true;
+  }
+
+  /// Failed attempts so far (== number of Next() calls).
+  int attempts() const { return attempt_; }
+  bool exhausted() const { return attempt_ >= options_.max_attempts; }
+  uint64_t current_spin_ns() const { return spin_ns_; }
+
+ private:
+  Options options_;
+  int attempt_ = 0;
+  uint64_t spin_ns_;
+};
+
+}  // namespace poseidon::util
+
+#endif  // POSEIDON_UTIL_BACKOFF_H_

@@ -1,0 +1,40 @@
+// Shared environment-variable parsing. Every engine knob
+// (POSEIDON_PMEM_*, POSEIDON_DISK_*, POSEIDON_REDO_SEGMENTS, the backoff
+// and fault-injection knobs, ...) goes through these helpers so parsing
+// behaviour is uniform: an unset, empty, or unparsable variable yields the
+// fallback; values are read fresh on every call (tests mutate the
+// environment between pool instances).
+
+#ifndef POSEIDON_UTIL_ENV_H_
+#define POSEIDON_UTIL_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace poseidon::util {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return end == v ? fallback : static_cast<int>(parsed);
+}
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? fallback : static_cast<uint64_t>(parsed);
+}
+
+/// True when the variable is set to a non-empty value.
+inline bool EnvSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0';
+}
+
+}  // namespace poseidon::util
+
+#endif  // POSEIDON_UTIL_ENV_H_

@@ -1,0 +1,139 @@
+// Deterministic fault-injection registry (process-wide).
+//
+// A *fault site* is a named point in the code that can be made to fail on
+// demand: `diskgraph.fsync`, `diskgraph.read`, `jit.compile`, ... Sites
+// evaluate FaultRegistry::ShouldFail("name") on their failure-prone path;
+// an unarmed site always answers false, so production behaviour is
+// unchanged (one mutex-guarded map probe on paths that already pay I/O or
+// compilation costs).
+//
+// Arming is deterministic and counted: Arm(site, after, times) makes the
+// site fail on its `after`-th upcoming evaluation and keep failing for
+// `times` evaluations, then recover. This lets tests script exact failure
+// schedules ("the 3rd fsync fails once") and verify both retry recovery
+// and graceful exhaustion.
+//
+// Environment arming (for driving whole binaries, e.g. benches):
+//   POSEIDON_FAULT_<SITE>=<after>[:<times>]
+// where <SITE> is the site name uppercased with '.' -> '_'
+// (diskgraph.fsync -> POSEIDON_FAULT_DISKGRAPH_FSYNC). times defaults to 1;
+// "always" arms after=1, times=unbounded. The variable is read the first
+// time the site is evaluated.
+//
+// Crash-point exploration for the PMem pool lives in
+// pmem/fault_injector.h; it shares this header's philosophy but hooks the
+// pool's persistence primitives directly.
+
+#ifndef POSEIDON_UTIL_FAULT_H_
+#define POSEIDON_UTIL_FAULT_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace poseidon::util {
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance() {
+    static FaultRegistry* registry = new FaultRegistry();
+    return *registry;
+  }
+
+  /// Arms `site`: its `after`-th upcoming evaluation (1-based, counted from
+  /// now) fails, and so do the following `times - 1`. Replaces any previous
+  /// arming of the same site.
+  void Arm(const std::string& site, uint64_t after = 1, uint64_t times = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& s = sites_[site];
+    s.env_checked = true;  // explicit arming overrides the environment
+    s.arm_base = s.hits;
+    s.after = after;
+    s.times = times;
+  }
+
+  void Disarm(const std::string& site) { Arm(site, 0, 0); }
+
+  /// Disarms every site and forgets hit counts. Call between tests.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.clear();
+  }
+
+  /// Evaluated by the fault site itself: counts the hit and reports whether
+  /// this evaluation must fail.
+  bool ShouldFail(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& s = sites_[site];
+    if (!s.env_checked) {
+      s.env_checked = true;
+      ArmFromEnv(site, &s);
+    }
+    uint64_t hit = ++s.hits - s.arm_base;  // 1-based since arming
+    if (s.after == 0 || hit < s.after) return false;
+    if (s.times != kUnbounded && hit >= s.after + s.times) return false;
+    ++s.fired;
+    return true;
+  }
+
+  /// Total evaluations of `site` so far.
+  uint64_t hits(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  /// Evaluations of `site` that were failed by injection.
+  uint64_t fired(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+  }
+
+  static constexpr uint64_t kUnbounded = ~0ull;
+
+ private:
+  struct SiteState {
+    uint64_t hits = 0;      // total evaluations
+    uint64_t arm_base = 0;  // hits value when last armed
+    uint64_t after = 0;     // 0 = disarmed
+    uint64_t times = 0;
+    uint64_t fired = 0;
+    bool env_checked = false;
+  };
+
+  static void ArmFromEnv(const std::string& site, SiteState* s) {
+    std::string var = "POSEIDON_FAULT_";
+    for (char c : site) {
+      var.push_back(c == '.' ? '_'
+                             : static_cast<char>(
+                                   std::toupper(static_cast<unsigned char>(c))));
+    }
+    const char* v = std::getenv(var.c_str());
+    if (v == nullptr || *v == '\0') return;
+    if (std::string(v) == "always") {
+      s->after = 1;
+      s->times = kUnbounded;
+      return;
+    }
+    char* end = nullptr;
+    unsigned long long after = std::strtoull(v, &end, 10);
+    if (end == v || after == 0) return;
+    s->after = after;
+    s->times = 1;
+    if (*end == ':') {
+      unsigned long long times = std::strtoull(end + 1, &end, 10);
+      if (times > 0) s->times = times;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace poseidon::util
+
+#endif  // POSEIDON_UTIL_FAULT_H_

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "tx/transaction.h"
+#include "util/crc32c.h"
 #include "util/random.h"
 
 namespace poseidon::pmem {
@@ -141,16 +142,21 @@ TEST(CommitPipelineTest, SerializedBaselineKeepsFourDrains) {
 // --- Segmented recovery ---------------------------------------------------
 
 /// Crafts a committed-but-unapplied segment using the documented layout:
-/// [0] state, [8] commit_ts, [16] num_entries, [24] {target, len, data}.
+/// [0] state, [8] commit_ts, [16] num_entries, [24] crc,
+/// [32] {target, len, data}.
 void CraftCommittedSegment(Pool* pool, uint32_t seg_idx, uint64_t commit_ts,
                            Offset target, uint64_t value) {
   char* seg = pool->ToPtr<char>(pool->redo_log()->segment_offset(seg_idx));
   uint64_t state = 1, n = 1, len = 8;
   std::memcpy(seg + 8, &commit_ts, 8);
   std::memcpy(seg + 16, &n, 8);
-  std::memcpy(seg + 24, &target, 8);
-  std::memcpy(seg + 32, &len, 8);
-  std::memcpy(seg + 40, &value, 8);
+  std::memcpy(seg + kRedoSegmentHeaderBytes, &target, 8);
+  std::memcpy(seg + kRedoSegmentHeaderBytes + 8, &len, 8);
+  std::memcpy(seg + kRedoSegmentHeaderBytes + 16, &value, 8);
+  uint64_t crc = util::Crc32c(seg + 8, 16);
+  crc = util::Crc32c(seg + kRedoSegmentHeaderBytes, 24,
+                     static_cast<uint32_t>(crc));
+  std::memcpy(seg + 24, &crc, 8);
   std::memcpy(seg, &state, 8);
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace poseidon::pmem {
@@ -224,6 +225,77 @@ TEST_F(PoolTest, DirtyShutdownDetectedOnOpen) {
   ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
   EXPECT_TRUE((*crashed)->recovered_from_crash());
   std::filesystem::remove(path_ + ".crashed");
+}
+
+TEST_F(PoolTest, OpenRejectsZeroLengthFile) {
+  { std::ofstream f(path_); }  // touch: 0 bytes
+  auto r = Pool::Open(path_, FastOptions());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("empty"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PoolTest, OpenRejectsFileSmallerThanHeaderPage) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    std::string junk(512, 'x');
+    f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  auto r = Pool::Open(path_, FastOptions());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PoolTest, OpenRejectsTruncatedPoolFile) {
+  { auto pool = Pool::Create(path_, FastOptions()); ASSERT_TRUE(pool.ok()); }
+  std::filesystem::resize_file(path_, 8ull << 20);  // chop off 56 MiB
+  auto r = Pool::Open(path_, FastOptions());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("does not match file size"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PoolTest, OpenRejectsGarbageHeader) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    std::string junk(1ull << 20, '\x5a');
+    f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  auto r = Pool::Open(path_, FastOptions());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PoolTest, HeaderSegmentCountWinsOverMismatchedEnvironment) {
+  // The segment count is pool-creation configuration: reopening under a
+  // different POSEIDON_REDO_SEGMENTS (or options) must keep the on-media
+  // value — segment boundaries are derived from it — and surface the
+  // mismatch as a recovery warning instead of silently reinterpreting the
+  // log layout.
+  PoolOptions o = FastOptions();
+  o.redo_segments = 8;
+  { auto pool = Pool::Create(path_, o); ASSERT_TRUE(pool.ok()); }
+
+  PoolOptions reopen = FastOptions();
+  reopen.redo_segments = 2;
+  auto pool = Pool::Open(path_, reopen);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_EQ((*pool)->redo_log()->num_segments(), 8u);
+  bool warned = false;
+  for (const auto& w : (*pool)->recovery_report().warnings) {
+    if (w.find("segment") != std::string::npos &&
+        w.find("header") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned) << "the mismatch must be reported";
 }
 
 TEST_F(PoolTest, PPtrSizeIsSixteenBytes) {
