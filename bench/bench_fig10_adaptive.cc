@@ -24,6 +24,8 @@ int Main() {
   auto pmem_queries = ldbc::BuildShortReads(pmem_env->ds.schema, false);
   auto dram_queries = ldbc::BuildShortReads(dram_env->ds.schema, false);
 
+  BenchJson json("fig10_adaptive");
+
   std::printf("%-9s | %12s %12s | %12s %12s\n", "query", "PMem-AOTmt",
               "PMem-adapt", "DRAM-AOTmt", "DRAM-adapt");
 
@@ -64,7 +66,12 @@ int Main() {
                         ExecutionMode::kAdaptive);
     std::printf("%-9s | %12.1f %12.1f | %12.1f %12.1f\n", name.c_str(),
                 pm_aot, pm_adp, dr_aot, dr_adp);
+    json.Add(name + "/PMem-AOTmt", pm_aot * 1000.0);
+    json.Add(name + "/PMem-adaptive", pm_adp * 1000.0);
+    json.Add(name + "/DRAM-AOTmt", dr_aot * 1000.0);
+    json.Add(name + "/DRAM-adaptive", dr_adp * 1000.0);
   }
+  json.Write();
   std::printf(
       "\nexpected shape: adaptive <= AOT-mt everywhere; the gap is larger "
       "on PMem and on the complex IS7 variants.\n");

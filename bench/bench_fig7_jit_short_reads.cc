@@ -72,18 +72,30 @@ int Main() {
   auto pmem_queries = ldbc::BuildShortReads(pmem_env->ds.schema, false);
   auto dram_queries = ldbc::BuildShortReads(dram_env->ds.schema, false);
 
+  BenchJson json("fig7_jit_short_reads");
+
   std::printf("%-9s | %10s %10s %12s | %10s %10s %12s\n", "query",
               "PMem-AOT", "PMem-JIT", "PMem-JIT+c", "DRAM-AOT", "DRAM-JIT",
               "DRAM-JIT+c");
   for (size_t q = 0; q < pmem_queries.size(); ++q) {
     Rng rng(42 + q);
+    const std::string& name = pmem_queries[q].name;
     Row pmem = RunOne(pmem_env.get(), pmem_queries[q], runs, &rng);
     Row dram = RunOne(dram_env.get(), dram_queries[q], runs, &rng);
     std::printf("%-9s | %10.1f %10.1f %12.1f | %10.1f %10.1f %12.1f\n",
-                pmem_queries[q].name.c_str(), pmem.aot_us, pmem.jit_us,
+                name.c_str(), pmem.aot_us, pmem.jit_us,
                 pmem.jit_us + pmem.compile_ms * 1000.0, dram.aot_us,
                 dram.jit_us, dram.jit_us + dram.compile_ms * 1000.0);
+    json.Add(name + "/PMem-AOT", pmem.aot_us * 1000.0);
+    json.Add(name + "/PMem-JIT", pmem.jit_us * 1000.0);
+    json.Add(name + "/PMem-JIT+c",
+             (pmem.jit_us + pmem.compile_ms * 1000.0) * 1000.0);
+    json.Add(name + "/DRAM-AOT", dram.aot_us * 1000.0);
+    json.Add(name + "/DRAM-JIT", dram.jit_us * 1000.0);
+    json.Add(name + "/DRAM-JIT+c",
+             (dram.jit_us + dram.compile_ms * 1000.0) * 1000.0);
   }
+  json.Write();
   std::printf(
       "\n(JIT+c adds the one-off compilation; compile time is a few ms and "
       "grows mildly with operator count.)\n"

@@ -32,6 +32,8 @@ int Main() {
                ldbc::BuildUpdates(dram_env->ds.schema,
                                   &dram_env->db->store()->dict(), true));
 
+  BenchJson json("fig9_jit_updates");
+
   std::printf("%-5s | %9s %9s %11s | %9s %9s %11s\n", "query", "PM-AOT",
               "PM-JIT", "PM-JITcold", "DR-AOT", "DR-JIT", "DR-JITcold");
 
@@ -74,7 +76,14 @@ int Main() {
     std::printf("%-5s | %9.1f %9.1f %11.1f | %9.1f %9.1f %11.1f\n",
                 name.c_str(), pm_aot, pm_jit, pm_cold, dr_aot, dr_jit,
                 dr_cold);
+    json.Add(name + "/PMem-AOT", pm_aot * 1000.0);
+    json.Add(name + "/PMem-JIT", pm_jit * 1000.0);
+    json.Add(name + "/PMem-JIT-cold", pm_cold * 1000.0);
+    json.Add(name + "/DRAM-AOT", dr_aot * 1000.0);
+    json.Add(name + "/DRAM-JIT", dr_jit * 1000.0);
+    json.Add(name + "/DRAM-JIT-cold", dr_cold * 1000.0);
   }
+  json.Write();
   std::printf(
       "\nexpected shape: JIT-hot ~ AOT (short transactional pipelines); "
       "JIT-cold >> AOT (compilation dominates).\n");

@@ -2,8 +2,9 @@
 # Runs every bench binary. Human-readable output accumulates in
 # bench_output.txt; machine-readable results land next to it as
 # BENCH_<name>.json:
-#   * figure benches write flat {query -> median ns} maps through
-#     bench_common.h's BenchJson (driven by POSEIDON_BENCH_JSON_DIR),
+#   * figure benches (fig5/fig6/fig7/fig8/fig9/fig10) write flat
+#     {query -> median ns} maps through bench_common.h's BenchJson
+#     (driven by POSEIDON_BENCH_JSON_DIR),
 #   * bench_pmem_micro writes google-benchmark's JSON schema via
 #     --benchmark_out (includes the batched-scan prefetch on/off entries).
 #
@@ -20,7 +21,8 @@ if [ "${1:-}" = "--check" ]; then
   set -e
   cmake -B /root/repo/build-tsan -S /root/repo -DPOSEIDON_TSAN=ON
   cmake --build /root/repo/build-tsan -j"$(nproc)" --target \
-      concurrency_test mvto_test commit_pipeline_test tx_edge_test
+      concurrency_test mvto_test commit_pipeline_test tx_edge_test \
+      adjacency_cache_test
   ctest --test-dir /root/repo/build-tsan -L tsan --output-on-failure
   echo "TSAN CHECK DONE"
   cmake -B /root/repo/build-asan -S /root/repo -DPOSEIDON_ASAN=ON

@@ -46,14 +46,17 @@ Result<GraphSnapshot> GraphSnapshot::Build(tx::Transaction* tx,
   snap.offsets_.assign(num_v + 1, 0);
   std::vector<std::vector<uint32_t>> adj(num_v);
   for (uint32_t v = 0; v < num_v; ++v) {
-    Status s = tx->ForEachOutgoing(
-        snap.record_of_[v],
-        [&](RecordId, const storage::RelationshipRecord& rel) {
+    // ForEachNeighbor adopts cached DRAM adjacency arrays wholesale when the
+    // snapshot transaction may serve them, so repeated analytics builds skip
+    // the PMem chain walk entirely.
+    Status s = tx->ForEachNeighbor(
+        snap.record_of_[v], tx::AdjDir::kOut,
+        [&](RecordId, storage::DictCode rel_label, RecordId dst) {
           if (options.rel_label != kInvalidCode &&
-              rel.label != options.rel_label) {
+              rel_label != options.rel_label) {
             return true;
           }
-          uint32_t t = snap.VertexOf(rel.dst);
+          uint32_t t = snap.VertexOf(dst);
           if (t != UINT32_MAX) adj[v].push_back(t);
           return true;
         });

@@ -85,6 +85,13 @@ std::string GraphDb::Explain(const query::Plan& plan) const {
   ann.threads = engine_->pool()->num_threads();
   ann.morsel = query::QueryEngine::kMorselSize;
   ann.batch = engine_->scan_options().batch_enabled;
+  const tx::AdjacencyCacheStats adj = txm_->adjacency_cache().stats();
+  ann.adj_cache =
+      engine_->adj_cache_enabled() && txm_->adjacency_cache().enabled();
+  ann.adj_hits = adj.hits;
+  ann.adj_misses = adj.misses;
+  ann.adj_invalidations = adj.invalidations;
+  ann.adj_evictions = adj.evictions;
   return plan.ToString(&store_->dict(), &ann);
 }
 

@@ -105,6 +105,15 @@ class GraphDb {
     engine_->set_scan_options(o);
   }
 
+  /// Versioned DRAM adjacency cache; settable at runtime for ablation.
+  /// Toggles both the runtime cache (interpreter / JIT helper) and the
+  /// compiled-code variant baked into newly generated Expand loops.
+  bool adj_cache_enabled() const { return engine_->adj_cache_enabled(); }
+  void set_adj_cache_enabled(bool on) {
+    engine_->set_adj_cache_enabled(on);
+    txm_->adjacency_cache().set_enabled(on);
+  }
+
   /// EXPLAIN: renders `plan` with execution-mode annotations on the
   /// pipeline source (worker threads, morsel size, batching state).
   std::string Explain(const query::Plan& plan) const;

@@ -10,6 +10,7 @@
 #include "jit/runtime.h"
 #include "storage/graph_store.h"
 #include "storage/records.h"
+#include "tx/adjacency_cache.h"
 
 namespace poseidon::jit {
 
@@ -49,6 +50,12 @@ static_assert(offsetof(JitStateHeader, ts) == 48);
 static_assert(offsetof(JitStateHeader, read_latency) == 56);
 static_assert(offsetof(JitRuntimeState, header) == 0);
 
+// CachedNeighbor layout streamed by the Expand fast path (24-byte stride).
+static_assert(sizeof(tx::CachedNeighbor) == 24);
+static_assert(offsetof(tx::CachedNeighbor, rel_id) == 0);
+static_assert(offsetof(tx::CachedNeighbor, neighbor) == 8);
+static_assert(offsetof(tx::CachedNeighbor, rel_label) == 16);
+
 uint8_t KindTag(Value::Kind k) { return static_cast<uint8_t>(k); }
 
 /// Ops the generator inlines; anything else starts the AOT tail.
@@ -71,8 +78,8 @@ bool IsInlinable(const Op* op, bool is_source) {
 class CodeGenerator {
  public:
   CodeGenerator(const Plan& plan, const std::string& fn_name,
-                const storage::ScanOptions& scan)
-      : plan_(plan), fn_name_(fn_name), scan_(scan) {}
+                const storage::ScanOptions& scan, bool adj_cache)
+      : plan_(plan), fn_name_(fn_name), scan_(scan), adj_cache_(adj_cache) {}
 
   Result<CodegenResult> Generate();
 
@@ -152,6 +159,7 @@ class CodeGenerator {
   const Plan& plan_;
   std::string fn_name_;
   storage::ScanOptions scan_;
+  bool adj_cache_ = true;
 
   std::unique_ptr<llvm::LLVMContext> context_;
   std::unique_ptr<llvm::Module> module_;
@@ -187,7 +195,7 @@ class CodeGenerator {
 
   llvm::FunctionCallee h_node_ref_, h_rel_ref_, h_get_prop_, h_param_,
       h_compare_, h_index_matches_, h_index_match_at_, h_emit_, h_touch_,
-      h_prefetch_;
+      h_prefetch_, h_expand_cached_;
 
   std::map<int, Col> params_;
   std::vector<Col> cols_;
@@ -231,6 +239,9 @@ void CodeGenerator::DeclareHelpers() {
   h_prefetch_ = module_->getOrInsertFunction(
       "poseidon_prefetch",
       llvm::FunctionType::get(void_ty, {ptr, ptr, i64}, false));
+  h_expand_cached_ = module_->getOrInsertFunction(
+      "poseidon_expand_cached",
+      llvm::FunctionType::get(ptr, {ptr, i64, i32, i32, i32, i64p}, false));
 }
 
 std::pair<llvm::Value*, uint32_t> CodeGenerator::AllocHandle() {
@@ -634,7 +645,90 @@ Status CodeGenerator::EmitExpand(const Op* op, size_t i,
   auto* head = NewBlock("exp.head");
   auto* body = NewBlock("exp.body");
   auto* latch = NewBlock("exp.latch");
-  b().CreateBr(head);
+  // Both the cached loop and the chain walk converge here with (rel id,
+  // neighbor id) so the downstream pipeline is emitted exactly once.
+  auto* merge = NewBlock("exp.pair");
+
+  // Adjacency-cache fast path (compiled in unless the cache is off in the
+  // query key): probe once per input node; on a hit the loop streams
+  // 24-byte CachedNeighbor entries from sequential DRAM — next "pointer",
+  // label filter, and neighbor id all come from the array, so the PMem
+  // chain is never touched. The probe misses (null) for writer
+  // transactions, old snapshots, or a disabled cache; then the original
+  // chain walk below runs unchanged.
+  llvm::Value* hit = nullptr;         // i1; dominates latch
+  llvm::Value* idx_addr = nullptr;
+  llvm::BasicBlock* chead = nullptr;
+  llvm::BasicBlock* clatch = nullptr;
+  llvm::Value* crel = nullptr;        // cached rel id reaching merge
+  llvm::Value* cneigh = nullptr;      // cached neighbor id reaching merge
+  llvm::BasicBlock* cached_pred = nullptr;
+  if (adj_cache_) {
+    idx_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "exp.cidx");
+    auto* cnt_addr = eb.CreateAlloca(eb.getInt64Ty(), nullptr, "exp.ccnt");
+    auto* adj_base = b().CreateCall(
+        h_expand_cached_,
+        {arg_state_, c.raw, C32(out ? 1 : 0), arg_thread_, C32(rel_idx),
+         cnt_addr},
+        "adj.base");
+    hit = b().CreateICmpNE(adj_base,
+                           llvm::ConstantPointerNull::get(PtrTy()),
+                           "adj.hit");
+    auto* cinit = NewBlock("exp.cinit");
+    chead = NewBlock("exp.chead");
+    auto* cbody = NewBlock("exp.cbody");
+    clatch = NewBlock("exp.clatch");
+    b().CreateCondBr(hit, cinit, head);
+
+    b().SetInsertPoint(cinit);
+    b().CreateStore(C64(0), idx_addr);
+    b().CreateBr(chead);
+
+    b().SetInsertPoint(chead);
+    auto* idx = b().CreateLoad(I64(), idx_addr, "adj.idx");
+    auto* cnt = b().CreateLoad(I64(), cnt_addr, "adj.cnt");
+    b().CreateCondBr(b().CreateICmpULT(idx, cnt), cbody, cont);
+
+    b().SetInsertPoint(cbody);
+    auto* eptr = b().CreateGEP(
+        I8(), adj_base,
+        b().CreateMul(idx, C64(sizeof(tx::CachedNeighbor))), "adj.entry");
+    crel = b().CreateLoad(
+        I64(), b().CreateBitCast(eptr, I64()->getPointerTo()), "adj.rel");
+    cneigh = b().CreateLoad(
+        I64(),
+        b().CreateBitCast(
+            b().CreateGEP(I8(), eptr,
+                          C64(offsetof(tx::CachedNeighbor, neighbor))),
+            I64()->getPointerTo()),
+        "adj.neigh");
+    if (op->label != storage::kInvalidCode) {
+      auto* lbl = b().CreateLoad(
+          I32(),
+          b().CreateBitCast(
+              b().CreateGEP(I8(), eptr,
+                            C64(offsetof(tx::CachedNeighbor, rel_label))),
+              I32()->getPointerTo()),
+          "adj.label");
+      auto* cref = NewBlock("exp.cref");
+      b().CreateCondBr(b().CreateICmpEQ(lbl, C32(op->label)), cref, latch);
+      b().SetInsertPoint(cref);
+    }
+    // The emitted relationship handle still resolves through full MVTO
+    // visibility (downstream operators may read its properties); the
+    // cached stamp guarantees the hop exists, but a foreign lock must
+    // abort and an in-flight version must come from the write set.
+    auto* cvis = EmitRecordRef(/*is_node=*/false, crel, rel_slot, rel_idx);
+    cached_pred = b().GetInsertBlock();
+    b().CreateCondBr(cvis, merge, latch);
+
+    b().SetInsertPoint(clatch);
+    auto* idx2 = b().CreateLoad(I64(), idx_addr);
+    b().CreateStore(b().CreateAdd(idx2, C64(1)), idx_addr);
+    b().CreateBr(chead);
+  } else {
+    b().CreateBr(head);
+  }
 
   b().SetInsertPoint(head);
   auto* cur = b().CreateLoad(I64(), cur_addr, "cur");
@@ -656,8 +750,24 @@ Status CodeGenerator::EmitExpand(const Op* op, size_t i,
     b().CreateCondBr(match, get_neighbor, latch);
     b().SetInsertPoint(get_neighbor);
   }
-  auto* neighbor = LoadField64(relrec, out ? storage::kOffsetOfRelDst
-                                           : storage::kOffsetOfRelSrc);
+  auto* wneigh = LoadField64(relrec, out ? storage::kOffsetOfRelDst
+                                         : storage::kOffsetOfRelSrc);
+  auto* walk_pred = b().GetInsertBlock();
+  b().CreateBr(merge);
+
+  b().SetInsertPoint(merge);
+  llvm::Value* rel_v = cur;
+  llvm::Value* neighbor = wneigh;
+  if (adj_cache_) {
+    auto* rel_phi = b().CreatePHI(I64(), 2, "rel.phi");
+    rel_phi->addIncoming(crel, cached_pred);
+    rel_phi->addIncoming(cur, walk_pred);
+    auto* neigh_phi = b().CreatePHI(I64(), 2, "neigh.phi");
+    neigh_phi->addIncoming(cneigh, cached_pred);
+    neigh_phi->addIncoming(wneigh, walk_pred);
+    rel_v = rel_phi;
+    neighbor = neigh_phi;
+  }
   auto* nvisible =
       EmitRecordRef(/*is_node=*/true, neighbor, node_slot, node_idx);
   auto* have_node = NewBlock("exp.node");
@@ -675,14 +785,18 @@ Status CodeGenerator::EmitExpand(const Op* op, size_t i,
   handle_ptrs_[rel_idx] = rel_slot;
   handle_ptrs_[node_idx] = node_slot;
   cols_.push_back(
-      Col{cur, CKind(Value::Kind::kRel), static_cast<int>(rel_idx)});
+      Col{rel_v, CKind(Value::Kind::kRel), static_cast<int>(rel_idx)});
   cols_.push_back(
       Col{neighbor, CKind(Value::Kind::kNode), static_cast<int>(node_idx)});
   POSEIDON_RETURN_IF_ERROR(EmitPipeline(i + 1, latch));
   cols_.resize(base);
 
   b().SetInsertPoint(latch);
-  b().CreateBr(head);
+  if (adj_cache_) {
+    b().CreateCondBr(hit, clatch, head);
+  } else {
+    b().CreateBr(head);
+  }
   return Status::Ok();
 }
 
@@ -1243,11 +1357,12 @@ Result<CodegenResult> CodeGenerator::Generate() {
 
 Result<CodegenResult> GenerateQueryIR(const query::Plan& plan,
                                       const std::string& function_name,
-                                      const storage::ScanOptions& scan) {
+                                      const storage::ScanOptions& scan,
+                                      bool adj_cache) {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("empty plan");
   }
-  CodeGenerator gen(plan, function_name, scan);
+  CodeGenerator gen(plan, function_name, scan, adj_cache);
   return gen.Generate();
 }
 

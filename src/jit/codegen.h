@@ -54,9 +54,16 @@ struct CodegenResult {
 /// test, cttz bit extraction) and issues software prefetches for the next
 /// occupied record and the next chunk header; the knobs are part of the
 /// compiled-code cache key.
+///
+/// `adj_cache` bakes the DRAM adjacency-cache fast path into every kExpand:
+/// a per-node poseidon_expand_cached probe plus a DRAM array loop, with the
+/// original PMem chain walk as the miss fallback. Like the scan knobs it is
+/// part of the compiled-code cache key; with it off the emitted Expand IR is
+/// identical to the pre-cache generator.
 Result<CodegenResult> GenerateQueryIR(
     const query::Plan& plan, const std::string& function_name,
-    const storage::ScanOptions& scan = storage::ScanOptions{});
+    const storage::ScanOptions& scan = storage::ScanOptions{},
+    bool adj_cache = true);
 
 /// Generated function type: i32(state, begin, end, thread).
 using CompiledQueryFn = int32_t (*)(void* state, uint64_t begin, uint64_t end,

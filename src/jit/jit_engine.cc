@@ -61,6 +61,7 @@ llvm::Error RegisterRuntimeSymbols(llvm::orc::LLJIT* jit,
   add("poseidon_emit", &poseidon_emit);
   add("poseidon_touch", &poseidon_touch);
   add("poseidon_prefetch", &poseidon_prefetch);
+  add("poseidon_expand_cached", &poseidon_expand_cached);
   return jd.define(llvm::orc::absoluteSymbols(std::move(symbols)));
 }
 
@@ -132,6 +133,8 @@ uint64_t JitEngine::QueryIdFor(const query::Plan& plan,
   id = HashCombine(id, options.scan.batch_enabled ? 1 : 2);
   id = HashCombine(id, options.scan.batch_size);
   id = HashCombine(id, options.scan.prefetch_distance);
+  // So is the adjacency-cache fast path (dual Expand loop vs chain walk).
+  id = HashCombine(id, options.adj_cache ? 1 : 2);
   return id;
 }
 
@@ -235,7 +238,8 @@ Result<JitEngine::PendingCompile> JitEngine::BeginCompile(
   // --- IR generation (the only phase that reads the plan) -----------------
   StopWatch watch;
   POSEIDON_ASSIGN_OR_RETURN(
-      pending.code, GenerateQueryIR(plan, pending.fn_name, options.scan));
+      pending.code, GenerateQueryIR(plan, pending.fn_name, options.scan,
+                                    options.adj_cache));
   pending.result.codegen_ms = watch.ElapsedMs();
   pending.result.tail_index = pending.code.tail_index;
   pending.result.num_handle_slots = pending.code.num_handle_slots;

@@ -53,6 +53,10 @@ struct JitOptions {
   /// skip test, prefetch distance). Part of the cache key: different knob
   /// settings produce different machine code.
   storage::ScanOptions scan;
+  /// Bake the DRAM adjacency-cache probe + array loop into kExpand
+  /// (poseidon_expand_cached fast path with chain-walk fallback). Part of
+  /// the cache key like the scan knobs.
+  bool adj_cache = true;
 };
 
 class JitEngine {

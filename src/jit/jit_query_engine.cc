@@ -39,6 +39,7 @@ std::unique_ptr<JitRuntimeState> MakeState(const query::Plan& plan,
   for (size_t t = 0; t < num_threads + 1; ++t) {
     auto slots = std::make_unique<JitRuntimeState::ThreadSlots>();
     slots->snapshots.resize(kMaxHandleSlots);
+    slots->adj_holds.resize(kMaxHandleSlots);
     state->threads.push_back(std::move(slots));
   }
   return state;
@@ -117,6 +118,13 @@ Result<QueryResult> JitQueryEngine::Execute(
   // compiled scan loop (and the compiled-code cache key).
   JitOptions jit_options = options;
   jit_options.scan = scan_options_;
+  jit_options.adj_cache = adj_cache_enabled_;
+
+  // Attribute adjacency-cache traffic to this execution as a before/after
+  // delta on the manager-wide counters (racy under concurrent queries, but
+  // EXPLAIN/bench use it single-query).
+  const tx::AdjacencyCacheStats adj_before =
+      tx->manager()->adjacency_cache().stats();
 
   query::ResultCollector collector;
   query::ExecContext ctx;
@@ -289,6 +297,11 @@ Result<QueryResult> JitQueryEngine::Execute(
       break;
     }
   }
+
+  const tx::AdjacencyCacheStats adj_after =
+      tx->manager()->adjacency_cache().stats();
+  stats->adj_cache_hits = adj_after.hits - adj_before.hits;
+  stats->adj_cache_misses = adj_after.misses - adj_before.misses;
 
   QueryResult result;
   result.rows = collector.TakeRows();

@@ -42,6 +42,10 @@ struct ExecStats {
   uint64_t jit_morsels = 0;
   uint64_t interpreted_morsels = 0;
   bool jit_fallback = false;  ///< compile failed; query ran interpreted
+  /// Adjacency-cache traffic attributed to this execution (hits serve
+  /// Expand from DRAM arrays; misses include builds and fallback walks).
+  uint64_t adj_cache_hits = 0;
+  uint64_t adj_cache_misses = 0;
 };
 
 class JitQueryEngine {
@@ -70,6 +74,12 @@ class JitQueryEngine {
   const storage::ScanOptions& scan_options() const { return scan_options_; }
   void set_scan_options(const storage::ScanOptions& o) { scan_options_ = o; }
 
+  /// Whether generated code carries the adjacency-cache fast path (part of
+  /// the compiled-code cache key). The runtime switch on the cache itself
+  /// lives in tx::AdjacencyCache::set_enabled; GraphDb toggles both.
+  bool adj_cache_enabled() const { return adj_cache_enabled_; }
+  void set_adj_cache_enabled(bool on) { adj_cache_enabled_ = on; }
+
   /// Blocks until background (adaptive) compilations are finished; call
   /// before tearing down plans or benchmark scopes.
   void WaitForBackgroundCompiles();
@@ -88,6 +98,7 @@ class JitQueryEngine {
   ThreadPool pool_;
   std::unique_ptr<JitEngine> engine_;
   storage::ScanOptions scan_options_ = storage::ScanOptions::FromEnv();
+  bool adj_cache_enabled_ = tx::AdjacencyCacheOptions::FromEnv().enabled;
 
   std::mutex bg_mu_;
   std::condition_variable bg_done_;

@@ -84,6 +84,27 @@ int32_t poseidon_rel_ref(void* state, uint64_t id, void* slot_ptr,
   return 1;
 }
 
+const void* poseidon_expand_cached(void* state, uint64_t node_id,
+                                   uint32_t dir_out, uint32_t thread,
+                                   uint32_t slot, uint64_t* count_out) {
+  auto* s = State(state);
+  *count_out = 0;
+  auto adj = s->ctx.tx->GetCachedAdjacency(
+      node_id, dir_out != 0 ? tx::AdjDir::kOut : tx::AdjDir::kIn);
+  if (adj == nullptr) return nullptr;  // fall back to the inline chain walk
+  *count_out = adj->edges.size();
+  // data() of an empty vector may be null, which generated code reads as a
+  // miss; hand back any non-null pointer (the loop bound is zero anyway).
+  static const tx::CachedNeighbor kEmpty{};
+  const void* base = adj->edges.empty()
+                         ? static_cast<const void*>(&kEmpty)
+                         : static_cast<const void*>(adj->edges.data());
+  auto& holds = s->threads[thread]->adj_holds;
+  if (holds.size() <= slot) holds.resize(slot + 1);
+  holds[slot] = std::move(adj);  // pinned until this slot is probed again
+  return base;
+}
+
 uint32_t poseidon_get_prop(void* state, void* slot_ptr, uint32_t key,
                            uint64_t* out) {
   auto* s = State(state);

@@ -75,6 +75,10 @@ struct JitRuntimeState {
   struct ThreadSlots {
     std::vector<std::vector<storage::Property>> snapshots;
     std::vector<storage::RecordId> index_matches;  ///< index-scan buffer
+    /// Adjacency arrays pinned by poseidon_expand_cached, indexed by handle
+    /// slot: the shared_ptr keeps the DRAM array alive while generated code
+    /// streams it, even if the cache evicts or invalidates the entry.
+    std::vector<std::shared_ptr<const tx::AdjacencyList>> adj_holds;
     /// Borrowed pointer to the executor's materialized match list (set by
     /// poseidon_index_matches when available). Sharing it keeps compiled
     /// and interpreted morsels in agreement on match ordering and count
@@ -140,6 +144,17 @@ void poseidon_touch(void* state, const void* ptr, uint64_t len);
 /// residual latency. Called only when JitStateHeader::read_latency is
 /// nonzero.
 void poseidon_prefetch(void* state, const void* ptr, uint64_t len);
+
+/// Probes (or lazily builds) the versioned DRAM adjacency cache for
+/// (node_id, direction). On success returns the base of a CachedNeighbor
+/// array (24-byte stride; see tx/adjacency_cache.h) and stores the entry
+/// count in *count_out; the array stays pinned in the thread's `slot` until
+/// the next probe reuses that slot. Returns null when the cache cannot
+/// serve this transaction (disabled, writer tx, old snapshot, in-flight
+/// versions) — generated code then falls back to the inline chain walk.
+const void* poseidon_expand_cached(void* state, uint64_t node_id,
+                                   uint32_t dir_out, uint32_t thread,
+                                   uint32_t slot, uint64_t* count_out);
 
 /// Emits a finished tuple. `tail_idx` < 0 sends it to the collector;
 /// otherwise the tuple enters the interpreter pipeline at operator

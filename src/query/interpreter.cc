@@ -414,10 +414,9 @@ Status PipelineExecutor::Push(size_t i, Tuple& t) {
         return Status::InvalidArgument("Expand requires a node column");
       }
       Status inner = Status::Ok();
-      auto visit = [&](RecordId rel_id,
-                       const storage::RelationshipRecord& rel) {
-        if (op->label != kInvalidCode && rel.label != op->label) return true;
-        RecordId neighbor = op->dir == Direction::kOut ? rel.dst : rel.src;
+      auto visit = [&](RecordId rel_id, storage::DictCode rel_label,
+                       RecordId neighbor) {
+        if (op->label != kInvalidCode && rel_label != op->label) return true;
         if (op->label2 != kInvalidCode) {
           auto n = ctx_.tx->GetNode(neighbor);
           if (!n.ok()) {
@@ -437,9 +436,12 @@ Status PipelineExecutor::Push(size_t i, Tuple& t) {
         }
         return true;
       };
-      Status s = op->dir == Direction::kOut
-                     ? ctx_.tx->ForEachOutgoing(v.AsRecordId(), visit)
-                     : ctx_.tx->ForEachIncoming(v.AsRecordId(), visit);
+      // ForEachNeighbor serves the DRAM adjacency cache when eligible and
+      // chain-walks otherwise; either way the visibility is this tx's.
+      Status s = ctx_.tx->ForEachNeighbor(
+          v.AsRecordId(),
+          op->dir == Direction::kOut ? tx::AdjDir::kOut : tx::AdjDir::kIn,
+          visit);
       if (!s.ok()) return s;
       return inner;
     }
@@ -461,29 +463,16 @@ Status PipelineExecutor::Push(size_t i, Tuple& t) {
           return s;
         }
         RecordId next = kNullId;
-        Status s = op->dir == Direction::kOut
-                       ? ctx_.tx->ForEachOutgoing(
-                             cur,
-                             [&](RecordId,
-                                 const storage::RelationshipRecord& rel) {
-                               if (op->label != kInvalidCode &&
-                                   rel.label != op->label) {
-                                 return true;
-                               }
-                               next = rel.dst;
-                               return false;
-                             })
-                       : ctx_.tx->ForEachIncoming(
-                             cur,
-                             [&](RecordId,
-                                 const storage::RelationshipRecord& rel) {
-                               if (op->label != kInvalidCode &&
-                                   rel.label != op->label) {
-                                 return true;
-                               }
-                               next = rel.src;
-                               return false;
-                             });
+        Status s = ctx_.tx->ForEachNeighbor(
+            cur,
+            op->dir == Direction::kOut ? tx::AdjDir::kOut : tx::AdjDir::kIn,
+            [&](RecordId, storage::DictCode rel_label, RecordId neighbor) {
+              if (op->label != kInvalidCode && rel_label != op->label) {
+                return true;
+              }
+              next = neighbor;
+              return false;
+            });
         if (!s.ok()) return s;
         if (next == kNullId) return Status::Ok();  // dead end: no emit
         cur = next;

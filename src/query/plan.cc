@@ -164,6 +164,16 @@ std::string AnnotationSuffix(const ExplainAnnotation* ann) {
          ", batch=" + (ann->batch ? "on" : "off") + "]";
 }
 
+/// Adjacency-cache suffix attached to Expand operators in EXPLAIN output.
+std::string ExpandAnnotationSuffix(const ExplainAnnotation* ann) {
+  if (ann == nullptr) return "";
+  if (!ann->adj_cache) return " [adjcache=off]";
+  return " [adjcache=on hits=" + std::to_string(ann->adj_hits) +
+         " misses=" + std::to_string(ann->adj_misses) +
+         " inval=" + std::to_string(ann->adj_invalidations) +
+         " evict=" + std::to_string(ann->adj_evictions) + "]";
+}
+
 void PrintOp(const Op* op, const storage::Dictionary* dict,
              const ExplainAnnotation* ann, int indent, std::string* out) {
   if (op == nullptr) return;
@@ -190,12 +200,14 @@ void PrintOp(const Op* op, const storage::Dictionary* dict,
                   (op->dir == Direction::kOut ? " -[" : " <-[") +
                   CodeName(op->label, dict) + "]" +
                   (op->dir == Direction::kOut ? "-> " : "- ") +
-                  CodeName(op->label2, dict) + ")");
+                  CodeName(op->label2, dict) + ")" +
+                  ExpandAnnotationSuffix(ann));
       break;
     case OpKind::kExpandTransitive:
       out->append("ExpandTransitive(c" + std::to_string(op->column) + " (" +
                   CodeName(op->label, dict) + ")* until " +
-                  CodeName(op->label2, dict) + ")");
+                  CodeName(op->label2, dict) + ")" +
+                  ExpandAnnotationSuffix(ann));
       break;
     case OpKind::kFilter:
       if (op->label != storage::kInvalidCode) {

@@ -128,6 +128,14 @@ struct ExplainAnnotation {
   size_t threads = 0;
   uint64_t morsel = 0;
   bool batch = false;
+  /// DRAM adjacency cache state, rendered on Expand operators:
+  /// `[adjcache=on hits=... misses=... inval=... evict=...]`. The counters
+  /// are the engine-lifetime totals at EXPLAIN time.
+  bool adj_cache = false;
+  uint64_t adj_hits = 0;
+  uint64_t adj_misses = 0;
+  uint64_t adj_invalidations = 0;
+  uint64_t adj_evictions = 0;
 };
 
 /// A complete query plan. `root` is the sink-most operator.

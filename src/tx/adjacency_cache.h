@@ -1,0 +1,277 @@
+// Versioned DRAM adjacency cache (ISSUE 6, paper DD4).
+//
+// PMem Expand is dominated by chasing next_src/next_dst linked chains through
+// the persistent relationship table with a full MVTO visibility check per hop.
+// This cache materializes, lazily on first Expand, a CSR-style DRAM neighbor
+// array per (node, direction): densely packed (rel_id, rel_label, neighbor)
+// triples in chain order. Each array is stamped with the begin timestamp of
+// the node version whose topology it reflects.
+//
+// Correctness protocol (see DESIGN.md "DRAM adjacency cache"):
+//  * Every topology change write-locks both endpoint nodes and commits a new
+//    node version (bts = commit ts). Therefore "node.bts unchanged" implies
+//    "adjacency unchanged".
+//  * A reader may serve a cached array only when its own MVTO read of the
+//    node resolves on the fast path (latest committed version, rts bumped)
+//    AND that version's bts equals the array's stamp. The rts bump blocks
+//    older-ts topology writers exactly like a chain walk would, so serving
+//    from DRAM is indistinguishable from walking the chain.
+//  * Writers that touched the node, older snapshots, and nodes with
+//    uncommitted in-flight versions fail the fast-path test and fall back to
+//    the chain walk; visibility semantics are unchanged.
+//  * Commit-time invalidation/restamping (Transaction::CommitImpl) is pure
+//    hygiene: a stale entry can never be served because its stamp no longer
+//    matches the node's bts, so maintenance may run after durability and
+//    races with concurrent builds are benign.
+//
+// Structure mirrors VersionChains (version_store.h): 16 mutex-protected
+// shards keyed by node id, so both directions of one node share a lock.
+
+#ifndef POSEIDON_TX_ADJACENCY_CACHE_H_
+#define POSEIDON_TX_ADJACENCY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/env.h"
+
+namespace poseidon::tx {
+
+/// Direction selector for adjacency walks. The tx layer cannot depend on
+/// query::Direction; query and jit map their enums onto this one.
+enum class AdjDir : uint8_t { kOut = 0, kIn = 1 };
+
+/// One cached hop. Fixed 24-byte layout: the JIT streams these arrays from
+/// generated code (jit/codegen.cc static_asserts the offsets).
+struct CachedNeighbor {
+  storage::RecordId rel_id;    ///< relationship offset (for Value::Rel)
+  storage::RecordId neighbor;  ///< dst for kOut walks, src for kIn walks
+  storage::DictCode rel_label;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(CachedNeighbor) == 24);
+
+/// Immutable once published; readers hold it via shared_ptr so eviction and
+/// invalidation never free an array out from under a running Expand.
+/// `stamp` and `last_used` are guarded by the owning shard mutex.
+struct AdjacencyList {
+  storage::Timestamp stamp = 0;  ///< node bts the topology reflects
+  uint64_t last_used = 0;        ///< LRU tick
+  std::vector<CachedNeighbor> edges;
+
+  uint64_t Bytes() const {
+    return sizeof(AdjacencyList) + edges.capacity() * sizeof(CachedNeighbor);
+  }
+};
+
+struct AdjacencyCacheOptions {
+  bool enabled = true;
+  uint64_t max_bytes = 256ull << 20;
+
+  /// POSEIDON_ADJ_CACHE (0 disables, default on) and
+  /// POSEIDON_ADJ_CACHE_MAX_MB (DRAM budget, default 256).
+  static AdjacencyCacheOptions FromEnv() {
+    AdjacencyCacheOptions o;
+    o.enabled = util::EnvInt("POSEIDON_ADJ_CACHE", 1) != 0;
+    o.max_bytes = util::EnvU64("POSEIDON_ADJ_CACHE_MAX_MB", 256) << 20;
+    return o;
+  }
+};
+
+struct AdjacencyCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+class AdjacencyCache {
+ public:
+  explicit AdjacencyCache(AdjacencyCacheOptions options = {})
+      : options_(options), enabled_(options.enabled) {}
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Runtime master switch (bench ablations). Disabling drops all entries so
+  /// re-enabling starts cold and toggling cannot serve stale state.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+    if (!on) Clear();
+  }
+
+  /// Returns the cached array for (node, dir) iff its stamp matches the
+  /// node-version bts the caller resolved; erases entries detected stale.
+  std::shared_ptr<const AdjacencyList> Lookup(storage::RecordId node,
+                                              AdjDir dir,
+                                              storage::Timestamp stamp) {
+    Shard& s = ShardFor(node);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(Key(node, dir));
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (it->second->stamp != stamp) {
+      // Built against a topology this reader cannot prove current (or a
+      // stale leftover a commit raced past) — drop it and rebuild.
+      RemoveLocked(s, it);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    it->second->last_used = tick_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Publishes a freshly built array and returns it (so the builder can
+  /// serve its own result). Returns the array unpublished when disabled.
+  std::shared_ptr<const AdjacencyList> Insert(
+      storage::RecordId node, AdjDir dir, storage::Timestamp stamp,
+      std::vector<CachedNeighbor> edges) {
+    auto list = std::make_shared<AdjacencyList>();
+    list->stamp = stamp;
+    list->edges = std::move(edges);
+    list->edges.shrink_to_fit();
+    list->last_used = tick_.fetch_add(1, std::memory_order_relaxed);
+    if (!enabled()) return list;
+    Shard& s = ShardFor(node);
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto [it, fresh] = s.map.try_emplace(Key(node, dir));
+      if (!fresh) {
+        bytes_.fetch_sub(it->second->Bytes(), std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      it->second = list;
+      bytes_.fetch_add(list->Bytes(), std::memory_order_relaxed);
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    MaybeEvict();
+    return list;
+  }
+
+  /// Drops both directions of `node`. Called post-commit for every node whose
+  /// topology the transaction changed (and on node insert/delete for slot-
+  /// reuse hygiene). Stale entries are unservable regardless — see header.
+  void Invalidate(storage::RecordId node) {
+    Shard& s = ShardFor(node);
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (AdjDir dir : {AdjDir::kOut, AdjDir::kIn}) {
+      auto it = s.map.find(Key(node, dir));
+      if (it == s.map.end()) continue;
+      RemoveLocked(s, it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Property-only node commits bump bts without touching topology: carry
+  /// the entry forward by restamping old_stamp -> new_stamp instead of
+  /// throwing the array away. No-op if the entry reflects something else.
+  void Restamp(storage::RecordId node, storage::Timestamp old_stamp,
+               storage::Timestamp new_stamp) {
+    Shard& s = ShardFor(node);
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (AdjDir dir : {AdjDir::kOut, AdjDir::kIn}) {
+      auto it = s.map.find(Key(node, dir));
+      if (it != s.map.end() && it->second->stamp == old_stamp) {
+        it->second->stamp = new_stamp;
+      }
+    }
+  }
+
+  void Clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto& [key, list] : s.map) {
+        bytes_.fetch_sub(list->Bytes(), std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      s.map.clear();
+    }
+  }
+
+  AdjacencyCacheStats stats() const {
+    AdjacencyCacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.inserts = inserts_.load(std::memory_order_relaxed);
+    st.invalidations = invalidations_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.entries = entries_.load(std::memory_order_relaxed);
+    st.bytes = bytes_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  const AdjacencyCacheOptions& options() const { return options_; }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<AdjacencyList>> map;
+  };
+
+  static uint64_t Key(storage::RecordId node, AdjDir dir) {
+    return (node << 1) | static_cast<uint64_t>(dir);
+  }
+
+  Shard& ShardFor(storage::RecordId node) { return shards_[node % kShards]; }
+
+  template <typename It>
+  void RemoveLocked(Shard& s, It it) {
+    bytes_.fetch_sub(it->second->Bytes(), std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    s.map.erase(it);
+  }
+
+  /// LRU-ish eviction by bytes: while over budget, sweep shards round-robin
+  /// and drop the least-recently-used entry of each. Approximate (per-shard
+  /// minimum, not global) but lock-cheap and good enough for a cache whose
+  /// stale entries are already unservable.
+  void MaybeEvict() {
+    while (bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+      bool dropped = false;
+      for (Shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.map.empty()) continue;
+        auto victim = s.map.begin();
+        for (auto it = s.map.begin(); it != s.map.end(); ++it) {
+          if (it->second->last_used < victim->second->last_used) victim = it;
+        }
+        RemoveLocked(s, victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        dropped = true;
+        if (bytes_.load(std::memory_order_relaxed) <= options_.max_bytes) {
+          break;
+        }
+      }
+      if (!dropped) break;  // everything already gone
+    }
+  }
+
+  const AdjacencyCacheOptions options_;
+  std::atomic<bool> enabled_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace poseidon::tx
+
+#endif  // POSEIDON_TX_ADJACENCY_CACHE_H_

@@ -213,11 +213,12 @@ Result<std::vector<Property>> Transaction::GetRelationshipProperties(
 
 // --- Traversal ----------------------------------------------------------------
 
-Status Transaction::ForEachOutgoing(
-    RecordId node,
+Status Transaction::ForEachRelChain(
+    RecordId node, AdjDir dir,
     const std::function<bool(RecordId, const RelationshipRecord&)>& fn) {
+  const bool out = dir == AdjDir::kOut;
   POSEIDON_ASSIGN_OR_RETURN(auto n, GetNode(node));
-  RecordId cur = n.rec.first_out;
+  RecordId cur = out ? n.rec.first_out : n.rec.first_in;
   while (cur != kNullId) {
     auto r = GetRelationship(cur);
     if (!r.ok()) {
@@ -227,38 +228,84 @@ Status Transaction::ForEachOutgoing(
       RelationshipRecord raw;
       POSEIDON_RETURN_IF_ERROR(
           ReadStable(store_->relationships(), cur, &raw));
-      cur = raw.next_src;
+      cur = out ? raw.next_src : raw.next_dst;
       continue;
     }
+    RecordId next = out ? r->rec.next_src : r->rec.next_dst;
     // Start the fill of the next link before the callback runs, so its PMem
     // read latency overlaps the per-relationship work.
-    store_->relationships().Prefetch(r->rec.next_src);
+    store_->relationships().Prefetch(next);
     if (!fn(cur, r->rec)) return Status::Ok();
-    cur = r->rec.next_src;
+    cur = next;
   }
   return Status::Ok();
+}
+
+Status Transaction::ForEachOutgoing(
+    RecordId node,
+    const std::function<bool(RecordId, const RelationshipRecord&)>& fn) {
+  return ForEachRelChain(node, AdjDir::kOut, fn);
 }
 
 Status Transaction::ForEachIncoming(
     RecordId node,
     const std::function<bool(RecordId, const RelationshipRecord&)>& fn) {
-  POSEIDON_ASSIGN_OR_RETURN(auto n, GetNode(node));
-  RecordId cur = n.rec.first_in;
+  return ForEachRelChain(node, AdjDir::kIn, fn);
+}
+
+std::shared_ptr<const AdjacencyList> Transaction::GetCachedAdjacency(
+    RecordId node, AdjDir dir) {
+  AdjacencyCache& cache = mgr_->adj_cache_;
+  if (!cache.enabled() || finished_) return nullptr;
+  // Our own topology edits live in the write set; the cache only reflects
+  // committed state.
+  if (node_writes_.count(node) != 0) return nullptr;
+  auto n = GetNode(node);
+  // Errors (NotFound, foreign lock) fall back so the chain walk re-raises
+  // them with full fidelity; snapshot reads mean the latest committed
+  // topology is newer than us, so the stamp test below could never pass.
+  if (!n.ok() || n->from_snapshot) return nullptr;
+  // Fast-path read: n->rec is the latest committed node version and our rts
+  // bump is in place, blocking any topology writer older than us. If the
+  // cached stamp equals this version's bts, the array is exactly the chain
+  // we would walk (every adjacency change commits a new node version).
+  const Timestamp stamp = n->rec.tx.bts;
+  const bool out = dir == AdjDir::kOut;
+  if (auto hit = cache.Lookup(node, dir, stamp)) return hit;
+  // Miss: build from our own walk. Eligible only if every hop also resolves
+  // as the latest committed version — then the topology we record is the
+  // current committed one and any future reader the stamp validates for may
+  // share it. A concurrent topology commit during the build is benign: it
+  // bumps the node's bts, so the entry we publish is stale-on-arrival and
+  // Lookup's stamp test erases it instead of serving it.
+  std::vector<CachedNeighbor> edges;
+  RecordId cur = out ? n->rec.first_out : n->rec.first_in;
   while (cur != kNullId) {
     auto r = GetRelationship(cur);
-    if (!r.ok()) {
-      if (!r.status().IsNotFound()) return r.status();
-      RelationshipRecord raw;
-      POSEIDON_RETURN_IF_ERROR(
-          ReadStable(store_->relationships(), cur, &raw));
-      cur = raw.next_dst;
-      continue;
-    }
-    store_->relationships().Prefetch(r->rec.next_dst);
-    if (!fn(cur, r->rec)) return Status::Ok();
-    cur = r->rec.next_dst;
+    if (!r.ok() || r->from_snapshot) return nullptr;
+    RecordId next = out ? r->rec.next_src : r->rec.next_dst;
+    store_->relationships().Prefetch(next);
+    edges.push_back(CachedNeighbor{cur, out ? r->rec.dst : r->rec.src,
+                                   r->rec.label, 0});
+    cur = next;
   }
-  return Status::Ok();
+  return cache.Insert(node, dir, stamp, std::move(edges));
+}
+
+Status Transaction::ForEachNeighbor(
+    RecordId node, AdjDir dir,
+    const std::function<bool(RecordId, DictCode, RecordId)>& fn) {
+  if (auto adj = GetCachedAdjacency(node, dir)) {
+    for (const CachedNeighbor& e : adj->edges) {
+      if (!fn(e.rel_id, e.rel_label, e.neighbor)) break;
+    }
+    return Status::Ok();
+  }
+  const bool out = dir == AdjDir::kOut;
+  return ForEachRelChain(
+      node, dir, [&](RecordId rel_id, const RelationshipRecord& rel) {
+        return fn(rel_id, rel.label, out ? rel.dst : rel.src);
+      });
 }
 
 // --- Locking -------------------------------------------------------------------
@@ -685,6 +732,39 @@ Status Transaction::CommitImpl() {
     }
   }
   for (auto& item : gc_items) mgr_->Defer(item);
+
+  // Adjacency-cache maintenance. Safe to run after durability: a stale entry
+  // can never be served (its stamp no longer matches the node's bts), so this
+  // is hygiene, not correctness. Topology commits invalidate every touched
+  // node; pure property updates carry the entry forward by restamping it to
+  // the new version timestamp (the arrays hold only immutable topology
+  // fields: rel id, rel label, endpoint).
+  AdjacencyCache& adj = mgr_->adj_cache_;
+  if (adj.enabled() &&
+      !(node_writes_.empty() && rel_writes_.empty())) {
+    // Endpoints of inserted/deleted relationships: their adjacency changed
+    // even when their own first_out/first_in head did not (mid-chain
+    // unlinks rewrite a predecessor's next pointer only).
+    std::set<RecordId> topo_nodes;
+    for (auto& [id, w] : rel_writes_) {
+      if (w.inserted == w.deleted) continue;  // updates & net no-ops
+      topo_nodes.insert(w.rec.src);
+      topo_nodes.insert(w.rec.dst);
+    }
+    for (auto& [id, w] : node_writes_) {
+      if (w.inserted || w.deleted || topo_nodes.count(id) != 0 ||
+          w.rec.first_out != w.before.first_out ||
+          w.rec.first_in != w.before.first_in) {
+        adj.Invalidate(id);
+      } else {
+        adj.Restamp(id, w.before.tx.bts, id_);
+      }
+      topo_nodes.erase(id);
+    }
+    // Endpoints of touched relationships are always write-locked (and thus
+    // in node_writes_); invalidate any leftovers defensively.
+    for (RecordId id : topo_nodes) adj.Invalidate(id);
+  }
   return Status::Ok();
 }
 

@@ -37,6 +37,7 @@
 
 #include "index/index_manager.h"
 #include "storage/graph_store.h"
+#include "tx/adjacency_cache.h"
 #include "tx/version_store.h"
 #include "util/backoff.h"
 
@@ -93,6 +94,25 @@ class Transaction {
       const std::function<bool(storage::RecordId,
                                const storage::RelationshipRecord&)>& fn);
 
+  /// Topology-only adjacency traversal: `fn(rel_id, rel_label, neighbor)`
+  /// where neighbor is rel.dst for kOut and rel.src for kIn. Serves the
+  /// versioned DRAM adjacency cache when this transaction's snapshot covers
+  /// the cached stamp (see adjacency_cache.h); otherwise falls back to the
+  /// chain walk with identical visibility. `fn` returns false to stop early.
+  Status ForEachNeighbor(
+      storage::RecordId node, AdjDir dir,
+      const std::function<bool(storage::RecordId, storage::DictCode,
+                               storage::RecordId)>& fn);
+
+  /// Probe-or-build entry into the adjacency cache. Returns the neighbor
+  /// array this transaction may legally serve for (node, dir), or null when
+  /// it must chain-walk instead: cache disabled, node in this tx's write
+  /// set, node/rel reads that need snapshot versions, or visibility errors
+  /// (the fallback walk re-raises those). Used directly by the JIT runtime
+  /// helper and analytics::Snapshot.
+  std::shared_ptr<const AdjacencyList> GetCachedAdjacency(
+      storage::RecordId node, AdjDir dir);
+
   // --- Writes ---------------------------------------------------------
 
   /// Inserts a node; visible to others only after Commit.
@@ -133,6 +153,8 @@ class Transaction {
     return node_writes_.size() + rel_writes_.size();
   }
 
+  TransactionManager* manager() const { return mgr_; }
+
  private:
   friend class TransactionManager;
 
@@ -168,6 +190,13 @@ class Transaction {
   /// CAS-max on the persistent rts field (unflushed; re-initializable).
   template <typename R>
   bool BumpRts(R* rec);
+
+  /// Shared direction-parameterized chain walker behind ForEachOutgoing /
+  /// ForEachIncoming / the cache-miss fallback.
+  Status ForEachRelChain(
+      storage::RecordId node, AdjDir dir,
+      const std::function<bool(storage::RecordId,
+                               const storage::RelationshipRecord&)>& fn);
 
   Status CommitImpl();
   void ReleaseLocks();
@@ -230,6 +259,7 @@ class TransactionManager {
   VersionChains<storage::RelationshipRecord>& rel_versions() {
     return rel_versions_;
   }
+  AdjacencyCache& adjacency_cache() { return adj_cache_; }
 
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
@@ -274,6 +304,7 @@ class TransactionManager {
 
   VersionChains<storage::NodeRecord> node_versions_;
   VersionChains<storage::RelationshipRecord> rel_versions_;
+  AdjacencyCache adj_cache_{AdjacencyCacheOptions::FromEnv()};
 
   std::mutex gc_mu_;
   std::vector<GcItem> gc_queue_;

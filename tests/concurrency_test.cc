@@ -337,5 +337,89 @@ TEST_F(ConcurrencyTest, MorselParallelScanNeverSeesUncommittedVersions) {
   EXPECT_GT(last_committed, kSeed) << "writers must make progress";
 }
 
+TEST_F(ConcurrencyTest, AdjacencyCacheInvalidationRaceStaysSnapshotExact) {
+  // Multiple writers churn the topology of shared hub nodes (insert a spoke
+  // edge, commit, delete it, commit) while readers run Expand through the
+  // DRAM adjacency cache. Invalidation is asynchronous hygiene, so the cache
+  // may hold stale arrays at any moment — but a reader must never be SERVED
+  // one: within a single snapshot the cached walk has to agree exactly with
+  // the raw chain walk, and every served edge must resolve to a visible
+  // relationship with matching endpoints. Foreign-lock aborts are expected.
+  constexpr int kHubs = 3;
+  const int kWriterIters = 120 / kStressScale;
+  const int kReaderIters = 200 / kStressScale;
+  DictCode follows = *store_->Code("follows");
+  std::vector<RecordId> hubs, spokes;
+  {
+    auto tx = mgr_->Begin();
+    for (int i = 0; i < kHubs; ++i) hubs.push_back(*tx->CreateNode(account_, {}));
+    for (int i = 0; i < 12; ++i) spokes.push_back(*tx->CreateNode(account_, {}));
+    for (int i = 0; i < kHubs; ++i) {
+      ASSERT_TRUE(tx->CreateRelationship(hubs[i], spokes[i], follows, {}).ok());
+    }
+    ASSERT_TRUE(tx->Commit().ok());
+  }
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<int> mismatches{0};
+  auto writer = [&](int seed) {
+    Rng rng(seed);
+    for (int i = 0; i < kWriterIters; ++i) {
+      RecordId hub = hubs[rng.Uniform(kHubs)];
+      RecordId spoke = spokes[rng.Uniform(spokes.size())];
+      auto tx = mgr_->Begin();
+      auto rel = tx->CreateRelationship(hub, spoke, follows, {});
+      if (!rel.ok() || !tx->Commit().ok()) continue;
+      commits.fetch_add(1, std::memory_order_relaxed);
+      auto tx2 = mgr_->Begin();
+      if (tx2->DeleteRelationship(*rel).ok() && tx2->Commit().ok()) {
+        commits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  auto reader = [&](int seed) {
+    Rng rng(seed);
+    for (int i = 0; i < kReaderIters; ++i) {
+      RecordId hub = hubs[rng.Uniform(kHubs)];
+      auto tx = mgr_->Begin();
+      std::vector<std::pair<RecordId, RecordId>> cached, chain;
+      auto cs = tx->ForEachNeighbor(
+          hub, AdjDir::kOut, [&](RecordId rel, DictCode, RecordId neighbor) {
+            cached.emplace_back(rel, neighbor);
+            return true;
+          });
+      if (!cs.ok()) {
+        tx->Abort();
+        continue;  // foreign write lock
+      }
+      auto ws = tx->ForEachOutgoing(
+          hub, [&](RecordId rel, const storage::RelationshipRecord& rec) {
+            chain.emplace_back(rel, rec.dst);
+            return true;
+          });
+      if (ws.ok() && cached != chain) mismatches.fetch_add(1);
+      for (auto& [rel, neighbor] : cached) {
+        auto rr = tx->GetRelationship(rel);
+        if (!rr.ok()) continue;  // locked by a writer mid-read
+        if (rr->rec.src != hub || rr->rec.dst != neighbor) {
+          mismatches.fetch_add(1);
+        }
+      }
+      tx->Abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(writer, 11);
+  threads.emplace_back(writer, 12);
+  threads.emplace_back(writer, 13);
+  threads.emplace_back(reader, 21);
+  threads.emplace_back(reader, 22);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "adjacency cache served a topology outside the reader's snapshot";
+  EXPECT_GT(commits.load(), 0u);
+}
+
 }  // namespace
 }  // namespace poseidon::tx
