@@ -8,17 +8,25 @@
 #   * bench_pmem_micro writes google-benchmark's JSON schema via
 #     --benchmark_out (includes the batched-scan prefetch on/off entries).
 #
-# `run_benches.sh --check` instead builds the sanitizer configurations and
-# runs the sensitive test subsets:
+# `run_benches.sh --check` instead runs the static lint, builds the
+# sanitizer configurations, and runs the sensitive test subsets:
+#   * tools/lint_pptr_stores.py: raw stores through pool-derived pointers
+#     outside the sanctioned Psan* helpers (plus clang-tidy when installed);
 #   * build-tsan/ (POSEIDON_TSAN): the race-sensitive suites (ctest -L tsan)
 #     — MVTO, commit pipeline, concurrency;
 #   * build-asan/ (POSEIDON_ASAN, ASan+UBSan): the fault-injection suites
 #     (ctest -L fault) — crash-point exploration, corrupt-segment recovery,
 #     diskgraph fault paths — where a missed bounds check on crafted-garbage
-#     input becomes a memory error.
+#     input becomes a memory error;
+#   * build-psan/ (POSEIDON_PSAN): the persist-order sanitizer suites
+#     (ctest -L psan) — seeded-bug detection plus the commit pipeline and
+#     crash explorer re-run with durability-ordering checks armed.
+# Every stage fails the check on violations (set -e).
 
 if [ "${1:-}" = "--check" ]; then
   set -e
+  (cd /root/repo && python3 tools/lint_pptr_stores.py)
+  echo "LINT CHECK DONE"
   cmake -B /root/repo/build-tsan -S /root/repo -DPOSEIDON_TSAN=ON
   cmake --build /root/repo/build-tsan -j"$(nproc)" --target \
       concurrency_test mvto_test commit_pipeline_test tx_edge_test \
@@ -30,6 +38,11 @@ if [ "${1:-}" = "--check" ]; then
       crash_explorer_test fault_injection_test crash_property_test
   ctest --test-dir /root/repo/build-asan -L fault --output-on-failure
   echo "ASAN FAULT CHECK DONE"
+  cmake -B /root/repo/build-psan -S /root/repo -DPOSEIDON_PSAN=ON
+  cmake --build /root/repo/build-psan -j"$(nproc)" --target \
+      psan_test latency_model_test commit_pipeline_test crash_explorer_test
+  ctest --test-dir /root/repo/build-psan -L psan --output-on-failure
+  echo "PSAN CHECK DONE"
   exit 0
 fi
 

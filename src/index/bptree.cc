@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "pmem/pptr.h"
+
 namespace poseidon::index {
 
 using storage::RecordId;
@@ -48,6 +50,7 @@ BPlusTree::LeafNode* BPlusTree::ResolveLeaf(uint64_t ref) const {
   if (placement_ == Placement::kVolatile) {
     return reinterpret_cast<LeafNode*>(ref);
   }
+  // psan: callers mark whole nodes via PersistLeaf
   auto* leaf = pool_->ToPtr<LeafNode>(ref);
   // One 256 B block per visited PMem node approximates the partial node
   // access of a lookup (binary search does not touch the whole 1 KiB).
@@ -92,7 +95,16 @@ Result<uint64_t> BPlusTree::NewInner() {
 void BPlusTree::PersistLeaf(LeafNode* leaf, const void* addr, uint64_t len) {
   if (placement_ == Placement::kVolatile) return;
   (void)leaf;
+  // Leaves mutate in place (memmove/memcpy over entry ranges), so the whole
+  // persisted range is marked at once rather than per-field store.
+  PsanMarkRange(pool_, addr, len);
   pool_->Persist(addr, len);
+}
+
+void BPlusTree::PersistInner(InnerNode* inner) {
+  if (placement_ != Placement::kPersistent) return;
+  PsanMarkRange(pool_, inner, sizeof(InnerNode));
+  pool_->Persist(inner, sizeof(InnerNode));
 }
 
 // --- Lifecycle --------------------------------------------------------------
@@ -112,7 +124,9 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(pmem::Pool* pool,
     POSEIDON_ASSIGN_OR_RETURN(tree->meta_off_,
                               pool->AllocateZeroed(sizeof(Meta)));
     auto* meta = pool->ToPtr<Meta>(tree->meta_off_);
-    meta->first_leaf = tree->first_leaf_;
+    // The handle publishes the first leaf (just AllocateZeroed'd + flushed).
+    PsanPublish(pool, &meta->first_leaf, tree->first_leaf_, tree->first_leaf_,
+                sizeof(LeafNode));
     pool->Persist(meta, sizeof(Meta));
   }
   return tree;
@@ -213,6 +227,7 @@ Status BPlusTree::Insert(BTreeKey key, RecordId value) {
 
   // Split: upper half moves to a new right sibling.
   POSEIDON_ASSIGN_OR_RETURN(uint64_t new_ref, NewLeaf());
+  // psan: whole node marked in PersistLeaf
   LeafNode* right = placement_ == Placement::kVolatile
                         ? reinterpret_cast<LeafNode*>(new_ref)
                         : pool_->ToPtr<LeafNode>(new_ref);
@@ -259,13 +274,12 @@ Status BPlusTree::InsertIntoParent(
       inner->keys[slot] = sep;
       inner->children[slot + 1] = new_child;
       ++inner->count;
-      if (placement_ == Placement::kPersistent) {
-        pool_->Persist(inner, sizeof(InnerNode));
-      }
+      PersistInner(inner);
       return Status::Ok();
     }
     // Split inner node; middle key moves up.
     POSEIDON_ASSIGN_OR_RETURN(uint64_t new_ref, NewInner());
+    // psan: whole node marked in PersistInner
     InnerNode* right = placement_ == Placement::kPersistent
                            ? pool_->ToPtr<InnerNode>(new_ref)
                            : reinterpret_cast<InnerNode*>(new_ref);
@@ -293,16 +307,15 @@ Status BPlusTree::InsertIntoParent(
                 right->count * sizeof(BTreeKey));
     std::memcpy(right->children, children + mid + 1,
                 (right->count + 1) * sizeof(uint64_t));
-    if (placement_ == Placement::kPersistent) {
-      pool_->Persist(inner, sizeof(InnerNode));
-      pool_->Persist(right, sizeof(InnerNode));
-    }
+    PersistInner(inner);
+    PersistInner(right);
     sep = up;
     new_child = new_ref;
   }
 
   // Root split.
   POSEIDON_ASSIGN_OR_RETURN(uint64_t new_root_ref, NewInner());
+  // psan: whole node marked in PersistInner
   InnerNode* new_root = placement_ == Placement::kPersistent
                             ? pool_->ToPtr<InnerNode>(new_root_ref)
                             : reinterpret_cast<InnerNode*>(new_root_ref);
@@ -310,9 +323,7 @@ Status BPlusTree::InsertIntoParent(
   new_root->keys[0] = sep;
   new_root->children[0] = root_;
   new_root->children[1] = new_child;
-  if (placement_ == Placement::kPersistent) {
-    pool_->Persist(new_root, sizeof(InnerNode));
-  }
+  PersistInner(new_root);
   root_ = new_root_ref;
   ++height_;
   return Status::Ok();
@@ -432,6 +443,7 @@ Status BPlusTree::RebuildInner() {
       size_t take = std::min<size_t>(kInnerEntries + 1, level.size() - i);
       if (level.size() - (i + take) == 1) --take;  // avoid a 1-child parent
       POSEIDON_ASSIGN_OR_RETURN(uint64_t iref, NewInner());
+      // psan: whole node marked in PersistInner
       InnerNode* inner = placement_ == Placement::kPersistent
                              ? pool_->ToPtr<InnerNode>(iref)
                              : reinterpret_cast<InnerNode*>(iref);
@@ -440,9 +452,7 @@ Status BPlusTree::RebuildInner() {
         inner->children[c] = level[i + c].second;
         if (c > 0) inner->keys[c - 1] = level[i + c].first;
       }
-      if (placement_ == Placement::kPersistent) {
-        pool_->Persist(inner, sizeof(InnerNode));
-      }
+      PersistInner(inner);
       parents.emplace_back(level[i].first, iref);
       i += take;
     }

@@ -132,6 +132,7 @@ class BPlusTree {
   Result<uint64_t> NewInner();
   void FreeInnerRecursive(uint64_t ref, int level);
   void PersistLeaf(LeafNode* leaf, const void* addr, uint64_t len);
+  void PersistInner(InnerNode* inner);
 
   /// Descends to the leaf that owns `key`; records the path when `path` is
   /// non-null (for splits).

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "pmem/pptr.h"
+
 namespace poseidon::index {
 
 using storage::DictCode;
@@ -47,7 +49,7 @@ Status IndexManager::EnsureDirectory() {
   if (root->index_dir != 0) return Status::Ok();
   POSEIDON_ASSIGN_OR_RETURN(pmem::Offset dir,
                             store_->pool()->AllocateZeroed(sizeof(Directory)));
-  root->index_dir = dir;
+  PsanPublish(store_->pool(), &root->index_dir, dir, dir, sizeof(Directory));
   store_->pool()->Persist(&root->index_dir, sizeof(pmem::Offset));
   return Status::Ok();
 }
@@ -87,13 +89,16 @@ Result<BPlusTree*> IndexManager::CreateIndex(DictCode label, DictCode key,
       return Status::ResourceExhausted("index directory full");
     }
     DirEntry& slot = dir->slots[dir->count];
-    slot.label = label;
-    slot.key = key;
-    slot.placement = static_cast<uint32_t>(placement);
-    slot.meta = raw->meta_offset();
-    store_->pool()->Persist(&slot, sizeof(DirEntry));
-    ++dir->count;
-    store_->pool()->Persist(&dir->count, sizeof(uint64_t));
+    pmem::Pool* ppool = store_->pool();
+    PsanStore(ppool, &slot.label, uint32_t{label});
+    PsanStore(ppool, &slot.key, uint32_t{key});
+    PsanStore(ppool, &slot.placement, static_cast<uint32_t>(placement));
+    PsanStore(ppool, &slot.meta, raw->meta_offset());
+    ppool->Persist(&slot, sizeof(DirEntry));
+    // Bumping the count publishes the slot just written.
+    PsanPublish(ppool, &dir->count, dir->count + 1,
+                ppool->ToOffset(&slot), sizeof(DirEntry));
+    ppool->Persist(&dir->count, sizeof(uint64_t));
   }
   entries_.push_back(Entry{label, key, placement, std::move(tree)});
   return raw;

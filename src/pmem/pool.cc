@@ -14,8 +14,31 @@
 #include <random>
 
 #include "pmem/fault_injector.h"
+#include "pmem/psan.h"
 #include "util/crc32c.h"
 #include "util/env.h"
+
+// Persist-order sanitizer marking for the pool's own durable stores
+// (allocator metadata, redo segments, header fields). Compiled away
+// entirely without POSEIDON_PSAN.
+#ifdef POSEIDON_PSAN
+#define POOL_PSAN_MARK(psan, addr, len)                               \
+  do {                                                                \
+    ::poseidon::pmem::PersistSanitizer* psan__ = (psan);              \
+    if (psan__ != nullptr)                                            \
+      psan__->OnStore((addr), (len), POSEIDON_PSAN_SITE);             \
+  } while (0)
+#define POOL_PSAN_PUBLISH(psan, slot, slot_len, target, target_len)   \
+  do {                                                                \
+    ::poseidon::pmem::PersistSanitizer* psan__ = (psan);              \
+    if (psan__ != nullptr)                                            \
+      psan__->OnPublish((slot), (slot_len), (target), (target_len),   \
+                        POSEIDON_PSAN_SITE);                          \
+  } while (0)
+#else
+#define POOL_PSAN_MARK(psan, addr, len) ((void)0)
+#define POOL_PSAN_PUBLISH(psan, slot, slot_len, target, target_len) ((void)0)
+#endif
 
 namespace poseidon::pmem {
 
@@ -139,6 +162,12 @@ Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
   pool->capacity_ = options.capacity;
   POSEIDON_RETURN_IF_ERROR(pool->MapRegion(path, /*create=*/true));
   pool->Configure(options);
+#ifdef POSEIDON_PSAN
+  if (EnvInt("POSEIDON_PSAN", 1) != 0) {
+    pool->psan_ =
+        std::make_unique<PersistSanitizer>(pool->base_, pool->capacity_);
+  }
+#endif
   pool->InitHeader(options);
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
@@ -165,6 +194,12 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
   pool->capacity_ = pool->header()->capacity;
   pool->recovered_from_crash_ = pool->header()->clean_shutdown == 0;
   pool->Configure(options);
+#ifdef POSEIDON_PSAN
+  if (EnvInt("POSEIDON_PSAN", 1) != 0) {
+    pool->psan_ =
+        std::make_unique<PersistSanitizer>(pool->base_, pool->capacity_);
+  }
+#endif
   if (options.crash_shadow) {
     pool->shadow_ = std::make_unique<char[]>(pool->capacity_);
     std::memcpy(pool->shadow_.get(), pool->base_, pool->capacity_);
@@ -189,7 +224,9 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
         "redo segment-count mismatch: pool header says " +
         std::to_string(segments) + ", reopen requested " +
         std::to_string(requested) + "; header value wins";
-    std::fprintf(stderr, "poseidon: %s\n", warning.c_str());
+    if (EnvInt("POSEIDON_VERBOSE", 0) != 0) {
+      std::fprintf(stderr, "poseidon: %s\n", warning.c_str());
+    }
     pool->recovery_report_.warnings.push_back(std::move(warning));
   }
   pool->redo_log_ = std::make_unique<RedoLog>(
@@ -197,12 +234,18 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
       segments);
   size_t pre_recovery_warnings = pool->recovery_report_.warnings.size();
   pool->redo_log_->Recover(&pool->recovery_report_);
-  for (size_t i = pre_recovery_warnings;
-       i < pool->recovery_report_.warnings.size(); ++i) {
-    std::fprintf(stderr, "poseidon: %s\n",
-                 pool->recovery_report_.warnings[i].c_str());
+  // Degraded-recovery diagnostics live in recovery_report(); stderr echo is
+  // opt-in so test and benchmark runs stay quiet by default.
+  if (EnvInt("POSEIDON_VERBOSE", 0) != 0) {
+    for (size_t i = pre_recovery_warnings;
+         i < pool->recovery_report_.warnings.size(); ++i) {
+      std::fprintf(stderr, "poseidon: %s\n",
+                   pool->recovery_report_.warnings[i].c_str());
+    }
   }
   pool->header()->clean_shutdown = 0;
+  POOL_PSAN_MARK(pool->psan_.get(), &pool->header()->clean_shutdown,
+                 sizeof(uint64_t));
   pool->Persist(&pool->header()->clean_shutdown, sizeof(uint64_t));
   return pool;
 }
@@ -218,9 +261,14 @@ Pool::~Pool() {
   if (base_ == nullptr) return;
   if (mode_ == PoolMode::kPmem && fd_ >= 0) {
     header()->clean_shutdown = 1;
+    POOL_PSAN_MARK(psan_.get(), &header()->clean_shutdown, sizeof(uint64_t));
     Persist(&header()->clean_shutdown, sizeof(uint64_t));
     ::msync(base_, capacity_, MS_SYNC);
   }
+#ifdef POSEIDON_PSAN
+  // Pool-close boundary: anything still dirty now would never reach media.
+  if (psan_ != nullptr) psan_->OnClose();
+#endif
   ::munmap(base_, capacity_);
   if (fd_ >= 0) ::close(fd_);
 }
@@ -309,8 +357,10 @@ void Pool::InitHeader(const PoolOptions& options) {
   for (uint32_t i = 0; i < segments; ++i) {
     char* seg = base_ + h->redo_area + static_cast<uint64_t>(i) * seg_size;
     std::memset(seg, 0, kSegmentHeaderBytes);
+    POOL_PSAN_MARK(psan_.get(), seg, kSegmentHeaderBytes);
     Persist(seg, kSegmentHeaderBytes);
   }
+  POOL_PSAN_MARK(psan_.get(), h, sizeof(Header));
   Persist(h, sizeof(Header));
 }
 
@@ -385,6 +435,7 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
       Offset next;
       std::memcpy(&next, base_ + head, sizeof(next));
       h->free_lists[size_class] = next;
+      POOL_PSAN_MARK(psan_.get(), &h->free_lists[size_class], sizeof(Offset));
       PersistDeferred(&h->free_lists[size_class], sizeof(Offset));
       stats_.alloc_from_free_list.fetch_add(1, std::memory_order_relaxed);
       return head;
@@ -398,6 +449,7 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
     return Status::ResourceExhausted("pool exhausted");
   }
   h->bump = off + size;
+  POOL_PSAN_MARK(psan_.get(), &h->bump, sizeof(uint64_t));
   PersistDeferred(&h->bump, sizeof(uint64_t));
   return off;
 }
@@ -405,6 +457,7 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
 Result<Offset> Pool::AllocateZeroed(uint64_t size, uint64_t align) {
   POSEIDON_ASSIGN_OR_RETURN(Offset off, Allocate(size, align));
   std::memset(base_ + off, 0, size);
+  POOL_PSAN_MARK(psan_.get(), base_ + off, size);
   PersistDeferred(base_ + off, size);
   return off;
 }
@@ -421,8 +474,13 @@ void Pool::Free(Offset off, uint64_t size) {
   auto* h = header();
   Offset old_head = h->free_lists[size_class];
   std::memcpy(base_ + off, &old_head, sizeof(Offset));
+  POOL_PSAN_MARK(psan_.get(), base_ + off, sizeof(Offset));
   PersistDeferred(base_ + off, sizeof(Offset));
   h->free_lists[size_class] = off;
+  // Publishing the block as the new head: its next-link must be durable
+  // first or a crash replays a free list pointing at garbage.
+  POOL_PSAN_PUBLISH(psan_.get(), &h->free_lists[size_class], sizeof(Offset),
+                    off, sizeof(Offset));
   PersistDeferred(&h->free_lists[size_class], sizeof(Offset));
 }
 
@@ -463,14 +521,30 @@ void Pool::FlushAccounted(const void* addr, uint64_t len,
 void Pool::Flush(const void* addr, uint64_t len) {
   if (len == 0) return;
   auto a = reinterpret_cast<uint64_t>(addr);
-  uint64_t lines = (a + len - 1) / kCacheLineSize - a / kCacheLineSize + 1;
-  FlushAccounted(addr, len, lines);
+  uint64_t first = a / kCacheLineSize;
+  uint64_t last = (a + len - 1) / kCacheLineSize;
+#ifdef POSEIDON_PSAN
+  if (psan_ != nullptr) {
+    uint64_t redundant = 0;
+    for (uint64_t line = first; line <= last; ++line) {
+      if (psan_->OnFlushLine(line, /*deduped=*/false)) ++redundant;
+    }
+    if (redundant > 0) {
+      stats_.psan_redundant_lines.fetch_add(redundant,
+                                            std::memory_order_relaxed);
+    }
+  }
+#endif
+  FlushAccounted(addr, len, last - first + 1);
 }
 
 void Pool::Drain() {
   if (fault_injector_ != nullptr) fault_injector_->OnPersistPoint(this);
   stats_.drains.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == PoolMode::kPmem) latency_.OnDrain();
+#ifdef POSEIDON_PSAN
+  if (psan_ != nullptr) psan_->OnDrain();
+#endif
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
@@ -492,9 +566,26 @@ void FlushBatch::Flush(const void* addr, uint64_t len) {
   uint64_t first = a / kCacheLineSize;
   uint64_t last = (a + len - 1) / kCacheLineSize;
   uint64_t unique = 0;
+#ifdef POSEIDON_PSAN
+  uint64_t redundant = 0;
+#endif
   for (uint64_t line = first; line <= last; ++line) {
-    if (!Seen(line)) ++unique;
+    bool dup = Seen(line);
+    if (!dup) ++unique;
+#ifdef POSEIDON_PSAN
+    // Deduped lines still transition dirty -> flushing (the crash shadow
+    // copies the whole range) but are exempt from the redundancy count.
+    if (pool_->psan_ != nullptr && pool_->psan_->OnFlushLine(line, dup)) {
+      ++redundant;
+    }
+#endif
   }
+#ifdef POSEIDON_PSAN
+  if (redundant > 0) {
+    pool_->stats_.psan_redundant_lines.fetch_add(redundant,
+                                                 std::memory_order_relaxed);
+  }
+#endif
   pool_->FlushAccounted(addr, len, unique);
   uint64_t total = last - first + 1;
   if (unique < total) {
@@ -509,6 +600,10 @@ Offset Pool::root() const { return header()->root; }
 
 void Pool::set_root(Offset off) {
   header()->root = off;
+  // The root makes an object graph reachable: its first line must already
+  // be durable (or at least flushed) when this pointer's flush retires.
+  POOL_PSAN_PUBLISH(psan_.get(), &header()->root, sizeof(Offset), off,
+                    kCacheLineSize);
   Persist(&header()->root, sizeof(Offset));
 }
 
@@ -520,6 +615,11 @@ void Pool::SimulateCrash() {
   std::lock_guard<std::mutex> lock(shadow_mu_);
   std::memcpy(base_, shadow_.get(), capacity_);
   recovered_from_crash_ = true;
+#ifdef POSEIDON_PSAN
+  // The memory image was reverted: pre-crash tracking no longer describes
+  // it. Violation counters survive — they were real before the crash.
+  if (psan_ != nullptr) psan_->Reset();
+#endif
   // The durable image and the live image coincide again: resume recording.
   shadow_frozen_.store(false, std::memory_order_release);
 }
@@ -543,6 +643,7 @@ void Pool::ResetStats() {
   stats_.flushed_lines.store(0, std::memory_order_relaxed);
   stats_.deduped_lines.store(0, std::memory_order_relaxed);
   stats_.drains.store(0, std::memory_order_relaxed);
+  stats_.psan_redundant_lines.store(0, std::memory_order_relaxed);
 }
 
 // --- RedoLog ---------------------------------------------------------------
@@ -681,6 +782,7 @@ bool RedoLog::Recover(RecoveryReport* report) {
     char* seg = pool_->base_ + segment_offset(i);
     uint64_t zero = 0;
     std::memcpy(seg, &zero, sizeof(zero));
+    POOL_PSAN_MARK(pool_->psan_.get(), seg, sizeof(zero));
     pool_->Persist(seg, sizeof(zero));
   }
   if (pending.empty()) return false;
@@ -699,6 +801,7 @@ bool RedoLog::Recover(RecoveryReport* report) {
       std::memcpy(&len, seg + pos + 8, sizeof(len));
       pos += 16;
       std::memcpy(pool_->base_ + target, seg + pos, len);
+      POOL_PSAN_MARK(pool_->psan_.get(), pool_->base_ + target, len);
       pool_->Flush(pool_->base_ + target, len);
       pos += (len + 7) & ~7ull;
       ++report->entries_applied;
@@ -710,6 +813,7 @@ bool RedoLog::Recover(RecoveryReport* report) {
     char* seg = pool_->base_ + segment_offset(p.segment);
     uint64_t zero = 0;
     std::memcpy(seg, &zero, sizeof(zero));
+    POOL_PSAN_MARK(pool_->psan_.get(), seg, sizeof(zero));
     pool_->Flush(seg, sizeof(zero));
   }
   pool_->Drain();
@@ -761,6 +865,7 @@ void RedoTx::Stage(Offset target, const void* data, uint64_t len) {
   std::memcpy(seg_ + pos_, &target, sizeof(target));
   std::memcpy(seg_ + pos_ + 8, &len, sizeof(len));
   std::memcpy(seg_ + pos_ + 16, data, len);
+  POOL_PSAN_MARK(log_->pool_->psan_.get(), seg_ + pos_, 16 + padded);
   pos_ += 16 + padded;
   ++num_entries_;
 }
@@ -768,8 +873,16 @@ void RedoTx::Stage(Offset target, const void* data, uint64_t len) {
 Status RedoTx::Commit(uint64_t commit_ts, const DrainFn& drain) {
   assert(!committed_);
   committed_ = true;
-  return pipelined_ ? CommitPipelined(commit_ts, drain)
-                    : CommitSerialized(commit_ts, drain);
+  Status status = pipelined_ ? CommitPipelined(commit_ts, drain)
+                             : CommitSerialized(commit_ts, drain);
+#ifdef POSEIDON_PSAN
+  // Commit boundary: every line this thread dirtied must have been flushed
+  // by now (phase 4 leaves lines FLUSHING, which is fine — DIRTY is not).
+  if (status.ok() && log_->pool_->psan_ != nullptr) {
+    log_->pool_->psan_->OnCommitBoundary();
+  }
+#endif
+  return status;
 }
 
 Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
@@ -795,6 +908,7 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   std::memcpy(seg_ + 16, &num_entries_, sizeof(num_entries_));
   uint64_t crc = SegmentCrc(seg_, pos_);
   std::memcpy(seg_ + 24, &crc, sizeof(crc));
+  POOL_PSAN_MARK(pool->psan_.get(), seg_ + 8, 24);
   batch.Flush(seg_ + 8, pos_ - 8);
   do_drain();
 
@@ -803,6 +917,10 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   // marker's line was already flushed in phase 1, so coalescing makes this
   // flush latency-free; the drain is what publishes it.
   std::atomic_ref<uint64_t>(*state).store(1, std::memory_order_release);
+  // The marker publishes the entry bytes: they must not be dirty when its
+  // line's flush retires (phase 1 made them FLUSHING/DURABLE already).
+  POOL_PSAN_PUBLISH(pool->psan_.get(), seg_, sizeof(uint64_t),
+                    log_->segment_offset(segment_) + 8, pos_ - 8);
   batch.Flush(seg_, sizeof(uint64_t));
   do_drain();
 
@@ -817,6 +935,7 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
     std::memcpy(&len, seg_ + pos + 8, sizeof(len));
     pos += 16;
     AtomicStoreCopy(pool->base_ + target, seg_ + pos, len);
+    POOL_PSAN_MARK(pool->psan_.get(), pool->base_ + target, len);
     batch.Flush(pool->base_ + target, len);
     pos += (len + 7) & ~7ull;
   }
@@ -827,6 +946,7 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   // the next commit in this segment drains the line in its phase 1 before
   // writing a new marker.
   std::atomic_ref<uint64_t>(*state).store(0, std::memory_order_release);
+  POOL_PSAN_MARK(pool->psan_.get(), seg_, sizeof(uint64_t));
   batch.Flush(seg_, sizeof(uint64_t));
   return Status::Ok();
 }
@@ -853,16 +973,20 @@ Status RedoTx::CommitSerialized(uint64_t commit_ts, const DrainFn& drain) {
   std::memcpy(log + 16, &num_entries, sizeof(num_entries));
   uint64_t crc = SegmentCrc(log, pos);
   std::memcpy(log + 24, &crc, sizeof(crc));
+  POOL_PSAN_MARK(pool->psan_.get(), log + 8, pos - 8);
   pool->Persist(log + 8, pos - 8);
 
   // Phase 2: 8-byte atomic commit marker.
   uint64_t one = 1;
   std::memcpy(log, &one, sizeof(one));
+  POOL_PSAN_PUBLISH(pool->psan_.get(), log, sizeof(one),
+                    log_->segment_offset(segment_) + 8, pos - 8);
   pool->Persist(log, sizeof(one));
 
   // Phase 3: apply to home locations and persist.
   for (const Entry& e : entries_) {
     AtomicStoreCopy(pool->base_ + e.target, e.data.data(), e.len);
+    POOL_PSAN_MARK(pool->psan_.get(), pool->base_ + e.target, e.len);
     pool->Flush(pool->base_ + e.target, e.len);
   }
   pool->Drain();
@@ -870,6 +994,7 @@ Status RedoTx::CommitSerialized(uint64_t commit_ts, const DrainFn& drain) {
   // Phase 4: clear the marker.
   uint64_t zero = 0;
   std::memcpy(log, &zero, sizeof(zero));
+  POOL_PSAN_MARK(pool->psan_.get(), log, sizeof(zero));
   pool->Persist(log, sizeof(zero));
   return Status::Ok();
 }

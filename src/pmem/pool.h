@@ -108,6 +108,11 @@ struct PoolStats {
   /// flushed earlier in the same commit (flush coalescing).
   std::atomic<uint64_t> deduped_lines{0};
   std::atomic<uint64_t> drains{0};
+  /// Full-latency flushes of lines that were already durable with no store
+  /// since (PersistSanitizer class-(b) diagnostic; only advances when PSAN
+  /// is compiled in and enabled). These are the flushes the dedup machinery
+  /// did NOT absorb but a flush-pruning optimisation could.
+  std::atomic<uint64_t> psan_redundant_lines{0};
 };
 
 /// Copies `len` bytes with 8-byte atomic word accesses (release stores /
@@ -121,6 +126,7 @@ void AtomicLoadCopy(void* dst, const void* src, uint64_t len);
 class RedoLog;
 class FlushBatch;
 class FaultInjector;
+class PersistSanitizer;
 
 class Pool {
  public:
@@ -261,6 +267,11 @@ class Pool {
   /// Create()). See RecoveryReport.
   const RecoveryReport& recovery_report() const { return recovery_report_; }
 
+  /// Persist-order sanitizer (see pmem/psan.h). Non-null only when the
+  /// build has POSEIDON_PSAN and the POSEIDON_PSAN env knob is not 0; every
+  /// instrumented store and every Flush/Drain reports to it.
+  PersistSanitizer* psan() const { return psan_.get(); }
+
   // --- Introspection ------------------------------------------------------
 
   PoolMode mode() const { return mode_; }
@@ -313,6 +324,7 @@ class Pool {
 
   std::unique_ptr<RedoLog> redo_log_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<PersistSanitizer> psan_;
   RecoveryReport recovery_report_;
   mutable std::mutex alloc_mu_;
   mutable PoolStats stats_;

@@ -10,13 +10,120 @@
 #ifndef POSEIDON_PMEM_PPTR_H_
 #define POSEIDON_PMEM_PPTR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 
 #include "pmem/pool.h"
+#include "pmem/psan.h"
 
 namespace poseidon::pmem {
+
+// --- Sanctioned pool-store helpers (persist-order sanitizer entry points) ---
+//
+// Every store into pool memory from the storage/index/tx layers goes through
+// one of these helpers (the lint in tools/lint_pptr_stores.py enforces it).
+// With POSEIDON_PSAN compiled in they report the store to the pool's
+// PersistSanitizer together with the call site ("file:line"); without it
+// they reduce to exactly the raw store — zero cost, nothing else emitted.
+//
+//   PsanStoreAt       plain typed store          *dst = value
+//   PsanAtomicStoreAt release-ordered store      atomic_ref(*dst).store(v)
+//   PsanStoreCopyAt   bulk copy                  AtomicStoreCopy(dst, src, n)
+//   PsanMarkRangeAt   mark only — for writes already performed in place
+//                     (memset/rebuild loops, CAS results)
+//   PsanPublishAt     pointer-publishing store: the value makes pool offset
+//                     `target_off` reachable, so PSAN additionally checks
+//                     that the pointee is no longer dirty when the slot's
+//                     cache line is flushed (fence-before-data).
+//
+// The *At functions take the pool explicitly; the unsuffixed macros below
+// capture __FILE__:__LINE__ and are what call sites use.
+
+template <typename T>
+inline void PsanStoreAt(Pool* pool, T* dst, const T& value, const char* site) {
+  *dst = value;
+#ifdef POSEIDON_PSAN
+  if (pool != nullptr && pool->psan() != nullptr) {
+    pool->psan()->OnStore(dst, sizeof(T), site);
+  }
+#else
+  (void)pool;
+  (void)site;
+#endif
+}
+
+template <typename T>
+inline void PsanAtomicStoreAt(Pool* pool, T* dst, T value, const char* site) {
+  std::atomic_ref<T>(*dst).store(value, std::memory_order_release);
+#ifdef POSEIDON_PSAN
+  if (pool != nullptr && pool->psan() != nullptr) {
+    pool->psan()->OnStore(dst, sizeof(T), site);
+  }
+#else
+  (void)pool;
+  (void)site;
+#endif
+}
+
+inline void PsanStoreCopyAt(Pool* pool, void* dst, const void* src,
+                            uint64_t len, const char* site) {
+  AtomicStoreCopy(dst, src, len);
+#ifdef POSEIDON_PSAN
+  if (pool != nullptr && pool->psan() != nullptr) {
+    pool->psan()->OnStore(dst, len, site);
+  }
+#else
+  (void)pool;
+  (void)site;
+#endif
+}
+
+inline void PsanMarkRangeAt(Pool* pool, const void* addr, uint64_t len,
+                            const char* site) {
+#ifdef POSEIDON_PSAN
+  if (pool != nullptr && pool->psan() != nullptr) {
+    pool->psan()->OnStore(addr, len, site);
+  }
+#else
+  (void)pool;
+  (void)addr;
+  (void)len;
+  (void)site;
+#endif
+}
+
+template <typename T>
+inline void PsanPublishAt(Pool* pool, T* slot, T value, Offset target_off,
+                          uint64_t target_len, const char* site) {
+  std::atomic_ref<T>(*slot).store(value, std::memory_order_release);
+#ifdef POSEIDON_PSAN
+  if (pool != nullptr && pool->psan() != nullptr) {
+    pool->psan()->OnPublish(slot, sizeof(T), target_off, target_len, site);
+  }
+#else
+  (void)pool;
+  (void)target_off;
+  (void)target_len;
+  (void)site;
+#endif
+}
+
+/// Call-site macros: same arguments minus the trailing site.
+#define PsanStore(pool, dst, value) \
+  ::poseidon::pmem::PsanStoreAt((pool), (dst), (value), POSEIDON_PSAN_SITE)
+#define PsanAtomicStore(pool, dst, value)                    \
+  ::poseidon::pmem::PsanAtomicStoreAt((pool), (dst), (value), \
+                                      POSEIDON_PSAN_SITE)
+#define PsanStoreCopy(pool, dst, src, len)                       \
+  ::poseidon::pmem::PsanStoreCopyAt((pool), (dst), (src), (len), \
+                                    POSEIDON_PSAN_SITE)
+#define PsanMarkRange(pool, addr, len) \
+  ::poseidon::pmem::PsanMarkRangeAt((pool), (addr), (len), POSEIDON_PSAN_SITE)
+#define PsanPublish(pool, slot, value, target_off, target_len)       \
+  ::poseidon::pmem::PsanPublishAt((pool), (slot), (value), (target_off), \
+                                  (target_len), POSEIDON_PSAN_SITE)
 
 /// Process-wide registry mapping pool ids to open pools; the analogue of
 /// PMDK's pool lookup by UUID during persistent-pointer dereference.

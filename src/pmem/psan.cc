@@ -1,0 +1,213 @@
+#include "pmem/psan.h"
+
+#include <cstdio>
+
+#include "pmem/latency_model.h"
+#include "util/env.h"
+
+namespace poseidon::pmem {
+
+namespace {
+
+/// Process-wide hard-violation count; survives pool destruction so tests
+/// can assert "this whole run was clean" after every pool is gone.
+std::atomic<uint64_t> g_total_violations{0};
+
+/// Small dense thread ids for dirty-line attribution (std::thread::id is
+/// not ordered or compact).
+uint64_t ThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const char* KindName(PsanViolationKind kind) {
+  switch (kind) {
+    case PsanViolationKind::kUnflushedAtBoundary:
+      return "unflushed-at-boundary";
+    case PsanViolationKind::kFenceBeforeData:
+      return "fence-before-data";
+  }
+  return "unknown";
+}
+
+/// Bound on the pointee lines a single publish dependency checks; beyond
+/// this (bulk targets like a whole table chunk) only the leading bytes are
+/// verified, which is where the linkage fields live anyway.
+constexpr uint64_t kMaxTargetLines = 64;
+
+}  // namespace
+
+uint64_t PsanTotalViolations() {
+  return g_total_violations.load(std::memory_order_acquire);
+}
+
+PersistSanitizer::PersistSanitizer(const char* base, uint64_t capacity)
+    : base_(base),
+      capacity_(capacity),
+      log_(util::EnvInt("POSEIDON_VERBOSE", 0) != 0) {}
+
+uint64_t PersistSanitizer::LineToOffset(uint64_t line) const {
+  return line * kCacheLineSize - reinterpret_cast<uint64_t>(base_);
+}
+
+void PersistSanitizer::RecordLocked(PsanViolationKind kind, const char* site,
+                                    uint64_t line, std::string detail) {
+  switch (kind) {
+    case PsanViolationKind::kUnflushedAtBoundary:
+      ++report_.unflushed_at_boundary;
+      break;
+    case PsanViolationKind::kFenceBeforeData:
+      ++report_.fence_before_data;
+      break;
+  }
+  violations_.fetch_add(1, std::memory_order_acq_rel);
+  g_total_violations.fetch_add(1, std::memory_order_acq_rel);
+  if (site == nullptr) site = "<unknown site>";
+  if (log_) {
+    std::fprintf(stderr, "poseidon: psan %s at %s (pool offset %llu): %s\n",
+                 KindName(kind), site,
+                 static_cast<unsigned long long>(LineToOffset(line)),
+                 detail.c_str());
+  }
+  if (report_.violations.size() < PsanReport::kMaxRecorded) {
+    report_.violations.push_back(
+        PsanViolation{kind, site, LineToOffset(line), std::move(detail)});
+  }
+}
+
+void PersistSanitizer::MarkDirtyLocked(uint64_t first, uint64_t last,
+                                       const char* site) {
+  uint64_t tid = ThreadId();
+  for (uint64_t line = first; line <= last; ++line) {
+    state_.erase(line);
+    dirty_[line] = DirtyInfo{site, tid};
+  }
+}
+
+void PersistSanitizer::OnStore(const void* addr, uint64_t len,
+                               const char* site) {
+  if (len == 0 || !InPool(addr)) return;
+  auto a = reinterpret_cast<uint64_t>(addr);
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkDirtyLocked(a / kCacheLineSize, (a + len - 1) / kCacheLineSize, site);
+}
+
+void PersistSanitizer::OnPublish(const void* slot, uint64_t slot_len,
+                                 uint64_t target_off, uint64_t target_len,
+                                 const char* site) {
+  if (slot_len == 0 || !InPool(slot)) return;
+  auto a = reinterpret_cast<uint64_t>(slot);
+  uint64_t first = a / kCacheLineSize;
+  uint64_t last = (a + slot_len - 1) / kCacheLineSize;
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkDirtyLocked(first, last, site);
+  // A null publish (clearing a pointer) has no pointee to order against.
+  if (target_off == 0 || target_off >= capacity_) return;
+  if (target_len == 0) target_len = 1;
+  auto t = reinterpret_cast<uint64_t>(base_) + target_off;
+  uint64_t tfirst = t / kCacheLineSize;
+  uint64_t tlast = (t + target_len - 1) / kCacheLineSize;
+  if (tlast - tfirst + 1 > kMaxTargetLines) {
+    tlast = tfirst + kMaxTargetLines - 1;
+  }
+  for (uint64_t line = first; line <= last; ++line) {
+    publishes_[line].push_back(PublishDep{tfirst, tlast, site});
+  }
+}
+
+bool PersistSanitizer::OnFlushLine(uint64_t line, bool deduped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dirty_it = dirty_.find(line);
+  if (dirty_it != dirty_.end()) {
+    dirty_.erase(dirty_it);
+    state_[line] = LineState::kFlushing;
+    flushing_.push_back(line);
+    // Fence-order check: flushing this line makes any pointer stored in it
+    // durable (the crash shadow copies at flush time), so every pointee a
+    // publish registered here must already have left the DIRTY state.
+    auto pub_it = publishes_.find(line);
+    if (pub_it != publishes_.end()) {
+      for (const PublishDep& dep : pub_it->second) {
+        for (uint64_t t = dep.target_first; t <= dep.target_last; ++t) {
+          auto target_dirty = dirty_.find(t);
+          if (target_dirty == dirty_.end()) continue;
+          const char* store_site = target_dirty->second.site;
+          RecordLocked(
+              PsanViolationKind::kFenceBeforeData, dep.site, t,
+              std::string("pointer flushed before pointee; pointee line "
+                          "still dirty from store at ") +
+                  (store_site != nullptr ? store_site : "<unknown site>"));
+          break;  // one report per dependency, not per dirty line
+        }
+      }
+      publishes_.erase(pub_it);
+    }
+    return false;
+  }
+  if (deduped) return false;  // batch coalescing already absorbed it
+  auto state_it = state_.find(line);
+  if (state_it == state_.end()) return false;  // untracked: not judged
+  if (state_it->second != LineState::kDurable) return false;
+  // A full-latency flush of a line that is already durable and has seen no
+  // instrumented store since: the diagnostic the flush-pruning work needs.
+  ++report_.redundant_flush_lines;
+  return true;
+}
+
+void PersistSanitizer::OnDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t line : flushing_) {
+    auto it = state_.find(line);
+    if (it != state_.end() && it->second == LineState::kFlushing) {
+      it->second = LineState::kDurable;
+    }
+  }
+  flushing_.clear();
+}
+
+void PersistSanitizer::OnCommitBoundary() {
+  uint64_t tid = ThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> mine;
+  for (const auto& [line, info] : dirty_) {
+    if (info.tid == tid) mine.push_back(line);
+  }
+  for (uint64_t line : mine) {
+    const char* site = dirty_[line].site;
+    dirty_.erase(line);
+    publishes_.erase(line);
+    RecordLocked(PsanViolationKind::kUnflushedAtBoundary, site, line,
+                 "store still dirty when its transaction's redo commit "
+                 "finished");
+  }
+}
+
+void PersistSanitizer::OnClose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> lines;
+  lines.reserve(dirty_.size());
+  for (const auto& [line, info] : dirty_) lines.push_back(line);
+  for (uint64_t line : lines) {
+    const char* site = dirty_[line].site;
+    dirty_.erase(line);
+    RecordLocked(PsanViolationKind::kUnflushedAtBoundary, site, line,
+                 "store still dirty at pool close");
+  }
+  publishes_.clear();
+}
+
+void PersistSanitizer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.clear();
+  state_.clear();
+  flushing_.clear();
+  publishes_.clear();
+}
+
+PsanReport PersistSanitizer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+}  // namespace poseidon::pmem

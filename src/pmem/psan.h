@@ -1,0 +1,195 @@
+// PersistSanitizer (PSAN): a shadow-memory persist-order checker.
+//
+// The engine's whole durability story is a discipline: store into pool
+// memory, flush the cache line, drain, and only then flush anything that
+// makes the data reachable. Nothing enforced that discipline — the
+// crash-point explorer samples interleavings but cannot say "this store was
+// never flushed" or "this pointer was published before its pointee". PSAN
+// models durability at cache-line granularity and reports violations with
+// the file:line of the offending store (macro capture in pptr.h):
+//
+//   state machine per 64 B line (tracked lines only — a line enters the
+//   machine on its first *instrumented* store or the flush that follows):
+//
+//       untracked --store--> DIRTY --flush--> FLUSHING --drain--> DURABLE
+//                              ^                 |____store____________|
+//                              |_________________________store_________|
+//
+//   violation classes:
+//     (a) unflushed-at-boundary: a line still DIRTY when its writing thread
+//         finishes a redo commit, or any line still DIRTY at pool close.
+//     (b) redundant flush: an un-deduplicated flush of a line that is
+//         already FLUSHING/DURABLE with no store since — latency paid for
+//         nothing. Reported as a diagnostic counter (it feeds the flush-
+//         dedup accounting next to PoolStats::deduped_lines), not a hard
+//         violation: PSAN cannot see uninstrumented stores (MVTO lock
+//         words are volatile by design), so a "redundant" flush may be
+//         covering one of those.
+//     (c) fence-before-data: a publish slot (pptr/offset slot, directory
+//         entry, header field) is flushed while the data it points to is
+//         still DIRTY. In this engine's crash model flushed bytes are
+//         durable (drains only order and pay latency — see
+//         Pool::FlushAccounted), so the check is "pointee must at least be
+//         FLUSHING when the pointer's line is flushed".
+//
+// Thread model: DIRTY lines are attributed to the storing thread, and the
+// commit boundary checks only the committing thread's lines — concurrent
+// committers sharing a cache line never see each other's in-flight stores
+// as violations. Drains are global (all FLUSHING -> DURABLE), matching the
+// group-commit leader draining on behalf of its followers.
+//
+// Compiled in with -DPOSEIDON_PSAN=ON (CMake option); at runtime the env
+// knob POSEIDON_PSAN (default 1 when compiled in) turns it off without a
+// rebuild. When not compiled in, the PsanStore/PsanPublish helpers in
+// pptr.h reduce to the raw stores and this class is never instantiated;
+// PsanTotalViolations() still links and returns 0 so tests can assert on it
+// unconditionally.
+
+#ifndef POSEIDON_PMEM_PSAN_H_
+#define POSEIDON_PMEM_PSAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace poseidon::pmem {
+
+/// "file:line" capture for instrumented stores; usable in any TU.
+#define POSEIDON_PSAN_STR2(x) #x
+#define POSEIDON_PSAN_STR(x) POSEIDON_PSAN_STR2(x)
+#define POSEIDON_PSAN_SITE (__FILE__ ":" POSEIDON_PSAN_STR(__LINE__))
+
+/// True when the sanitizer is compiled into this build.
+constexpr bool PsanCompiledIn() {
+#ifdef POSEIDON_PSAN
+  return true;
+#else
+  return false;
+#endif
+}
+
+enum class PsanViolationKind {
+  kUnflushedAtBoundary,  ///< (a) dirty line at commit end / pool close
+  kFenceBeforeData,      ///< (c) pointer flushed before its pointee
+};
+
+struct PsanViolation {
+  PsanViolationKind kind;
+  /// file:line of the store (a) or the publish (c); never null.
+  std::string site;
+  /// Pool offset of the affected cache line.
+  uint64_t line_offset = 0;
+  std::string detail;
+};
+
+/// Per-pool diagnostics, in the spirit of RecoveryReport: counters plus a
+/// bounded list of per-site incident records.
+struct PsanReport {
+  uint64_t unflushed_at_boundary = 0;
+  uint64_t fence_before_data = 0;
+  /// Class (b): diagnostic, not a violation (see file comment).
+  uint64_t redundant_flush_lines = 0;
+  std::vector<PsanViolation> violations;  // capped at kMaxRecorded
+
+  static constexpr size_t kMaxRecorded = 256;
+
+  /// Hard violations only — classes (a) and (c).
+  uint64_t total_violations() const {
+    return unflushed_at_boundary + fence_before_data;
+  }
+};
+
+/// Process-wide hard-violation count across every pool, including pools
+/// already destroyed (close-boundary findings outlive their pool). Always 0
+/// when PSAN is not compiled in or disabled by env.
+uint64_t PsanTotalViolations();
+
+class PersistSanitizer {
+ public:
+  /// `base`/`capacity` delimit the pool mapping; addresses outside it are
+  /// ignored (DRAM-placed B+tree nodes share the instrumented call sites).
+  PersistSanitizer(const char* base, uint64_t capacity);
+
+  PersistSanitizer(const PersistSanitizer&) = delete;
+  PersistSanitizer& operator=(const PersistSanitizer&) = delete;
+
+  /// An instrumented store of [addr, addr+len): lines become DIRTY,
+  /// attributed to the calling thread and `site`.
+  void OnStore(const void* addr, uint64_t len, const char* site);
+
+  /// A pointer-publishing store: OnStore for the slot plus a pending
+  /// fence-order check — when the slot's line is flushed, the pointee
+  /// [pool offset target_off, +target_len) must not be DIRTY.
+  void OnPublish(const void* slot, uint64_t slot_len, uint64_t target_off,
+                 uint64_t target_len, const char* site);
+
+  /// A flush covering cache line number `line` (address / 64). `deduped`
+  /// flushes (coalesced by a FlushBatch) transition state but are exempt
+  /// from the redundant-flush diagnostic. Returns true when the flush was
+  /// counted redundant so the caller can feed the pool's stats counters.
+  bool OnFlushLine(uint64_t line, bool deduped);
+
+  /// A drain: every FLUSHING line becomes DURABLE (global, leader-drains-
+  /// for-followers semantics).
+  void OnDrain();
+
+  /// End of a redo commit on the calling thread: its DIRTY lines are
+  /// unflushed-at-boundary violations (reported once, then forgotten).
+  void OnCommitBoundary();
+
+  /// Pool close: every DIRTY line, regardless of thread, is a violation.
+  void OnClose();
+
+  /// Forgets all tracking state (crash simulation reverted the memory
+  /// image). Violation counters survive — they describe the pre-crash run.
+  void Reset();
+
+  /// Copy of the per-pool report.
+  PsanReport Snapshot() const;
+
+  /// Hard violations recorded by this pool so far.
+  uint64_t violation_count() const {
+    return violations_.load(std::memory_order_acquire);
+  }
+
+ private:
+  enum class LineState : uint8_t { kFlushing, kDurable };
+
+  struct DirtyInfo {
+    const char* site;
+    uint64_t tid;
+  };
+
+  struct PublishDep {
+    uint64_t target_first;  ///< first pointee line (address / 64)
+    uint64_t target_last;
+    const char* site;
+  };
+
+  void MarkDirtyLocked(uint64_t first, uint64_t last, const char* site);
+  void RecordLocked(PsanViolationKind kind, const char* site,
+                    uint64_t line, std::string detail);
+  uint64_t LineToOffset(uint64_t line) const;
+  bool InPool(const void* addr) const {
+    return addr >= base_ && addr < base_ + capacity_;
+  }
+
+  const char* base_;
+  uint64_t capacity_;
+  bool log_;  // POSEIDON_VERBOSE: print incidents to stderr as they happen
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, DirtyInfo> dirty_;     // line -> first store
+  std::unordered_map<uint64_t, LineState> state_;     // flushed lines
+  std::vector<uint64_t> flushing_;                    // drain worklist
+  std::unordered_map<uint64_t, std::vector<PublishDep>> publishes_;
+  PsanReport report_;
+  std::atomic<uint64_t> violations_{0};
+};
+
+}  // namespace poseidon::pmem
+
+#endif  // POSEIDON_PMEM_PSAN_H_

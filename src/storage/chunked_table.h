@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pmem/pool.h"
+#include "pmem/pptr.h"
 #include "storage/scan_options.h"
 #include "storage/types.h"
 #include "util/status.h"
@@ -84,16 +85,17 @@ class ChunkedTable {
                               pool->AllocateZeroed(sizeof(TableMeta)));
     table->meta_off_ = meta_off;
     auto* meta = table->meta();
-    meta->record_size = sizeof(R);
-    meta->records_per_chunk = kRecordsPerChunk;
-    meta->num_chunks = 0;
-    meta->directory_capacity = 1024;
+    PsanStore(pool, &meta->record_size, sizeof(R));
+    PsanStore(pool, &meta->records_per_chunk, kRecordsPerChunk);
+    PsanStore(pool, &meta->num_chunks, uint64_t{0});
+    PsanStore(pool, &meta->directory_capacity, uint64_t{1024});
     POSEIDON_ASSIGN_OR_RETURN(
         pmem::Offset dir,
         pool->AllocateZeroed(meta->directory_capacity * sizeof(uint64_t)));
-    meta->directory = dir;
-    meta->head_chunk = 0;
-    meta->tail_chunk = 0;
+    PsanPublish(pool, &meta->directory, dir, dir,
+                meta->directory_capacity * sizeof(uint64_t));
+    PsanStore(pool, &meta->head_chunk, uint64_t{0});
+    PsanStore(pool, &meta->tail_chunk, uint64_t{0});
     pool->Persist(meta, sizeof(TableMeta));
     table->ReserveMirror();
     return table;
@@ -160,12 +162,9 @@ class ChunkedTable {
     }
     char* slot = SlotPtr(id);
     // Word-atomic store: concurrent stable readers (seqlock-style copies)
-    // may race a slot being recycled; record structs are 8-byte multiples.
-    if constexpr (sizeof(R) % 8 == 0) {
-      pmem::AtomicStoreCopy(slot, &record, sizeof(R));
-    } else {
-      std::memcpy(slot, &record, sizeof(R));
-    }
+    // may race a slot being recycled; record structs are 8-byte multiples
+    // (PsanStoreCopy falls back to memcpy for odd sizes/alignments).
+    PsanStoreCopy(pool_, slot, &record, sizeof(R));
     // Pipelined pools defer the drain to the inserting transaction's commit:
     // the payload flush is ordered before the occupancy flush below, and
     // both land before the commit marker that makes the record reachable.
@@ -357,7 +356,7 @@ class ChunkedTable {
     uint64_t& word = h->bitmap[slot / 64];
     uint64_t mask = 1ull << (slot % 64);
     uint64_t updated = value ? (word | mask) : (word & ~mask);
-    std::atomic_ref<uint64_t>(word).store(updated, std::memory_order_release);
+    PsanAtomicStore(pool_, &word, updated);
     pool_->PersistDeferred(&word, sizeof(word));
   }
 
@@ -374,23 +373,24 @@ class ChunkedTable {
         pmem::Offset chunk_off,
         pool_->AllocateZeroed(kChunkBytes, pmem::kPmemBlockSize));
     auto* h = pool_->ToPtr<ChunkHeader>(chunk_off);
-    h->next = 0;
-    h->first_id = n * kRecordsPerChunk;
+    PsanStore(pool_, &h->next, uint64_t{0});
+    PsanStore(pool_, &h->first_id, n * kRecordsPerChunk);
     pool_->Persist(h, sizeof(ChunkHeader));
 
     auto* dir = pool_->ToPtr<uint64_t>(m->directory);
-    dir[n] = chunk_off;
+    // Directory entry publishes the chunk: its header must be durable first.
+    PsanPublish(pool_, &dir[n], chunk_off, chunk_off, kHeaderBytes);
     pool_->Persist(&dir[n], sizeof(uint64_t));
 
     if (n == 0) {
-      m->head_chunk = chunk_off;
+      PsanPublish(pool_, &m->head_chunk, chunk_off, chunk_off, kHeaderBytes);
     } else {
       auto* tail = pool_->ToPtr<ChunkHeader>(m->tail_chunk);
-      tail->next = chunk_off;
+      PsanPublish(pool_, &tail->next, chunk_off, chunk_off, kHeaderBytes);
       pool_->Persist(&tail->next, sizeof(uint64_t));
     }
-    m->tail_chunk = chunk_off;
-    m->num_chunks = n + 1;
+    PsanStore(pool_, &m->tail_chunk, chunk_off);
+    PsanPublish(pool_, &m->num_chunks, n + 1, chunk_off, kHeaderBytes);
     pool_->Persist(m, sizeof(TableMeta));
 
     chunk_ptrs_[n] = pool_->ToPtr<char>(chunk_off);
@@ -405,13 +405,16 @@ class ChunkedTable {
         pmem::Offset new_dir, pool_->AllocateZeroed(new_cap * sizeof(uint64_t)));
     std::memcpy(pool_->ToPtr<void>(new_dir), pool_->ToPtr<void>(m->directory),
                 m->num_chunks * sizeof(uint64_t));
+    PsanMarkRange(pool_, pool_->ToPtr<void>(new_dir),
+                  new_cap * sizeof(uint64_t));
     pool_->Persist(pool_->ToPtr<void>(new_dir), new_cap * sizeof(uint64_t));
     // 8-byte atomic switch; the old directory block is recycled.
     pmem::Offset old_dir = m->directory;
     uint64_t old_cap = m->directory_capacity;
-    m->directory = new_dir;
+    PsanPublish(pool_, &m->directory, new_dir, new_dir,
+                new_cap * sizeof(uint64_t));
     pool_->Persist(&m->directory, sizeof(uint64_t));
-    m->directory_capacity = new_cap;
+    PsanStore(pool_, &m->directory_capacity, new_cap);
     pool_->Persist(&m->directory_capacity, sizeof(uint64_t));
     pool_->Free(old_dir, old_cap * sizeof(uint64_t));
     return Status::Ok();

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "pmem/pptr.h"
 #include "util/hash.h"
 
 namespace poseidon::storage {
@@ -36,16 +37,17 @@ Result<std::unique_ptr<Dictionary>> Dictionary::Create(pmem::Pool* pool) {
                             pool->AllocateZeroed(sizeof(Meta)));
   dict->meta_off_ = meta_off;
   auto* m = dict->meta();
-  m->count = 0;
-  m->bucket_capacity = kInitialBuckets;
+  PsanStore(pool, &m->count, uint64_t{0});
+  PsanStore(pool, &m->bucket_capacity, kInitialBuckets);
   POSEIDON_ASSIGN_OR_RETURN(
       m->buckets, pool->AllocateZeroed(kInitialBuckets * sizeof(Bucket)));
-  m->code_capacity = kInitialCodeCapacity;
+  PsanStore(pool, &m->code_capacity, kInitialCodeCapacity);
   POSEIDON_ASSIGN_OR_RETURN(
       m->codes, pool->AllocateZeroed(kInitialCodeCapacity * sizeof(uint64_t)));
-  m->arena_cap = kInitialArenaBytes;
-  m->arena_pos = 0;
+  PsanStore(pool, &m->arena_cap, kInitialArenaBytes);
+  PsanStore(pool, &m->arena_pos, uint64_t{0});
   POSEIDON_ASSIGN_OR_RETURN(m->arena, pool->Allocate(kInitialArenaBytes));
+  PsanMarkRange(pool, m, sizeof(Meta));
   pool->Persist(m, sizeof(Meta));
   return dict;
 }
@@ -120,10 +122,12 @@ Result<DictCode> Dictionary::Encode(std::string_view s) {
   // Durability order: string bytes -> code array -> bucket -> count.
   POSEIDON_ASSIGN_OR_RETURN(pmem::Offset str_off, AppendStringLocked(s));
   auto* codes = pool_->ToPtr<uint64_t>(m->codes);
-  codes[new_code] = str_off;
+  // The code array entry publishes the string bytes just appended.
+  PsanPublish(pool_, &codes[new_code], str_off, str_off,
+              sizeof(uint32_t) + s.size());
   pool_->Persist(&codes[new_code], sizeof(uint64_t));
   POSEIDON_RETURN_IF_ERROR(InsertLocked(s, hash, new_code));
-  m->count = new_code;
+  PsanStore(pool_, &m->count, uint64_t{new_code});
   pool_->Persist(&m->count, sizeof(uint64_t));
   return new_code;
 }
@@ -178,11 +182,12 @@ Status Dictionary::InsertLocked(std::string_view s, uint64_t hash,
   for (uint64_t i = hash & mask;; i = (i + 1) & mask) {
     Bucket& b = buckets[i];
     if (b.code != 0) continue;
-    b.hash = hash;
-    b.str_off = codes[code];
+    PsanStore(pool_, &b.hash, hash);
+    PsanStore(pool_, &b.str_off, codes[code]);
     pool_->Persist(&b, sizeof(Bucket) - sizeof(uint64_t));
     // Publishing the code last keeps partially written buckets invisible.
-    b.code = code;
+    PsanPublish(pool_, &b.code, uint64_t{code}, b.str_off,
+                sizeof(uint32_t));
     pool_->Persist(&b.code, sizeof(uint64_t));
     return Status::Ok();
   }
@@ -193,6 +198,7 @@ Status Dictionary::GrowBucketsLocked() {
   uint64_t new_cap = m->bucket_capacity * 2;
   POSEIDON_ASSIGN_OR_RETURN(pmem::Offset new_off,
                             pool_->AllocateZeroed(new_cap * sizeof(Bucket)));
+  // psan: whole array marked after the rehash below
   auto* new_buckets = pool_->ToPtr<Bucket>(new_off);
   const auto* old_buckets = pool_->ToPtr<Bucket>(m->buckets);
   uint64_t mask = new_cap - 1;
@@ -206,12 +212,13 @@ Status Dictionary::GrowBucketsLocked() {
       }
     }
   }
+  PsanMarkRange(pool_, new_buckets, new_cap * sizeof(Bucket));
   pool_->Persist(new_buckets, new_cap * sizeof(Bucket));
   pmem::Offset old_off = m->buckets;
   uint64_t old_cap = m->bucket_capacity;
-  m->buckets = new_off;
+  PsanPublish(pool_, &m->buckets, new_off, new_off, new_cap * sizeof(Bucket));
   pool_->Persist(&m->buckets, sizeof(uint64_t));
-  m->bucket_capacity = new_cap;
+  PsanStore(pool_, &m->bucket_capacity, new_cap);
   pool_->Persist(&m->bucket_capacity, sizeof(uint64_t));
   pool_->Free(old_off, old_cap * sizeof(Bucket));
   return Status::Ok();
@@ -224,12 +231,13 @@ Status Dictionary::GrowCodesLocked() {
                             pool_->AllocateZeroed(new_cap * sizeof(uint64_t)));
   std::memcpy(pool_->ToPtr<void>(new_off), pool_->ToPtr<void>(m->codes),
               m->code_capacity * sizeof(uint64_t));
+  PsanMarkRange(pool_, pool_->ToPtr<void>(new_off), new_cap * sizeof(uint64_t));
   pool_->Persist(pool_->ToPtr<void>(new_off), new_cap * sizeof(uint64_t));
   pmem::Offset old_off = m->codes;
   uint64_t old_cap = m->code_capacity;
-  m->codes = new_off;
+  PsanPublish(pool_, &m->codes, new_off, new_off, new_cap * sizeof(uint64_t));
   pool_->Persist(&m->codes, sizeof(uint64_t));
-  m->code_capacity = new_cap;
+  PsanStore(pool_, &m->code_capacity, new_cap);
   pool_->Persist(&m->code_capacity, sizeof(uint64_t));
   pool_->Free(old_off, old_cap * sizeof(uint64_t));
   return Status::Ok();
@@ -243,18 +251,21 @@ Result<pmem::Offset> Dictionary::AppendStringLocked(std::string_view s) {
     uint64_t new_cap = m->arena_cap * 2;
     while (new_cap < need) new_cap *= 2;
     POSEIDON_ASSIGN_OR_RETURN(pmem::Offset block, pool_->Allocate(new_cap));
-    m->arena = block;
-    m->arena_cap = new_cap;
-    m->arena_pos = 0;
+    PsanStore(pool_, &m->arena, uint64_t{block});
+    PsanStore(pool_, &m->arena_cap, new_cap);
+    PsanStore(pool_, &m->arena_pos, uint64_t{0});
+    PsanMarkRange(pool_, m, sizeof(Meta));
     pool_->Persist(m, sizeof(Meta));
   }
   pmem::Offset off = m->arena + m->arena_pos;
+  // psan: string bytes marked as one range after the copy below
   char* p = pool_->ToPtr<char>(off);
   auto len = static_cast<uint32_t>(s.size());
   std::memcpy(p, &len, sizeof(len));
   std::memcpy(p + sizeof(len), s.data(), s.size());
+  PsanMarkRange(pool_, p, sizeof(len) + s.size());
   pool_->Persist(p, sizeof(len) + s.size());
-  m->arena_pos += need;
+  PsanStore(pool_, &m->arena_pos, m->arena_pos + need);
   pool_->Persist(&m->arena_pos, sizeof(uint64_t));
   return off;
 }

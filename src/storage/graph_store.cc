@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "pmem/pptr.h"
+
 namespace poseidon::storage {
 
 Result<std::unique_ptr<GraphStore>> GraphStore::Create(pmem::Pool* pool) {
@@ -19,13 +21,13 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Create(pmem::Pool* pool) {
   store->prop_store_ = std::make_unique<PropertyStore>(store->prop_table_.get());
 
   auto* root = store->root();
-  root->node_meta = store->nodes_->meta_offset();
-  root->rel_meta = store->rels_->meta_offset();
-  root->prop_meta = store->prop_table_->meta_offset();
-  root->dict_meta = store->dict_->meta_offset();
-  root->qcache_meta = 0;
-  root->index_dir = 0;
-  root->next_timestamp = 1;
+  PsanStore(pool, &root->node_meta, store->nodes_->meta_offset());
+  PsanStore(pool, &root->rel_meta, store->rels_->meta_offset());
+  PsanStore(pool, &root->prop_meta, store->prop_table_->meta_offset());
+  PsanStore(pool, &root->dict_meta, store->dict_->meta_offset());
+  PsanStore(pool, &root->qcache_meta, pmem::Offset{0});
+  PsanStore(pool, &root->index_dir, pmem::Offset{0});
+  PsanStore(pool, &root->next_timestamp, Timestamp{1});
   pool->Persist(root, sizeof(GraphRoot));
   pool->set_root(store->root_off_);
   return store;
@@ -60,7 +62,9 @@ void GraphStore::PersistTimestamp(Timestamp ts) {
     if (hwm.compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
       // Pipelined: flush only — the committing transaction's redo drain
       // orders it before the commit marker, so no durable bts can ever
-      // exceed a durable next_timestamp.
+      // exceed a durable next_timestamp. The CAS itself cannot route
+      // through PsanStore, so mark the store after the fact.
+      PsanMarkRange(pool_, &root->next_timestamp, sizeof(Timestamp));
       pool_->PersistDeferred(&root->next_timestamp, sizeof(Timestamp));
       return;
     }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "pmem/pptr.h"
 #include "util/backoff.h"
 #include "util/env.h"
 
@@ -330,6 +331,7 @@ Result<Transaction::NodeWrite*> Transaction::LockNode(RecordId id) {
                            std::to_string(expected));
   }
   auto unlock_and = [&](Status s) {
+    // psan: volatile lock word, never flushed by design (recovery clears it)
     AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
     return s;
   };
@@ -379,6 +381,7 @@ Result<Transaction::RelWrite*> Transaction::LockRel(RecordId id) {
                            std::to_string(expected));
   }
   auto unlock_and = [&](Status s) {
+    // psan: volatile lock word, never flushed by design (recovery clears it)
     AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
     return s;
   };
@@ -774,6 +777,7 @@ void Transaction::ReleaseLocks() {
       (void)store_->nodes().Delete(id);
     } else {
       NodeRecord* rec = store_->nodes().AtForWrite(id);
+      // psan: volatile lock word, never flushed by design
       AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
     }
   }
@@ -782,6 +786,7 @@ void Transaction::ReleaseLocks() {
       (void)store_->relationships().Delete(id);
     } else {
       RelationshipRecord* rec = store_->relationships().AtForWrite(id);
+      // psan: volatile lock word, never flushed by design
       AtomicTs(rec->tx.txn_id).store(kUnlocked, std::memory_order_release);
     }
   }
@@ -986,7 +991,7 @@ Status TransactionManager::RecoverInFlight() {
     if (rec.tx.bts == 0) {
       drop_nodes.push_back(id);
     } else {
-      rec.tx.txn_id = kUnlocked;
+      PsanStore(pool, &rec.tx.txn_id, kUnlocked);
       pool->Flush(&rec.tx.txn_id, sizeof(Timestamp));
     }
   });
@@ -996,7 +1001,7 @@ Status TransactionManager::RecoverInFlight() {
         if (rec.tx.bts == 0) {
           drop_rels.push_back(id);
         } else {
-          rec.tx.txn_id = kUnlocked;
+          PsanStore(pool, &rec.tx.txn_id, kUnlocked);
           pool->Flush(&rec.tx.txn_id, sizeof(Timestamp));
         }
       });

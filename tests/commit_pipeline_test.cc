@@ -10,6 +10,7 @@
 #include <map>
 #include <thread>
 
+#include "pmem/psan.h"
 #include "tx/transaction.h"
 #include "util/crc32c.h"
 #include "util/random.h"
@@ -275,6 +276,8 @@ TEST(GroupCommitTest, ConcurrentCommittersShareLeaderDrains) {
   // batching makes it strictly fewer whenever committers overlap.
   EXPECT_LE(mgr.group_drains(), 3ull * kThreads * kPerThread);
   EXPECT_GT(mgr.group_drains(), 0u);
+  EXPECT_EQ(PsanTotalViolations(), 0u)
+      << "group commit broke persist ordering";
 }
 
 // --- Crash torture under write concurrency --------------------------------
@@ -342,6 +345,11 @@ void RunTortureRound(uint64_t seed) {
         << "seed " << seed << ": transaction for tag " << tag
         << " was torn by the crash";
   }
+  // Under a POSEIDON_PSAN build the whole round ran with the persist-order
+  // sanitizer watching; the unmodified pipeline must stay clean. No-op
+  // (always 0) in plain builds.
+  EXPECT_EQ(PsanTotalViolations(), 0u)
+      << "seed " << seed << ": commit pipeline broke persist ordering";
 }
 
 TEST(CommitPipelineTortureTest, ConcurrentCommitsAreAllOrNothing) {
@@ -419,6 +427,8 @@ TEST(CommitPipelineTest, RecoveryPersistsClearedLocksDurably) {
   auto v = tx->GetNodeProperty(committed, key);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(v->AsInt(), 1) << "uncommitted update must not survive";
+  EXPECT_EQ(PsanTotalViolations(), 0u)
+      << "recovery writes broke persist ordering";
 }
 
 }  // namespace

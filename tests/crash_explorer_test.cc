@@ -26,6 +26,7 @@
 
 #include "index/index_manager.h"
 #include "pmem/fault_injector.h"
+#include "pmem/psan.h"
 #include "tx/transaction.h"
 
 namespace poseidon::tx {
@@ -296,6 +297,11 @@ TEST(CrashExplorerTest, EveryCrashPointRecoversACommittedPrefix) {
   }
   EXPECT_EQ(last_prefix, snapshots.size() - 1)
       << "the final crash points must recover the complete workload";
+  // The whole crash sweep — every crash point, every recovery — ran under
+  // the persist-order sanitizer when this is a POSEIDON_PSAN build; the
+  // production write paths must never trip it. Always 0 in plain builds.
+  EXPECT_EQ(pmem::PsanTotalViolations(), 0u)
+      << "crash exploration surfaced a persist-ordering violation";
 }
 
 TEST(CrashExplorerTest, EnvVariableArmsCrashPoint) {

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Lint: raw stores through pool-derived pointers.
+
+Every store into pmem::Pool memory from the storage/tx/index layers must go
+through the sanctioned helpers in src/pmem/pptr.h (PsanStore, PsanAtomicStore,
+PsanStoreCopy, PsanMarkRange, PsanPublish) so the persist-order sanitizer can
+track it.  This lint flags assignments, atomic stores, and bulk copies whose
+destination is a variable initialized from one of the pool raw-pointer
+producers:
+
+    pool->ToPtr<T>(off)        table.AtForWrite(id)      SlotPtr(id)
+    meta()                     dict->meta()
+
+Suppressions:
+  * a ``psan`` mention on the flagged line or the line directly above it
+    (e.g. ``// psan: volatile lock word``) silences that site;
+  * a ``psan`` mention on the line that *initializes* a tracked variable
+    (or the line above it) exempts the variable entirely — used for B+tree
+    nodes whose whole range is marked in PersistLeaf/PersistInner;
+  * calls to the Psan* helpers themselves are never flagged.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+
+Optionally runs clang-tidy over src/pmem and src/tx when --clang-tidy is
+passed and the binary exists (the repo container does not ship clang-tidy;
+the CMake `lint` target only adds it when found).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+SCAN_DIRS = ("src/storage", "src/tx", "src/index")
+CPP_EXT = (".cc", ".h")
+
+# Raw-pointer producers whose results alias pool memory.
+PRODUCER_RE = re.compile(
+    r"\b(?:ToPtr\s*<|AtForWrite\s*\(|SlotPtr\s*\(|meta\s*\(\s*\))"
+)
+
+# `Type* var = ... producer ...;` or `auto* var = ... producer ...;`
+# (possibly split over continuation lines that we join first).
+DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:[A-Za-z_][\w:<>]*\s*\*|auto\s*\*)\s*"
+    r"(?P<var>[A-Za-z_]\w*)\s*=\s*(?P<init>.*)$"
+)
+
+SANCTIONED_RE = re.compile(r"\bPsan(?:Store|AtomicStore|StoreCopy|MarkRange|Publish)")
+
+SUPPRESS_RE = re.compile(r"psan", re.IGNORECASE)
+
+
+def join_statements(lines):
+    """Yields (first_lineno, statement) with multi-line statements joined.
+
+    A statement ends at ';' or '{' or '}' at paren depth zero.  Good enough
+    for lint purposes; strings/comments are stripped before joining.
+    """
+    buf = []
+    start = None
+    depth = 0
+    for lineno, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        if start is None:
+            if not code.strip():
+                continue
+            start = lineno
+        buf.append(code)
+        depth += code.count("(") - code.count(")")
+        if depth <= 0 and re.search(r"[;{}]\s*$", code.strip()):
+            yield start, " ".join(s.strip() for s in buf)
+            buf, start, depth = [], None, 0
+    if buf:
+        yield start, " ".join(s.strip() for s in buf)
+
+
+def strip_comments(line):
+    line = re.sub(r"//.*$", "", line)
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def find_tracked_vars(lines):
+    """Variables initialized from a pool raw-pointer producer, minus the
+    ones exempted by a psan annotation on/above their declaration."""
+    tracked = {}
+    for lineno, stmt in join_statements(lines):
+        m = DECL_RE.match(stmt)
+        if m is None or not PRODUCER_RE.search(m.group("init")):
+            continue
+        var = m.group("var")
+        window = lines[max(0, lineno - 2) : lineno]
+        if any(SUPPRESS_RE.search(w) for w in window):
+            tracked.pop(var, None)  # annotated redeclaration wins
+            continue
+        tracked[var] = lineno
+    return tracked
+
+
+def store_patterns(var):
+    v = re.escape(var)
+    return [
+        # var->field = ..., var[i] = ..., (*var).field = ...  (not ==)
+        re.compile(
+            r"(?:\b" + v + r"\s*->\s*[\w.\[\]]+|\b" + v +
+            r"\s*\[[^\]]*\]|\(\s*\*\s*" + v + r"\s*\)\s*\.\s*[\w.\[\]]+)"
+            r"\s*(?:\+|-|\||&|\^)?=(?!=)"
+        ),
+        # memcpy/memmove/memset/AtomicStoreCopy with var-derived destination
+        re.compile(
+            r"\b(?:memcpy|memmove|memset|AtomicStoreCopy)\s*\(\s*"
+            r"(?:[\w:&.\s]*\b" + v + r"\b)"
+        ),
+        # atomic_ref(...var...).store( / AtomicTs(var->...).store(
+        re.compile(r"\b" + v + r"\b[^;]*\.\s*store\s*\("),
+    ]
+
+
+def lint_file(path):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+    tracked = find_tracked_vars(raw_lines)
+    if not tracked:
+        return []
+    findings = []
+    pats = {var: store_patterns(var) for var in tracked}
+    for lineno, stmt in join_statements(raw_lines):
+        if SANCTIONED_RE.search(stmt):
+            continue
+        window = raw_lines[max(0, lineno - 2) : lineno]
+        if any(SUPPRESS_RE.search(w) for w in window):
+            continue
+        for var, patterns in pats.items():
+            if tracked[var] == lineno:
+                continue  # the declaration itself
+            if any(p.search(stmt) for p in patterns):
+                findings.append(
+                    (path, lineno,
+                     f"raw store through pool-derived pointer '{var}' "
+                     f"(declared at line {tracked[var]}); use PsanStore/"
+                     f"PsanPublish or annotate with // psan: <reason>")
+                )
+                break
+    return findings
+
+
+def run_clang_tidy(binary, compile_commands):
+    """Best-effort clang-tidy pass over src/pmem and src/tx."""
+    files = []
+    for d in ("src/pmem", "src/tx"):
+        for name in sorted(os.listdir(d)):
+            if name.endswith(".cc"):
+                files.append(os.path.join(d, name))
+    cmd = [binary, "-p", os.path.dirname(compile_commands), "--quiet"] + files
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    output = (proc.stdout or "") + (proc.stderr or "")
+    errors = [ln for ln in output.splitlines() if ": error:" in ln or ": warning:" in ln]
+    for ln in errors:
+        print(ln)
+    return 1 if errors else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", default="",
+                        help="path to clang-tidy (optional)")
+    parser.add_argument("--compile-commands", default="",
+                        help="path to compile_commands.json (for clang-tidy)")
+    args = parser.parse_args()
+
+    findings = []
+    for root_dir in SCAN_DIRS:
+        for dirpath, _, names in os.walk(root_dir):
+            for name in sorted(names):
+                if name.endswith(CPP_EXT):
+                    findings.extend(lint_file(os.path.join(dirpath, name)))
+
+    for path, lineno, msg in findings:
+        print(f"{path}:{lineno}: {msg}")
+
+    rc = 1 if findings else 0
+    if not findings:
+        print("lint_pptr_stores: clean")
+
+    if args.clang_tidy and os.path.exists(args.clang_tidy):
+        if args.compile_commands and os.path.exists(args.compile_commands):
+            rc |= run_clang_tidy(args.clang_tidy, args.compile_commands)
+        else:
+            print("lint_pptr_stores: skipping clang-tidy "
+                  "(no compile_commands.json; configure with CMake first)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
