@@ -119,7 +119,10 @@ double MeanUs(uint64_t runs, F&& fn) {
 /// run_benches.sh; nothing is written when the variable is absent).
 class BenchJson {
  public:
-  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+  /// `unit` labels the values in the emitted JSON; latency benches keep the
+  /// default "ns", throughput benches pass "ops_per_sec".
+  explicit BenchJson(std::string bench, std::string unit = "ns")
+      : bench_(std::move(bench)), unit_(std::move(unit)) {}
 
   void Add(const std::string& name, double median_ns) {
     entries_.emplace_back(name, median_ns);
@@ -134,8 +137,8 @@ class BenchJson {
       std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"ns\",\n"
-                 "  \"results\": {\n", bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"%s\",\n"
+                 "  \"results\": {\n", bench_.c_str(), unit_.c_str());
     for (size_t i = 0; i < entries_.size(); ++i) {
       std::fprintf(f, "    \"%s\": %.1f%s\n", entries_[i].first.c_str(),
                    entries_[i].second,
@@ -148,6 +151,7 @@ class BenchJson {
 
  private:
   std::string bench_;
+  std::string unit_;
   std::vector<std::pair<std::string, double>> entries_;
 };
 

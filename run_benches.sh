@@ -13,7 +13,9 @@
 #   * tools/lint_pptr_stores.py: raw stores through pool-derived pointers
 #     outside the sanctioned Psan* helpers (plus clang-tidy when installed);
 #   * build-tsan/ (POSEIDON_TSAN): the race-sensitive suites (ctest -L tsan)
-#     — MVTO, commit pipeline, concurrency;
+#     — MVTO, commit pipeline, concurrency — plus the read-path scalability
+#     suite (ctest -L readpath): snapshot publication, rts coalescing and
+#     sharded tx-slot registration under concurrent readers and writers;
 #   * build-asan/ (POSEIDON_ASAN, ASan+UBSan): the fault-injection suites
 #     (ctest -L fault) — crash-point exploration, corrupt-segment recovery,
 #     diskgraph fault paths — where a missed bounds check on crafted-garbage
@@ -30,9 +32,20 @@ if [ "${1:-}" = "--check" ]; then
   cmake -B /root/repo/build-tsan -S /root/repo -DPOSEIDON_TSAN=ON
   cmake --build /root/repo/build-tsan -j"$(nproc)" --target \
       concurrency_test mvto_test commit_pipeline_test tx_edge_test \
-      adjacency_cache_test
+      adjacency_cache_test readpath_scaling_test
   ctest --test-dir /root/repo/build-tsan -L tsan --output-on-failure
+  ctest --test-dir /root/repo/build-tsan -L readpath --output-on-failure
   echo "TSAN CHECK DONE"
+  # fig11 smoke: a ~2 s closed-loop run of the throughput bench on the
+  # regular build. Catches read-path regressions (snapshot publication
+  # stalls, fallback storms) that unit tests are too short to surface;
+  # PSAN violation accounting is asserted inside the bench itself.
+  cmake --build /root/repo/build -j"$(nproc)" --target bench_fig11_throughput
+  POSEIDON_BENCH_FIG11_MS=100 POSEIDON_BENCH_FIG11_ABLATE_MS=150 \
+  POSEIDON_BENCH_FIG11_THREADS=1,4 POSEIDON_BENCH_FIG11_ABLATE_THREADS=4 \
+  POSEIDON_BENCH_FIG11_MODES=aot POSEIDON_BENCH_JSON_DIR="" \
+      timeout 120 /root/repo/build/bench/bench_fig11_throughput
+  echo "FIG11 SMOKE DONE"
   cmake -B /root/repo/build-asan -S /root/repo -DPOSEIDON_ASAN=ON
   cmake --build /root/repo/build-asan -j"$(nproc)" --target \
       crash_explorer_test fault_injection_test crash_property_test

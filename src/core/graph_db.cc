@@ -92,6 +92,12 @@ std::string GraphDb::Explain(const query::Plan& plan) const {
   ann.adj_misses = adj.misses;
   ann.adj_invalidations = adj.invalidations;
   ann.adj_evictions = adj.evictions;
+  const tx::TxStats txs = txm_->Stats();
+  ann.rts_coalesce = txm_->rts_coalesce();
+  ann.rts_skipped = txs.rts_skipped;
+  ann.rts_deferred = txs.rts_deferred;
+  ann.snapshot_reuse = txm_->snapshot_epoch_us() > 0;
+  ann.snapshot_ts = txm_->snapshot_ts();
   return plan.ToString(&store_->dict(), &ann);
 }
 

@@ -70,6 +70,15 @@ class GraphDb {
   /// Starts an MVTO transaction (snapshot isolation, §5).
   std::unique_ptr<tx::Transaction> Begin() { return txm_->Begin(); }
 
+  /// Starts a read-only transaction. With snapshot reuse enabled
+  /// (POSEIDON_SNAPSHOT_EPOCH_US > 0, the default) it reads at the shared
+  /// published snapshot timestamp and never mutates shared state — no
+  /// timestamp allocation, no per-record rts bumps (§5 read path,
+  /// DESIGN.md "Read-path scalability").
+  std::unique_ptr<tx::Transaction> BeginReadOnly() {
+    return txm_->BeginReadOnly();
+  }
+
   /// Interns a label / property-key / string value.
   Result<storage::DictCode> Code(std::string_view s) {
     return store_->Code(s);

@@ -125,6 +125,11 @@ Result<QueryResult> JitQueryEngine::Execute(
   // EXPLAIN/bench use it single-query).
   const tx::AdjacencyCacheStats adj_before =
       tx->manager()->adjacency_cache().stats();
+  // rts-coalescing tallies live on the transaction itself (plain fields,
+  // flushed to the manager at Finish), so this attribution is exact even
+  // under concurrent queries.
+  const uint64_t rts_skipped_before = tx->rts_skipped();
+  const uint64_t rts_deferred_before = tx->rts_deferred();
 
   query::ResultCollector collector;
   query::ExecContext ctx;
@@ -302,6 +307,8 @@ Result<QueryResult> JitQueryEngine::Execute(
       tx->manager()->adjacency_cache().stats();
   stats->adj_cache_hits = adj_after.hits - adj_before.hits;
   stats->adj_cache_misses = adj_after.misses - adj_before.misses;
+  stats->rts_skipped = tx->rts_skipped() - rts_skipped_before;
+  stats->rts_deferred = tx->rts_deferred() - rts_deferred_before;
 
   QueryResult result;
   result.rows = collector.TakeRows();

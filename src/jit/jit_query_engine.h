@@ -46,6 +46,11 @@ struct ExecStats {
   /// Expand from DRAM arrays; misses include builds and fallback walks).
   uint64_t adj_cache_hits = 0;
   uint64_t adj_cache_misses = 0;
+  /// rts-bump coalescing attributed to this execution: CAS-maxes skipped
+  /// because the record already carried rts >= reader id, and bumps elided
+  /// entirely by shared-snapshot read-only transactions.
+  uint64_t rts_skipped = 0;
+  uint64_t rts_deferred = 0;
 };
 
 class JitQueryEngine {

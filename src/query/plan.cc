@@ -159,9 +159,16 @@ const char* AggName(AggFn fn) {
 /// Execution-mode suffix attached to pipeline sources in EXPLAIN output.
 std::string AnnotationSuffix(const ExplainAnnotation* ann) {
   if (ann == nullptr) return "";
-  return " [parallel=" + std::to_string(ann->threads) +
-         ", morsel=" + std::to_string(ann->morsel) +
-         ", batch=" + (ann->batch ? "on" : "off") + "]";
+  std::string out = " [parallel=" + std::to_string(ann->threads) +
+                    ", morsel=" + std::to_string(ann->morsel) +
+                    ", batch=" + (ann->batch ? "on" : "off");
+  out += std::string(", rts=") + (ann->rts_coalesce ? "coalesced" : "eager") +
+         " skip=" + std::to_string(ann->rts_skipped) +
+         " defer=" + std::to_string(ann->rts_deferred);
+  if (ann->snapshot_reuse) {
+    out += " snapshot=" + std::to_string(ann->snapshot_ts);
+  }
+  return out + "]";
 }
 
 /// Adjacency-cache suffix attached to Expand operators in EXPLAIN output.

@@ -136,6 +136,15 @@ struct ExplainAnnotation {
   uint64_t adj_misses = 0;
   uint64_t adj_invalidations = 0;
   uint64_t adj_evictions = 0;
+  /// Read-path concurrency state, rendered on pipeline sources:
+  /// `[... rts=coalesced skip=N defer=N snapshot=S]`. Counters are
+  /// engine-lifetime totals at EXPLAIN time; S is the currently published
+  /// shared read-only snapshot timestamp (0 = none yet).
+  bool rts_coalesce = false;
+  uint64_t rts_skipped = 0;
+  uint64_t rts_deferred = 0;
+  bool snapshot_reuse = false;
+  uint64_t snapshot_ts = 0;
 };
 
 /// A complete query plan. `root` is the sink-most operator.

@@ -24,6 +24,7 @@
 #include <functional>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "pmem/pool.h"
@@ -119,26 +120,35 @@ class ChunkedTable {
       table->chunk_ptrs_[c] = pool->ToPtr<char>(dir[c]);
     }
     table->num_chunks_.store(meta->num_chunks, std::memory_order_release);
-    table->next_fresh_slot_ = meta->num_chunks * kRecordsPerChunk;
-    // Rebuild the volatile free list + live count from the bitmaps. Every
-    // unoccupied slot (trailing never-used ones included) becomes reusable.
+    // Rebuild the volatile free-slot shards + live count from the bitmaps.
+    // The fresh-slot cursor restarts one past the highest occupied slot, so
+    // trailing never-used slots are handed out by the (cheaper) fresh path;
+    // only holes below the cursor enter the free shards — every hole is
+    // still recycled before any fresh slot is touched (DG5).
+    uint64_t records = 0;
+    uint64_t hwm = 0;  // one past the highest occupied slot
     for (uint64_t c = 0; c < meta->num_chunks; ++c) {
       auto* h = reinterpret_cast<ChunkHeader*>(table->chunk_ptrs_[c]);
       for (uint64_t w = 0; w < kBitmapWords; ++w) {
         uint64_t bits = h->bitmap[w];
-        for (uint64_t b = 0; b < 64; ++b) {
-          RecordId id = c * kRecordsPerChunk + w * 64 + b;
-          if (bits & (1ull << b)) {
-            ++table->num_records_;
-          } else {
-            table->free_slots_.push_back(id);
-          }
-        }
+        if (bits == 0) continue;
+        records += static_cast<uint64_t>(std::popcount(bits));
+        hwm = c * kRecordsPerChunk + w * 64 + (64 - std::countl_zero(bits));
       }
     }
-    // Lowest ids are recycled first (free list pops from the back).
-    std::sort(table->free_slots_.begin(), table->free_slots_.end(),
-              std::greater<RecordId>());
+    table->num_records_.store(records, std::memory_order_relaxed);
+    table->next_fresh_slot_.store(hwm, std::memory_order_relaxed);
+    for (uint64_t id = 0; id < hwm; ++id) {
+      uint64_t word = reinterpret_cast<ChunkHeader*>(
+                          table->chunk_ptrs_[id / kRecordsPerChunk])
+                          ->bitmap[(id % kRecordsPerChunk) / 64];
+      if ((word >> (id % 64)) & 1) continue;
+      table->free_shards_[id % kFreeShards].slots.push_back(id);
+    }
+    // Within each shard, lowest ids are recycled first (pops from the back).
+    for (FreeShard& s : table->free_shards_) {
+      std::sort(s.slots.begin(), s.slots.end(), std::greater<RecordId>());
+    }
     return table;
   }
 
@@ -147,18 +157,25 @@ class ChunkedTable {
 
   /// Inserts a copy of `record`, persisting payload before visibility.
   /// Reuses a freed slot when one exists (DG5). Returns the new record id.
+  ///
+  /// Concurrency: slot assignment hands the caller exclusive ownership of
+  /// the slot (a popped free-shard entry or a fetch_add'd fresh id), so the
+  /// payload store, its flush, and the occupancy-bit publish all run
+  /// without any lock; only chunk growth serializes (grow_mu_).
   Result<RecordId> Insert(const R& record) {
-    std::lock_guard<std::mutex> lock(mu_);
     RecordId id;
-    if (!free_slots_.empty()) {
-      id = free_slots_.back();
-      free_slots_.pop_back();
-    } else {
-      uint64_t chunks = num_chunks_.load(std::memory_order_relaxed);
-      if (next_fresh_slot_ >= chunks * kRecordsPerChunk) {
-        POSEIDON_RETURN_IF_ERROR(AddChunk());
+    if (!TryPopFree(&id)) {
+      uint64_t fresh = next_fresh_slot_.fetch_add(1, std::memory_order_relaxed);
+      while (fresh >= NumSlots()) {
+        std::lock_guard<std::mutex> lock(grow_mu_);
+        if (fresh >= NumSlots()) {
+          // On failure the reserved id leaks until the next reopen (Open's
+          // high-water-mark rebuild reclaims it) — acceptable for an
+          // out-of-space path.
+          POSEIDON_RETURN_IF_ERROR(AddChunk());
+        }
       }
-      id = next_fresh_slot_++;
+      id = fresh;
     }
     char* slot = SlotPtr(id);
     // Word-atomic store: concurrent stable readers (seqlock-style copies)
@@ -170,7 +187,7 @@ class ChunkedTable {
     // both land before the commit marker that makes the record reachable.
     pool_->PersistDeferred(slot, sizeof(R));
     SetBit(id, true);
-    ++num_records_;
+    num_records_.fetch_add(1, std::memory_order_relaxed);
     return id;
   }
 
@@ -203,18 +220,27 @@ class ChunkedTable {
     return At(id);
   }
 
-  /// Marks the slot free (8-byte-atomic bitmap store) and recycles it.
+  /// Marks the slot free (8-byte-atomic bitmap clear) and recycles it
+  /// through the id-sharded free lists. The atomic fetch_and doubles as the
+  /// occupancy test, so two racing Deletes of the same id resolve to one
+  /// winner and one NotFound.
   Status Delete(RecordId id) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!IsOccupied(id)) return Status::NotFound("record slot not occupied");
-    SetBit(id, false);
-    free_slots_.push_back(id);
-    --num_records_;
+    if (id == kNullId ||
+        id / kRecordsPerChunk >= num_chunks_.load(std::memory_order_acquire)) {
+      return Status::NotFound("record slot not occupied");
+    }
+    if (!ClearBit(id)) return Status::NotFound("record slot not occupied");
+    FreeShard& shard = free_shards_[id % kFreeShards];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.slots.push_back(id);
+    }
+    num_records_.fetch_sub(1, std::memory_order_relaxed);
     return Status::Ok();
   }
 
   /// Number of live records.
-  uint64_t size() const { return num_records_; }
+  uint64_t size() const { return num_records_.load(std::memory_order_relaxed); }
 
   /// Upper bound of record ids; scans iterate [0, NumSlots()).
   uint64_t NumSlots() const {
@@ -349,15 +375,54 @@ class ChunkedTable {
     return chunk_ptrs_[chunk] + kHeaderBytes + slot * sizeof(R);
   }
 
+  uint64_t& BitmapWord(RecordId id) const {
+    auto* h = reinterpret_cast<ChunkHeader*>(chunk_ptrs_[id / kRecordsPerChunk]);
+    return h->bitmap[(id % kRecordsPerChunk) / 64];
+  }
+
+  /// Atomic read-modify-write bit flips: concurrent inserters/deleters of
+  /// different slots share bitmap words, so plain load/store pairs would
+  /// lose updates.
   void SetBit(RecordId id, bool value) {
-    uint64_t chunk = id / kRecordsPerChunk;
-    uint64_t slot = id % kRecordsPerChunk;
-    auto* h = reinterpret_cast<ChunkHeader*>(chunk_ptrs_[chunk]);
-    uint64_t& word = h->bitmap[slot / 64];
-    uint64_t mask = 1ull << (slot % 64);
-    uint64_t updated = value ? (word | mask) : (word & ~mask);
-    PsanAtomicStore(pool_, &word, updated);
+    uint64_t& word = BitmapWord(id);
+    uint64_t mask = 1ull << (id % 64);
+    if (value) {
+      std::atomic_ref<uint64_t>(word).fetch_or(mask, std::memory_order_release);
+    } else {
+      std::atomic_ref<uint64_t>(word).fetch_and(~mask,
+                                                std::memory_order_release);
+    }
+    PsanMarkRange(pool_, &word, sizeof(word));
     pool_->PersistDeferred(&word, sizeof(word));
+  }
+
+  /// Clears the occupancy bit; returns false when it was already clear.
+  bool ClearBit(RecordId id) {
+    uint64_t& word = BitmapWord(id);
+    uint64_t mask = 1ull << (id % 64);
+    uint64_t old = std::atomic_ref<uint64_t>(word).fetch_and(
+        ~mask, std::memory_order_acq_rel);
+    if ((old & mask) == 0) return false;
+    PsanMarkRange(pool_, &word, sizeof(word));
+    pool_->PersistDeferred(&word, sizeof(word));
+    return true;
+  }
+
+  /// Pops a recycled slot, preferring the current thread's shard and
+  /// stealing round-robin from the others; false when every shard is empty.
+  bool TryPopFree(RecordId* out) {
+    size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kFreeShards;
+    for (size_t i = 0; i < kFreeShards; ++i) {
+      FreeShard& s = free_shards_[(start + i) % kFreeShards];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.slots.empty()) {
+        *out = s.slots.back();
+        s.slots.pop_back();
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Appends a zeroed chunk: chunk persisted first, then directory entry,
@@ -429,10 +494,19 @@ class ChunkedTable {
   std::vector<char*> chunk_ptrs_;
   std::atomic<uint64_t> num_chunks_{0};
 
-  std::mutex mu_;  // guards inserts/deletes (slot assignment)
-  std::vector<RecordId> free_slots_;
-  uint64_t next_fresh_slot_ = 0;
-  uint64_t num_records_ = 0;
+  // Slot assignment is sharded so concurrent inserters/deleters stop
+  // funnelling through one table mutex: recycled slots live in
+  // id-partitioned free shards (cache-line padded), fresh slots come from
+  // an atomic cursor, and only chunk growth takes grow_mu_.
+  static constexpr size_t kFreeShards = 8;
+  struct alignas(64) FreeShard {
+    std::mutex mu;
+    std::vector<RecordId> slots;
+  };
+  FreeShard free_shards_[kFreeShards];
+  std::mutex grow_mu_;  // serializes AddChunk / GrowDirectory
+  std::atomic<uint64_t> next_fresh_slot_{0};
+  std::atomic<uint64_t> num_records_{0};
 };
 
 }  // namespace poseidon::storage

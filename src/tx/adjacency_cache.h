@@ -11,14 +11,21 @@
 //  * Every topology change write-locks both endpoint nodes and commits a new
 //    node version (bts = commit ts). Therefore "node.bts unchanged" implies
 //    "adjacency unchanged".
-//  * A reader may serve a cached array only when its own MVTO read of the
-//    node resolves on the fast path (latest committed version, rts bumped)
-//    AND that version's bts equals the array's stamp. The rts bump blocks
-//    older-ts topology writers exactly like a chain walk would, so serving
-//    from DRAM is indistinguishable from walking the chain.
-//  * Writers that touched the node, older snapshots, and nodes with
-//    uncommitted in-flight versions fail the fast-path test and fall back to
-//    the chain walk; visibility semantics are unchanged.
+//  * Each entry covers a contiguous bts range [first_stamp, stamp]: it is
+//    built against the node version with bts == first_stamp, and every
+//    restamp (property-only commit, which by definition leaves topology
+//    alone) extends the range to the new bts. A topology commit invalidates
+//    the entry instead, so the range never spans a topology change and every
+//    node version whose bts falls inside it has the cached adjacency.
+//  * A reader may serve a cached array when the bts of the node version its
+//    own MVTO read resolved — latest committed (rts bumped, blocking
+//    older-ts topology writers exactly like a chain walk would) or an older
+//    version from the DRAM chain (whose topology is frozen forever) — falls
+//    inside the entry's range. Serving from DRAM is then indistinguishable
+//    from walking the chain at the reader's timestamp.
+//  * Writers that touched the node and nodes with uncommitted in-flight
+//    versions fail that test and fall back to the chain walk; visibility
+//    semantics are unchanged.
 //  * Commit-time invalidation/restamping (Transaction::CommitImpl) is pure
 //    hygiene: a stale entry can never be served because its stamp no longer
 //    matches the node's bts, so maintenance may run after durability and
@@ -59,10 +66,11 @@ static_assert(sizeof(CachedNeighbor) == 24);
 
 /// Immutable once published; readers hold it via shared_ptr so eviction and
 /// invalidation never free an array out from under a running Expand.
-/// `stamp` and `last_used` are guarded by the owning shard mutex.
+/// `first_stamp`, `stamp` and `last_used` are guarded by the shard mutex.
 struct AdjacencyList {
-  storage::Timestamp stamp = 0;  ///< node bts the topology reflects
-  uint64_t last_used = 0;        ///< LRU tick
+  storage::Timestamp first_stamp = 0;  ///< bts the array was built against
+  storage::Timestamp stamp = 0;        ///< latest bts covered (restamps)
+  uint64_t last_used = 0;              ///< LRU tick
   std::vector<CachedNeighbor> edges;
 
   uint64_t Bytes() const {
@@ -107,8 +115,13 @@ class AdjacencyCache {
     if (!on) Clear();
   }
 
-  /// Returns the cached array for (node, dir) iff its stamp matches the
-  /// node-version bts the caller resolved; erases entries detected stale.
+  /// Returns the cached array for (node, dir) iff the node-version bts the
+  /// caller resolved falls inside the entry's [first_stamp, stamp] range
+  /// (see header: the range never spans a topology change, so every version
+  /// inside it shares the cached adjacency). Entries behind the caller's
+  /// version are provably stale and erased; entries *ahead* of it are left
+  /// alone — they are newer topology an old snapshot must not see, but are
+  /// still perfectly valid for fresh readers.
   std::shared_ptr<const AdjacencyList> Lookup(storage::RecordId node,
                                               AdjDir dir,
                                               storage::Timestamp stamp) {
@@ -119,10 +132,17 @@ class AdjacencyCache {
       misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    if (it->second->stamp != stamp) {
-      // Built against a topology this reader cannot prove current (or a
-      // stale leftover a commit raced past) — drop it and rebuild.
+    if (stamp > it->second->stamp) {
+      // The caller resolved a node version newer than anything the entry
+      // covers: the commit that created it either changed topology (entry
+      // stale) or its restamp raced past — drop it and rebuild.
       RemoveLocked(s, it);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (stamp < it->second->first_stamp) {
+      // Older snapshot than the build: its topology may differ. Keep the
+      // entry — it stays servable for current readers.
       misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
@@ -132,11 +152,15 @@ class AdjacencyCache {
   }
 
   /// Publishes a freshly built array and returns it (so the builder can
-  /// serve its own result). Returns the array unpublished when disabled.
+  /// serve its own result). Returns the array unpublished when disabled, or
+  /// when the slot already holds a newer-stamped entry: a snapshot reader
+  /// that rebuilt old topology must never displace the array current
+  /// readers are hitting.
   std::shared_ptr<const AdjacencyList> Insert(
       storage::RecordId node, AdjDir dir, storage::Timestamp stamp,
       std::vector<CachedNeighbor> edges) {
     auto list = std::make_shared<AdjacencyList>();
+    list->first_stamp = stamp;
     list->stamp = stamp;
     list->edges = std::move(edges);
     list->edges.shrink_to_fit();
@@ -146,6 +170,7 @@ class AdjacencyCache {
     {
       std::lock_guard<std::mutex> lock(s.mu);
       auto [it, fresh] = s.map.try_emplace(Key(node, dir));
+      if (!fresh && it->second->stamp > stamp) return list;  // no downgrade
       if (!fresh) {
         bytes_.fetch_sub(it->second->Bytes(), std::memory_order_relaxed);
         entries_.fetch_sub(1, std::memory_order_relaxed);
@@ -175,7 +200,10 @@ class AdjacencyCache {
 
   /// Property-only node commits bump bts without touching topology: carry
   /// the entry forward by restamping old_stamp -> new_stamp instead of
-  /// throwing the array away. No-op if the entry reflects something else.
+  /// throwing the array away. `first_stamp` is left alone, so the covered
+  /// range grows to [first_stamp, new_stamp] and snapshot readers of any
+  /// version inside it keep hitting. No-op if the entry reflects something
+  /// else (a racing topology commit already invalidated it).
   void Restamp(storage::RecordId node, storage::Timestamp old_stamp,
                storage::Timestamp new_stamp) {
     Shard& s = ShardFor(node);

@@ -114,11 +114,14 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
                                            const WriteMap& writes, RecordId id,
                                            bool is_node) {
   (void)is_node;
+  // One named return object shared by every branch: separate locals per
+  // branch defeat NRVO, and the resulting Resolved move + vector teardown
+  // per read shows up on the snapshot fast path (which does little else).
+  Resolved<R> r;
   auto it = writes.find(id);
   if (it != writes.end()) {
     const auto& w = it->second;
     if (w.deleted) return Status::NotFound("record deleted in this tx");
-    Resolved<R> r;
     r.rec = w.rec;
     r.from_snapshot = true;
     r.snapshot = w.props;
@@ -139,6 +142,35 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
       if (id_ >= copy.tx.ets) {
         return Status::NotFound("record deleted before this tx");
       }
+      const bool coalesce =
+          mgr_->rts_coalesce_.load(std::memory_order_relaxed);
+      if (snapshot_ && coalesce) {
+        // Shared-snapshot read: no active or future writer has an id <= our
+        // published timestamp (invariant of MaybeRefreshSnapshot), so no
+        // writer admission check can ever probe rts against a value below
+        // it — the bump, and the revalidation that protects it, are dead
+        // weight. Serving the validated copy directly leaves the record's
+        // cache line untouched. Counted per transaction (morsel workers
+        // share the tx, hence atomic; relaxed) and flushed at Finish: a
+        // manager-wide atomic here would concentrate every reader on one
+        // counter cache line — hotter than the per-record rts CAS traffic
+        // this path exists to avoid.
+        rts_deferred_.fetch_add(1, std::memory_order_relaxed);
+        r.rec = copy;
+        return r;
+      }
+      if (coalesce && copy.tx.rts >= id_) {
+        // Coalesced fast path: the validated copy already carries
+        // rts >= id_. rts is a CAS-max (monotone), so every future
+        // admission check by a writer older than us sees rts >= id_ and
+        // aborts exactly as if we had bumped; a writer that passed its
+        // check before our copy either committed first (we saw its bts) or
+        // still held the lock during the copy (ReadStable rejected it).
+        // Skipping the CAS also skips the revalidation it protects.
+        rts_skipped_.fetch_add(1, std::memory_order_relaxed);
+        r.rec = copy;
+        return r;
+      }
       // Latest committed version is visible: bump rts, then re-validate
       // that no writer slipped in between visibility check and rts bump.
       R* rec = table.AtForWrite(id);
@@ -151,7 +183,6 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
         mgr_->read_retries_.fetch_add(1, std::memory_order_relaxed);
         continue;  // backs off via the loop condition
       }
-      Resolved<R> r;
       r.rec = copy;
       return r;
     }
@@ -160,7 +191,6 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
     if (!v.has_value()) {
       return Status::NotFound("no version visible at this timestamp");
     }
-    Resolved<R> r;
     r.rec = v->rec;
     r.from_snapshot = true;
     r.snapshot = std::move(v->props);
@@ -263,22 +293,26 @@ std::shared_ptr<const AdjacencyList> Transaction::GetCachedAdjacency(
   if (node_writes_.count(node) != 0) return nullptr;
   auto n = GetNode(node);
   // Errors (NotFound, foreign lock) fall back so the chain walk re-raises
-  // them with full fidelity; snapshot reads mean the latest committed
-  // topology is newer than us, so the stamp test below could never pass.
-  if (!n.ok() || n->from_snapshot) return nullptr;
-  // Fast-path read: n->rec is the latest committed node version and our rts
-  // bump is in place, blocking any topology writer older than us. If the
-  // cached stamp equals this version's bts, the array is exactly the chain
-  // we would walk (every adjacency change commits a new node version).
+  // them with full fidelity.
+  if (!n.ok()) return nullptr;
+  // n->rec is the node version our MVTO read resolved — latest committed
+  // (rts bumped, blocking any topology writer older than us) or an older
+  // version off the DRAM chain whose topology is frozen forever. Either
+  // way a cached array whose [first_stamp, stamp] range covers this bts is
+  // exactly the chain we would walk (every adjacency change commits a new
+  // node version, so the range never spans one). Epoch-snapshot readers
+  // hit here even while property updates restamp the entry forward.
   const Timestamp stamp = n->rec.tx.bts;
   const bool out = dir == AdjDir::kOut;
   if (auto hit = cache.Lookup(node, dir, stamp)) return hit;
   // Miss: build from our own walk. Eligible only if every hop also resolves
-  // as the latest committed version — then the topology we record is the
-  // current committed one and any future reader the stamp validates for may
-  // share it. A concurrent topology commit during the build is benign: it
-  // bumps the node's bts, so the entry we publish is stale-on-arrival and
-  // Lookup's stamp test erases it instead of serving it.
+  // without reaching into the version chain — then the edges we record are
+  // the topology at our read timestamp, which lies inside the visible node
+  // version's lifetime, i.e. exactly version `stamp`'s topology. A
+  // concurrent topology commit during the build is benign: it bumps the
+  // node's bts, so the entry we publish is behind any fresh reader's stamp
+  // and Lookup erases it instead of serving it (and Insert refuses to
+  // displace a newer-stamped entry).
   std::vector<CachedNeighbor> edges;
   RecordId cur = out ? n->rec.first_out : n->rec.first_in;
   while (cur != kNullId) {
@@ -414,6 +448,7 @@ Result<Transaction::RelWrite*> Transaction::LockRel(RecordId id) {
 Result<RecordId> Transaction::CreateNode(DictCode label,
                                          const std::vector<Property>& props) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   NodeRecord rec;
   rec.tx.txn_id = id_;  // locked by us
   rec.tx.bts = 0;       // invisible until commit (paper §5.1 insert rule)
@@ -433,6 +468,7 @@ Result<RecordId> Transaction::CreateRelationship(
     RecordId src, RecordId dst, DictCode label,
     const std::vector<Property>& props) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   POSEIDON_ASSIGN_OR_RETURN(NodeWrite * src_w, LockNode(src));
   POSEIDON_ASSIGN_OR_RETURN(NodeWrite * dst_w, LockNode(dst));
 
@@ -462,6 +498,7 @@ Result<RecordId> Transaction::CreateRelationship(
 
 Status Transaction::SetNodeProperty(RecordId id, DictCode key, PVal value) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   POSEIDON_ASSIGN_OR_RETURN(NodeWrite * w, LockNode(id));
   UpsertProp(&w->props, key, value);
   w->props_changed = true;
@@ -471,6 +508,7 @@ Status Transaction::SetNodeProperty(RecordId id, DictCode key, PVal value) {
 Status Transaction::SetRelationshipProperty(RecordId id, DictCode key,
                                             PVal value) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   POSEIDON_ASSIGN_OR_RETURN(RelWrite * w, LockRel(id));
   UpsertProp(&w->props, key, value);
   w->props_changed = true;
@@ -479,6 +517,7 @@ Status Transaction::SetRelationshipProperty(RecordId id, DictCode key,
 
 Status Transaction::DeleteNode(RecordId id) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   POSEIDON_ASSIGN_OR_RETURN(NodeWrite * w, LockNode(id));
   if (w->rec.first_in != kNullId || w->rec.first_out != kNullId) {
     return Status::FailedPrecondition(
@@ -490,6 +529,7 @@ Status Transaction::DeleteNode(RecordId id) {
 
 Status Transaction::DeleteRelationship(RecordId id) {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) return Status::FailedPrecondition("read-only transaction");
   POSEIDON_ASSIGN_OR_RETURN(RelWrite * rw, LockRel(id));
   RecordId src = rw->rec.src;
   RecordId dst = rw->rec.dst;
@@ -545,13 +585,22 @@ Status Transaction::DeleteRelationship(RecordId id) {
 
 Status Transaction::Commit() {
   if (finished_) return Status::FailedPrecondition("transaction finished");
+  if (read_only_) {
+    // Nothing to persist (the write guards kept the write set empty): no
+    // redo transaction, no timestamp high-water-mark bump. Snapshot
+    // transactions in particular must not persist their shared (stale)
+    // timestamp.
+    finished_ = true;
+    mgr_->Finish(this, /*committed=*/true);
+    return Status::Ok();
+  }
   Status s = CommitImpl();
   if (!s.ok()) {
     Abort();
     return s;
   }
   finished_ = true;
-  mgr_->Finish(id_, /*committed=*/true);
+  mgr_->Finish(this, /*committed=*/true);
   return Status::Ok();
 }
 
@@ -798,7 +847,7 @@ void Transaction::Abort() {
   node_writes_.clear();
   rel_writes_.clear();
   finished_ = true;
-  mgr_->Finish(id_, /*committed=*/false);
+  mgr_->Finish(this, /*committed=*/false);
 }
 
 // --- TransactionManager ---------------------------------------------------------
@@ -812,6 +861,20 @@ TransactionManager::TransactionManager(storage::GraphStore* store,
       util::Backoff::FromEnv(EnvInt("POSEIDON_TX_RETRY_ATTEMPTS", 1024));
   visibility_backoff_ =
       util::Backoff::FromEnv(EnvInt("POSEIDON_TX_RETRY_ATTEMPTS", 64));
+  // Read-path knobs (DESIGN.md "Read-path scalability"): epoch length of
+  // the shared read-only snapshot (0 = fresh timestamp per read tx, the
+  // seed protocol) and rts-bump coalescing (0 = eager CAS-max on every
+  // visited record, the seed protocol).
+  snapshot_epoch_us_.store(EnvInt("POSEIDON_SNAPSHOT_EPOCH_US", 100),
+                           std::memory_order_relaxed);
+  // Staleness bound: a snapshot more than this many drawn ids behind
+  // next_ts_ (a stalled writer pinning the frontier) makes BeginReadOnly
+  // degrade to the seed protocol for that transaction (0 = unbounded).
+  snapshot_max_lag_.store(
+      static_cast<uint64_t>(EnvInt("POSEIDON_SNAPSHOT_MAX_LAG", 64)),
+      std::memory_order_relaxed);
+  rts_coalesce_.store(EnvInt("POSEIDON_RTS_COALESCE", 1) != 0,
+                      std::memory_order_relaxed);
   bool pipelined = store->pool()->pipelined();
   group_commit_enabled_ =
       pipelined && EnvInt("POSEIDON_GROUP_COMMIT", 1) != 0;
@@ -907,24 +970,150 @@ void TransactionManager::GroupDrain() {
 }
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
-  Timestamp ts = next_ts_.fetch_add(1, std::memory_order_acq_rel);
-  {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    active_.insert(ts);
+  // Registration protocol (all seq_cst): claim a slot holding a
+  // conservative lower bound (next_ts_ BEFORE our fetch_add), draw the real
+  // id, then overwrite the slot with it. A watermark scan that sees the
+  // slot uses lb <= id (conservative); one that misses the claim ran its
+  // next_ts_ load before our claim, hence before our fetch_add, so its
+  // bound already covers our id (see TxSlots::Min).
+  // Counted BEFORE the id draw: PublishStableIfQuiescent relies on "counter
+  // observed 0 after a next_ts_ load => no live writer below that bound".
+  active_writers_.fetch_add(1, std::memory_order_seq_cst);
+  int slot = writer_slots_.Claim(next_ts_.load(std::memory_order_seq_cst));
+  Timestamp ts;
+  if (slot >= 0) {
+    ts = next_ts_.fetch_add(1, std::memory_order_seq_cst);
+    writer_slots_.Store(slot, ts);
+  } else {
+    // Slot array exhausted (> kTxSlots concurrent transactions): fall back
+    // to the overflow multiset. Drawing the id under the mutex keeps the
+    // watermark sound: a scanner either sees the entry (it locks after our
+    // insert) or loaded its next_ts_ bound before our fetch_add.
+    std::lock_guard<std::mutex> lock(writer_slots_.overflow_mu);
+    ts = next_ts_.fetch_add(1, std::memory_order_seq_cst);
+    writer_slots_.overflow.insert(ts);
   }
-  return std::unique_ptr<Transaction>(new Transaction(this, ts));
+  auto tx = std::unique_ptr<Transaction>(new Transaction(this, ts));
+  tx->slot_ = slot;
+  return tx;
+}
+
+std::unique_ptr<Transaction> TransactionManager::BeginReadOnly() {
+  if (snapshot_epoch_us_.load(std::memory_order_relaxed) > 0) {
+    // Refresh is commit-driven: every writer retirement republishes the
+    // snapshot (Finish), and the frontier cannot advance between writer
+    // retirements. Readers therefore probe only to activate the very first
+    // snapshot — afterwards BeginReadOnly stays clock-free and mutex-free.
+    if (snapshot_ts_.load(std::memory_order_acquire) == 0) {
+      MaybeRefreshSnapshot(/*activate=*/true);
+    }
+    Timestamp snap = snapshot_ts_.load(std::memory_order_seq_cst);
+    uint64_t max_lag = snapshot_max_lag_.load(std::memory_order_relaxed);
+    if (snap != 0 && max_lag != 0 &&
+        next_ts_.load(std::memory_order_relaxed) - 1 - snap > max_lag) {
+      // The frontier is pinned far behind next_ts_ — usually a writer
+      // stalled mid-transaction (descheduled, or blocked in a drain). A
+      // snapshot that stale turns every read of a recently-updated record
+      // into a version-chain walk. Every 32nd stale begin tries a scan
+      // refresh (the stall may have cleared while overlapping transactions
+      // kept active_writers_ nonzero and the O(1) publish from firing;
+      // scanning on every begin would tax the whole degraded phase), then
+      // the transaction degrades to the seed fresh-ts protocol if the lag
+      // persists: both protocols are individually correct, so the choice
+      // can be made per transaction.
+      if (fallback_probe_gate_.fetch_add(1, std::memory_order_relaxed) % 32 ==
+          0) {
+        MaybeRefreshSnapshot(/*activate=*/false);
+        snap = snapshot_ts_.load(std::memory_order_seq_cst);
+      }
+      if (next_ts_.load(std::memory_order_relaxed) - 1 - snap > max_lag) {
+        snapshot_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        snap = 0;  // take the seed path below
+      }
+    }
+    if (snap != 0) {
+      // Pin the published snapshot in a reader slot. Between loading S and
+      // storing it into the slot, GC is held at or below S because
+      // snapshot_ts_ itself is part of the watermark; the re-check closes
+      // the remaining race (a refresh advancing S after our load computed
+      // its watermark without our pin). snapshot_ts_ is monotonic, so a
+      // stable re-read means every prune during the window used a
+      // watermark <= S.
+      Timestamp s = snap;
+      int slot = reader_slots_.Claim(s);
+      if (slot >= 0) {
+        for (;;) {
+          reader_slots_.Store(slot, s);
+          Timestamp again = snapshot_ts_.load(std::memory_order_seq_cst);
+          if (again == s) break;
+          s = again;
+        }
+      } else {
+        std::lock_guard<std::mutex> lock(reader_slots_.overflow_mu);
+        for (;;) {
+          s = snapshot_ts_.load(std::memory_order_seq_cst);
+          reader_slots_.overflow.insert(s);
+          if (snapshot_ts_.load(std::memory_order_seq_cst) == s) break;
+          reader_slots_.overflow.erase(reader_slots_.overflow.find(s));
+        }
+      }
+      snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+      auto tx = std::unique_ptr<Transaction>(new Transaction(this, s));
+      tx->slot_ = slot;
+      tx->read_only_ = true;
+      tx->snapshot_ = true;
+      return tx;
+    }
+    // Nothing committed yet (empty store): no publishable snapshot.
+  }
+  // Knob off, no snapshot yet, or lag-capped: the seed protocol — a fresh
+  // timestamp, registered like any writer — plus the write guard.
+  auto tx = Begin();
+  tx->read_only_ = true;
+  return tx;
+}
+
+void TransactionManager::MaybeRefreshSnapshot(bool activate) {
+  if (!activate && snapshot_ts_.load(std::memory_order_acquire) == 0) {
+    return;  // never activated; keep the seed GC timing untouched
+  }
+  if (snapshot_epoch_us_.load(std::memory_order_relaxed) <= 0) return;
+  std::unique_lock<std::mutex> lock(snapshot_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is refreshing
+  // Stable timestamp: one below the smallest id any active or future
+  // WRITER can carry (next_ts_ loaded before the slot scan, same argument
+  // as MinActiveTs). Reader pins are deliberately excluded — a snapshot
+  // that waited for its own consumers could never advance.
+  Timestamp bound = next_ts_.load(std::memory_order_seq_cst);
+  Timestamp stable = writer_slots_.Min(bound) - 1;
+  Timestamp cur = snapshot_ts_.load(std::memory_order_relaxed);
+  if (stable > cur) {
+    snapshot_ts_.store(stable, std::memory_order_seq_cst);
+    snapshot_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Timestamp TransactionManager::MinActiveTs() const {
-  std::lock_guard<std::mutex> lock(active_mu_);
-  if (active_.empty()) return next_ts_.load(std::memory_order_acquire);
-  return *active_.begin();
+  // next_ts_ FIRST, then the slot scans (seq_cst): see TxSlots::Min.
+  Timestamp min = next_ts_.load(std::memory_order_seq_cst);
+  min = writer_slots_.Min(min);
+  min = reader_slots_.Min(min);
+  if (snapshot_epoch_us_.load(std::memory_order_relaxed) > 0) {
+    // The published snapshot pins the watermark so a reader between
+    // loading it and storing its slot pin cannot lose its versions.
+    Timestamp snap = snapshot_ts_.load(std::memory_order_seq_cst);
+    if (snap != 0 && snap < min) min = snap;
+  }
+  return min;
 }
 
-void TransactionManager::Finish(Timestamp ts, bool committed) {
-  {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    active_.erase(ts);
+void TransactionManager::Finish(Transaction* t, bool committed) {
+  (t->snapshot_ ? reader_slots_ : writer_slots_).Release(t->slot_, t->id_);
+  if (uint64_t n = t->rts_skipped_.load(std::memory_order_relaxed)) {
+    rts_skipped_.fetch_add(n, std::memory_order_relaxed);
+  }
+  if (uint64_t n = t->rts_deferred_.load(std::memory_order_relaxed)) {
+    rts_deferred_.fetch_add(n, std::memory_order_relaxed);
   }
   if (committed) {
     commits_.fetch_add(1, std::memory_order_relaxed);
@@ -934,7 +1123,60 @@ void TransactionManager::Finish(Timestamp ts, bool committed) {
   // Transaction-level GC (paper §5.3): reclaim at transaction granularity.
   // With the commit pipeline, reclamation runs on the background epoch
   // thread instead, so commit latency no longer pays version pruning.
-  if (!bg_gc_) RunGc();
+  // Shared-snapshot readers are exempt from the inline pass: they create no
+  // garbage, and the published snapshot — not their slot pin — is what
+  // holds the watermark, so their release rarely unlocks reclamation. The
+  // next writer Finish (or explicit/background RunGc) picks it up, bounding
+  // the deferred backlog to roughly one snapshot epoch of versions.
+  if (!t->snapshot_) {
+    // Writer (or fresh-timestamp reader) retirement is exactly when the
+    // stable frontier can advance: republish the snapshot now so its
+    // staleness tracks the oldest in-flight writer (~µs) instead of a GC
+    // period. Fresh snapshots keep snapshot reads on the latest committed
+    // PMem version rather than falling back to DRAM version chains and
+    // adjacency-cache misses. The O(1) quiescent publish covers the common
+    // case; overlapping writers are picked up by the scan folded into
+    // RunGc (inline here, or on the background GC thread).
+    if (active_writers_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      PublishStableIfQuiescent();
+    }
+    if (!bg_gc_) RunGc();
+  }
+}
+
+void TransactionManager::PublishStableIfQuiescent() {
+  if (snapshot_ts_.load(std::memory_order_acquire) == 0 ||
+      snapshot_epoch_us_.load(std::memory_order_relaxed) <= 0) {
+    return;
+  }
+  Timestamp bound = next_ts_.load(std::memory_order_seq_cst);
+  if (active_writers_.load(std::memory_order_seq_cst) != 0) {
+    return;  // a writer below `bound` may still be live; RunGc will catch up
+  }
+  Timestamp stable = bound - 1;
+  Timestamp cur = snapshot_ts_.load(std::memory_order_relaxed);
+  while (stable > cur && !snapshot_ts_.compare_exchange_weak(
+                             cur, stable, std::memory_order_seq_cst,
+                             std::memory_order_relaxed)) {
+  }
+  if (stable > cur) {
+    snapshot_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TxStats TransactionManager::Stats() const {
+  TxStats s;
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.aborts = aborts_.load(std::memory_order_relaxed);
+  s.read_retries = read_retries_.load(std::memory_order_relaxed);
+  s.retry_exhausted = retry_exhausted_.load(std::memory_order_relaxed);
+  s.group_drains = group_drains_.load(std::memory_order_relaxed);
+  s.rts_skipped = rts_skipped_.load(std::memory_order_relaxed);
+  s.rts_deferred = rts_deferred_.load(std::memory_order_relaxed);
+  s.snapshot_refreshes = snapshot_refreshes_.load(std::memory_order_relaxed);
+  s.snapshot_reads = snapshot_reads_.load(std::memory_order_relaxed);
+  s.snapshot_fallbacks = snapshot_fallbacks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TransactionManager::Defer(GcItem item) {
@@ -943,7 +1185,42 @@ void TransactionManager::Defer(GcItem item) {
 }
 
 void TransactionManager::RunGc() {
-  Timestamp min_active = MinActiveTs();
+  // Serialize whole executions (not just the queue partition below): a
+  // caller that raced a concurrent RunGc mid-free-loop would otherwise
+  // return while items claimed under an older watermark are still being
+  // freed, breaking the contract that RunGc() returning means everything
+  // reclaimable at its watermark is gone (the GC tests rely on this, and
+  // the destructor's final drain wants it too).
+  std::lock_guard<std::mutex> run_lock(gc_run_mu_);
+  // One writer-slot scan serves two jobs: republishing the snapshot
+  // frontier (commit-driven refresh — Finish calls RunGc right after the
+  // retiring writer released its slot, which is exactly when the frontier
+  // can advance) and computing the GC watermark. A separate refresh pass
+  // would re-walk the same 64 slot cache lines on every commit.
+  // next_ts_ FIRST, then the slot scans (seq_cst): see TxSlots::Min.
+  Timestamp bound = next_ts_.load(std::memory_order_seq_cst);
+  Timestamp writer_min = writer_slots_.Min(bound);
+  if (snapshot_ts_.load(std::memory_order_acquire) != 0 &&
+      snapshot_epoch_us_.load(std::memory_order_relaxed) > 0) {
+    // Lock-free CAS-max: the advance is monotonic, so racing publishers
+    // need no mutex — the largest frontier wins and losers retry or bail.
+    Timestamp stable = writer_min - 1;
+    Timestamp cur = snapshot_ts_.load(std::memory_order_relaxed);
+    while (stable > cur && !snapshot_ts_.compare_exchange_weak(
+                               cur, stable, std::memory_order_seq_cst,
+                               std::memory_order_relaxed)) {
+    }
+    if (stable > cur) {
+      snapshot_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Timestamp min_active = std::min(writer_min, reader_slots_.Min(bound));
+  if (snapshot_epoch_us_.load(std::memory_order_relaxed) > 0) {
+    // A reader between loading S and storing its slot pin is covered
+    // because snapshot_ts_ itself stays in the watermark (see MinActiveTs).
+    Timestamp snap = snapshot_ts_.load(std::memory_order_seq_cst);
+    if (snap != 0 && snap < min_active) min_active = snap;
+  }
   node_versions_.Prune(min_active);
   rel_versions_.Prune(min_active);
 

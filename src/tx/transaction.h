@@ -21,10 +21,26 @@
 //   * Aborts drop the write set, unlock in place, and free inserted slots.
 //   * Transaction-level GC prunes version chains and reclaims PMem property
 //     chains / deleted slots once invisible to every active transaction.
+//
+// Read-path scalability (see DESIGN.md "Read-path scalability"):
+//   * Active transactions register in fixed arrays of cache-line-padded
+//     atomic slots (TxSlots) instead of a mutex-guarded set; the GC
+//     watermark is computed by a lock-free scan in the common case (a
+//     mutex-guarded multiset absorbs overflow beyond kTxSlots).
+//   * Read-only transactions (BeginReadOnly) share a periodically-published
+//     snapshot timestamp S chosen so that no active or future writer has
+//     id <= S: they skip the next_ts_ bump, every per-record rts CAS, and
+//     the post-bump revalidation (POSEIDON_SNAPSHOT_EPOCH_US, 0 = seed
+//     behavior: a fresh timestamp per read transaction).
+//   * Read-write readers coalesce rts bumps: when the seqlock-validated
+//     copy already shows rts >= id, the CAS and revalidation are skipped
+//     (POSEIDON_RTS_COALESCE=0 restores the eager seed path).
 
 #ifndef POSEIDON_TX_TRANSACTION_H_
 #define POSEIDON_TX_TRANSACTION_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -64,6 +80,20 @@ class Transaction {
 
   storage::Timestamp id() const { return id_; }
   bool finished() const { return finished_; }
+  /// Read-only transactions reject every write with kFailedPrecondition.
+  bool read_only() const { return read_only_; }
+  /// True when this transaction reads at the shared published snapshot
+  /// timestamp instead of a freshly allocated one (BeginReadOnly).
+  bool snapshot() const { return snapshot_; }
+  /// rts CAS-maxes this transaction skipped / elided so far (exact per-tx
+  /// attribution for EXPLAIN and ExecStats; totals land in
+  /// TransactionManager::Stats() when the transaction finishes).
+  uint64_t rts_skipped() const {
+    return rts_skipped_.load(std::memory_order_relaxed);
+  }
+  uint64_t rts_deferred() const {
+    return rts_deferred_.load(std::memory_order_relaxed);
+  }
 
   // --- Reads ----------------------------------------------------------
 
@@ -142,7 +172,8 @@ class Transaction {
   // --- Outcome -----------------------------------------------------------
 
   /// Atomically persists the write set; on success the transaction is over.
-  /// On failure the transaction has been aborted.
+  /// On failure the transaction has been aborted. Read-only transactions
+  /// finish without touching the redo log or the timestamp high-water mark.
   Status Commit();
 
   /// Discards the write set, unlocking in place.
@@ -205,6 +236,19 @@ class Transaction {
   storage::GraphStore* store_;
   storage::Timestamp id_;
   bool finished_ = false;
+  bool read_only_ = false;
+  bool snapshot_ = false;
+  /// Index into the manager's writer (or reader, when snapshot_) slot
+  /// array; -1 = registered in the overflow multiset instead.
+  int slot_ = -1;
+  /// Per-transaction rts-coalescing tallies. Atomic because morsel-parallel
+  /// execution shares one transaction across pool workers; relaxed, and
+  /// per-transaction, so unrelated transactions never touch each other's
+  /// line — flushing into the manager-wide counters only at Finish keeps
+  /// the cross-transaction traffic that coalescing removes out of the read
+  /// path.
+  std::atomic<uint64_t> rts_skipped_{0};
+  std::atomic<uint64_t> rts_deferred_{0};
 
   // std::map keeps commit staging deterministic (useful for tests).
   std::map<storage::RecordId, NodeWrite> node_writes_;
@@ -218,6 +262,37 @@ struct GcItem {
   Kind kind;
   storage::Timestamp reclaim_after;
   storage::RecordId id;  ///< chain head (kPropChain) or record slot
+};
+
+/// Manager-wide counters, all maintained with relaxed atomics and read as a
+/// consistent-enough snapshot for EXPLAIN / bench attribution (before/after
+/// deltas around a single query; racy under concurrent queries by design).
+struct TxStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  /// Read-path retries: seqlock re-reads + visibility re-checks that had to
+  /// back off because a concurrent commit raced the copy.
+  uint64_t read_retries = 0;
+  /// Reads that exhausted their backoff budget and aborted
+  /// (POSEIDON_TX_RETRY_ATTEMPTS, POSEIDON_BACKOFF_*).
+  uint64_t retry_exhausted = 0;
+  /// Physical drains issued by group-commit leaders (<= commits when
+  /// batching is effective).
+  uint64_t group_drains = 0;
+  /// rts CAS-maxes skipped because the validated copy already carried
+  /// rts >= reader id (rts-bump coalescing).
+  uint64_t rts_skipped = 0;
+  /// rts bumps elided entirely by shared-snapshot readers (no writer can
+  /// ever probe below the published snapshot timestamp).
+  uint64_t rts_deferred = 0;
+  /// Snapshot timestamps published (epoch refreshes that advanced it).
+  uint64_t snapshot_refreshes = 0;
+  /// Read-only transactions served from the shared snapshot.
+  uint64_t snapshot_reads = 0;
+  /// Read-only transactions that found the snapshot lagging more than
+  /// POSEIDON_SNAPSHOT_MAX_LAG ids behind next_ts_ (a stalled writer
+  /// pinning the frontier) and degraded to the seed fresh-ts protocol.
+  uint64_t snapshot_fallbacks = 0;
 };
 
 class TransactionManager {
@@ -243,8 +318,18 @@ class TransactionManager {
 
   std::unique_ptr<Transaction> Begin();
 
-  /// Smallest timestamp of any active transaction, or the next timestamp if
-  /// none are active.
+  /// Starts a read-only transaction. With snapshot reuse enabled
+  /// (POSEIDON_SNAPSHOT_EPOCH_US > 0, the default) the transaction reads at
+  /// the shared published snapshot timestamp: no next_ts_ bump, no rts
+  /// CAS-maxes, no post-bump revalidation — the read path mutates no shared
+  /// state at all. With the knob at 0 this is Begin() plus the write guard
+  /// (the exact seed read protocol).
+  std::unique_ptr<Transaction> BeginReadOnly();
+
+  /// Smallest timestamp of any active transaction (the published snapshot
+  /// included while snapshot reuse is enabled), or the next timestamp if
+  /// none are active. Lock-free unless transactions overflowed the slot
+  /// arrays (> kTxSlots concurrently active).
   storage::Timestamp MinActiveTs() const;
 
   /// Transaction-level GC: prunes version chains and reclaims deferred
@@ -261,25 +346,141 @@ class TransactionManager {
   }
   AdjacencyCache& adjacency_cache() { return adj_cache_; }
 
-  uint64_t commits() const { return commits_; }
-  uint64_t aborts() const { return aborts_; }
-  /// Read-path retries: seqlock re-reads + visibility re-checks that had to
-  /// back off because a concurrent commit raced the copy.
-  uint64_t read_retries() const { return read_retries_; }
-  /// Reads that exhausted their backoff budget and aborted
-  /// (POSEIDON_TX_RETRY_ATTEMPTS, POSEIDON_BACKOFF_*).
-  uint64_t retry_exhausted() const { return retry_exhausted_; }
-  /// Physical drains issued by group-commit leaders (<= commits when
-  /// batching is effective).
-  uint64_t group_drains() const { return group_drains_; }
+  uint64_t commits() const {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborts() const { return aborts_.load(std::memory_order_relaxed); }
+  /// Full counter snapshot (read retries, group drains, rts coalescing,
+  /// snapshot traffic); replaces the per-counter getters.
+  TxStats Stats() const;
+
   bool group_commit_enabled() const { return group_commit_enabled_; }
   bool background_gc_enabled() const { return bg_gc_; }
+
+  /// Snapshot-epoch length in microseconds; 0 disables snapshot reuse
+  /// (BeginReadOnly falls back to the seed fresh-timestamp protocol).
+  /// Runtime setter for ablation; switch only while no read-only
+  /// transaction is being started.
+  int64_t snapshot_epoch_us() const {
+    return snapshot_epoch_us_.load(std::memory_order_relaxed);
+  }
+  void set_snapshot_epoch_us(int64_t us) {
+    snapshot_epoch_us_.store(us, std::memory_order_relaxed);
+  }
+
+  /// Bounded snapshot staleness (POSEIDON_SNAPSHOT_MAX_LAG, ids): when the
+  /// published snapshot trails next_ts_ by more than this many drawn ids —
+  /// a stalled or preempted writer is pinning the stable frontier —
+  /// BeginReadOnly degrades that transaction to the seed fresh-timestamp
+  /// protocol instead of handing out a snapshot whose every read of a
+  /// recently-updated record falls off the PMem fast path into a version-
+  /// chain walk. 0 = unbounded (always use the snapshot).
+  uint64_t snapshot_max_lag() const {
+    return snapshot_max_lag_.load(std::memory_order_relaxed);
+  }
+  void set_snapshot_max_lag(uint64_t ids) {
+    snapshot_max_lag_.store(ids, std::memory_order_relaxed);
+  }
+
+  /// rts-bump coalescing; off restores the eager seed bump on every read.
+  bool rts_coalesce() const {
+    return rts_coalesce_.load(std::memory_order_relaxed);
+  }
+  void set_rts_coalesce(bool on) {
+    rts_coalesce_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Currently published snapshot timestamp (0 = none published yet).
+  storage::Timestamp snapshot_ts() const {
+    return snapshot_ts_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Transaction;
 
-  void Finish(storage::Timestamp ts, bool committed);
+  /// Fixed-size active-transaction registry: one cache-line-padded atomic
+  /// timestamp per slot (0 = free) claimed by CAS from a thread-hashed
+  /// start index, with a mutex-guarded multiset absorbing overflow. Two
+  /// instances: writers (read-write transactions) and readers (shared-
+  /// snapshot pins) — kept separate so the snapshot computation can scan
+  /// writers only (a snapshot that included reader pins could never
+  /// advance past its own consumers).
+  struct TxSlots {
+    static constexpr size_t kTxSlots = 64;
+    struct alignas(64) Slot {
+      std::atomic<storage::Timestamp> ts{0};
+    };
+    Slot slots[kTxSlots];
+    mutable std::mutex overflow_mu;
+    std::multiset<storage::Timestamp> overflow;
+
+    /// Claims a free slot and stores `initial` into it (seq_cst, so a
+    /// subsequent watermark scan either sees it or runs entirely before
+    /// the claim). Returns -1 when every slot is taken.
+    int Claim(storage::Timestamp initial) {
+      size_t start =
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) % kTxSlots;
+      for (size_t i = 0; i < kTxSlots; ++i) {
+        size_t idx = (start + i) % kTxSlots;
+        storage::Timestamp expected = 0;
+        if (slots[idx].ts.compare_exchange_strong(
+                expected, initial, std::memory_order_seq_cst)) {
+          return static_cast<int>(idx);
+        }
+      }
+      return -1;
+    }
+
+    void Store(int slot, storage::Timestamp ts) {
+      slots[slot].ts.store(ts, std::memory_order_seq_cst);
+    }
+
+    void Release(int slot, storage::Timestamp ts) {
+      if (slot >= 0) {
+        slots[slot].ts.store(0, std::memory_order_release);
+      } else {
+        std::lock_guard<std::mutex> lock(overflow_mu);
+        overflow.erase(overflow.find(ts));
+      }
+    }
+
+    /// Minimum over `bound`, every claimed slot, and the overflow set. The
+    /// caller must load next_ts_ (the bound) BEFORE calling: a transaction
+    /// whose slot claim is missed by this scan performed its timestamp
+    /// fetch_add after the claim, hence after the bound load in seq_cst
+    /// order, so its id is >= bound and the result stays conservative.
+    storage::Timestamp Min(storage::Timestamp bound) const {
+      storage::Timestamp m = bound;
+      for (const Slot& s : slots) {
+        storage::Timestamp t = s.ts.load(std::memory_order_seq_cst);
+        if (t != 0 && t < m) m = t;
+      }
+      std::lock_guard<std::mutex> lock(overflow_mu);
+      if (!overflow.empty() && *overflow.begin() < m) m = *overflow.begin();
+      return m;
+    }
+  };
+
+  void Finish(Transaction* t, bool committed);
   void Defer(GcItem item);
+
+  /// Publishes (or advances) the shared snapshot timestamp from a full
+  /// writer-slot scan. `activate` forces the first publication; after that
+  /// the snapshot is kept fresh without this scan by two cheaper paths:
+  /// PublishStableIfQuiescent (O(1), every writer retirement) and the scan
+  /// folded into RunGc's watermark computation. Staleness is therefore
+  /// bounded by the oldest in-flight writer, not the epoch; the epoch knob
+  /// is the on/off switch (0 restores the seed protocol exactly).
+  void MaybeRefreshSnapshot(bool activate);
+
+  /// O(1) commit-driven snapshot advance: when the retiring writer was the
+  /// last one in flight, every timestamp below next_ts_ is stable and the
+  /// snapshot can jump to next_ts_ - 1 without scanning the slot array.
+  /// Sound because Begin() increments active_writers_ (seq_cst) BEFORE
+  /// drawing its id: if the counter reads 0 after our next_ts_ load, no
+  /// writer with a smaller id can still be live, and later writers draw
+  /// ids >= the loaded bound.
+  void PublishStableIfQuiescent();
 
   /// Leader/follower batched drain used for every commit-phase sfence: the
   /// first committer to arrive becomes leader, waits (bounded) for the other
@@ -299,8 +500,25 @@ class TransactionManager {
   index::IndexManager* indexes_;
   std::atomic<storage::Timestamp> next_ts_;
 
-  mutable std::mutex active_mu_;
-  std::set<storage::Timestamp> active_;
+  TxSlots writer_slots_;
+  TxSlots reader_slots_;
+
+  // --- Shared-snapshot state (BeginReadOnly) ----------------------------
+  // snapshot_ts_ stays 0 (and costs nothing) until the first BeginReadOnly
+  // publishes it; it is monotonic and always <= the id of every active or
+  // future writer. While nonzero and enabled it is part of the GC
+  // watermark, closing the claim window between a reader loading it and
+  // pinning it in its slot.
+  std::atomic<storage::Timestamp> snapshot_ts_{0};
+  std::atomic<int64_t> snapshot_epoch_us_;
+  std::atomic<uint64_t> snapshot_max_lag_;
+  std::atomic<bool> rts_coalesce_;
+  std::mutex snapshot_mu_;  // serializes scan-based refreshes (activation)
+  // Writers (and seed-mode fresh readers) in flight: incremented in Begin()
+  // before the id draw, decremented at Finish. Lets the last writer out
+  // publish the stable frontier in O(1) instead of scanning 64 slot lines
+  // on every commit.
+  std::atomic<int64_t> active_writers_{0};
 
   VersionChains<storage::NodeRecord> node_versions_;
   VersionChains<storage::RelationshipRecord> rel_versions_;
@@ -308,11 +526,23 @@ class TransactionManager {
 
   std::mutex gc_mu_;
   std::vector<GcItem> gc_queue_;
+  /// Serializes whole RunGc executions (gc_mu_ only covers the queue
+  /// partition); see the comment at the top of RunGc. Ordering: gc_run_mu_
+  /// is taken before gc_mu_, never the reverse.
+  std::mutex gc_run_mu_;
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
   std::atomic<uint64_t> read_retries_{0};
   std::atomic<uint64_t> retry_exhausted_{0};
+  std::atomic<uint64_t> rts_skipped_{0};
+  std::atomic<uint64_t> rts_deferred_{0};
+  std::atomic<uint64_t> snapshot_refreshes_{0};
+  std::atomic<uint64_t> snapshot_reads_{0};
+  std::atomic<uint64_t> snapshot_fallbacks_{0};
+  // Gates the scan-based refresh retry during a degraded (lag-capped)
+  // phase to every 32nd stale begin; not user-visible.
+  std::atomic<uint64_t> fallback_probe_gate_{0};
 
   // Backoff parameters resolved once at construction (the env is not probed
   // on the read hot path). Both honour POSEIDON_TX_RETRY_ATTEMPTS; the

@@ -39,24 +39,36 @@ using RelVersion = Version<storage::RelationshipRecord>;
 template <typename R>
 class VersionChains {
  public:
-  /// Prepends `v` (the most recently superseded version) to `id`'s chain.
+  /// Appends `v` (the most recently superseded version) to `id`'s chain.
+  /// Versions of one record are superseded in commit order, so chains stay
+  /// sorted by bts ascending: append is O(1) (front-insertion would shift
+  /// the whole chain) and FindVisible binary-searches. Both matter when a
+  /// burst of updates to a hot record outruns GC and the chain gets long —
+  /// shared-snapshot readers pinned behind an in-flight writer walk these
+  /// chains on every read of that record.
   void Push(storage::RecordId id, Version<R> v) {
     Shard& s = ShardFor(id);
     std::lock_guard<std::mutex> lock(s.mu);
-    auto& chain = s.map[id];
-    chain.insert(chain.begin(), std::move(v));
+    s.map[id].push_back(std::move(v));
   }
 
   /// Returns the version visible at `ts` (bts <= ts < ets), if any.
+  /// Validity windows of one record are disjoint, so the last version with
+  /// bts <= ts is the only candidate — O(log chain) under the shard mutex.
   std::optional<Version<R>> FindVisible(storage::RecordId id,
                                         storage::Timestamp ts) const {
     const Shard& s = ShardFor(id);
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.map.find(id);
     if (it == s.map.end()) return std::nullopt;
-    for (const auto& v : it->second) {
-      if (v.rec.tx.bts <= ts && ts < v.rec.tx.ets) return v;
-    }
+    const auto& chain = it->second;
+    auto pos = std::upper_bound(chain.begin(), chain.end(), ts,
+                                [](storage::Timestamp t, const Version<R>& v) {
+                                  return t < v.rec.tx.bts;
+                                });
+    if (pos == chain.begin()) return std::nullopt;  // ts predates the chain
+    --pos;
+    if (ts < pos->rec.tx.ets) return *pos;
     return std::nullopt;
   }
 
@@ -90,9 +102,12 @@ class VersionChains {
   }
 
  private:
-  static constexpr size_t kShards = 16;
+  // 64 cache-line-padded shards: the sidecar is written on every update
+  // commit (Push) and read by every version-chain lookup, so false sharing
+  // between shard mutexes costs real read-path scalability.
+  static constexpr size_t kShards = 64;
 
-  struct Shard {
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::unordered_map<storage::RecordId, std::vector<Version<R>>> map;
   };

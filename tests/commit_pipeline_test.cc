@@ -242,7 +242,7 @@ TEST(GroupCommitTest, SingleThreadedLeaderNeverWaits) {
   auto elapsed = std::chrono::steady_clock::now() - t0;
   // A lone committer is its own leader with a satisfied batch predicate:
   // 3 group drains per commit, no window sleeps.
-  EXPECT_EQ(mgr.group_drains(), 15u);
+  EXPECT_EQ(mgr.Stats().group_drains, 15u);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
                 .count(),
             1000);
@@ -274,8 +274,8 @@ TEST(GroupCommitTest, ConcurrentCommittersShareLeaderDrains) {
   EXPECT_EQ(mgr.commits(), static_cast<uint64_t>(kThreads * kPerThread));
   // Leaders drain once per batch: never more than 3 drains per commit, and
   // batching makes it strictly fewer whenever committers overlap.
-  EXPECT_LE(mgr.group_drains(), 3ull * kThreads * kPerThread);
-  EXPECT_GT(mgr.group_drains(), 0u);
+  EXPECT_LE(mgr.Stats().group_drains, 3ull * kThreads * kPerThread);
+  EXPECT_GT(mgr.Stats().group_drains, 0u);
   EXPECT_EQ(PsanTotalViolations(), 0u)
       << "group commit broke persist ordering";
 }

@@ -151,7 +151,8 @@ TEST(PlanTest, ToStringAnnotatesPipelineSources) {
   ann.morsel = 2048;
   ann.batch = true;
   std::string annotated = p.ToString(nullptr, &ann);
-  EXPECT_NE(annotated.find("[parallel=4, morsel=2048, batch=on]"),
+  EXPECT_NE(annotated.find(
+                "[parallel=4, morsel=2048, batch=on, rts=eager skip=0 defer=0]"),
             std::string::npos);
 
   ann.batch = false;
@@ -210,7 +211,10 @@ TEST(LatencyModelTest, MultiBlockReadChargesPerBlock) {
   m.OnRead(region, 512);  // two fresh blocks
   double t = w.ElapsedUs();
   EXPECT_GT(t, 180.0);
-  EXPECT_LT(t, 2000.0);
+  // Upper bound guards against gross overcharging (per-byte would be
+  // ~51 ms); generous because a preemption mid-measurement inflates the
+  // wall clock by whole scheduler quanta on a loaded single-core host.
+  EXPECT_LT(t, 20000.0);
 }
 
 }  // namespace
