@@ -216,6 +216,66 @@ int Main() {
              static_cast<double>(report.segments_replayed));
     json.Add(tag + "_nodes_recovered", static_cast<double>(survivors));
   }
+
+  // --- Scrub overhead -----------------------------------------------------
+  // Read throughput with the background integrity scrubber off and at two
+  // verification-rate caps (DESIGN.md "Online scrubbing & media faults"):
+  // the scrubber shares the memory bus and takes per-batch locks, so this
+  // column quantifies what continuous verification costs the read path.
+  {
+    core::GraphDbOptions so;
+    so.path = "";
+    so.capacity = 96ull << 20;
+    so.crash_shadow = true;  // line checksums + scrubber available
+    so.query_threads = 2;
+    BENCH_ASSIGN(auto sdb, core::GraphDb::Create(so));
+    BENCH_ASSIGN(auto sperson, sdb->Code("Person"));
+    BENCH_ASSIGN(auto skey, sdb->Code("id"));
+    std::vector<storage::RecordId> sids;
+    {
+      auto tx = sdb->Begin();
+      for (int64_t i = 0; i < 4096; ++i) {
+        BENCH_ASSIGN(auto id, tx->CreateNode(
+                                  sperson, {{skey, storage::PVal::Int(i)}}));
+        sids.push_back(id);
+      }
+      BENCH_CHECK(tx->Commit());
+    }
+    auto read_mops = [&]() {
+      StopWatch sw;
+      uint64_t reads = 0;
+      auto tx = sdb->BeginReadOnly();
+      for (int rep = 0; rep < 8; ++rep) {
+        for (storage::RecordId id : sids) {
+          BENCH_CHECK(tx->GetNodeProperty(id, skey).status());
+          ++reads;
+        }
+      }
+      return static_cast<double>(reads) * 1e3 / sw.ElapsedNs();  // Mops/s
+    };
+    auto* scrubber = sdb->scrubber();
+    BENCH_CHECK(scrubber != nullptr
+                    ? Status::Ok()
+                    : Status::FailedPrecondition(
+                          "scrubber missing on shadow pool"));
+    double off_mops = read_mops();
+    scrubber->SetRate(16);
+    scrubber->Start();
+    double mb16_mops = read_mops();
+    scrubber->SetRate(64);
+    double mb64_mops = read_mops();
+    scrubber->Stop();
+
+    std::printf("\n%-28s %12s\n", "scrubber state", "reads (Mops/s)");
+    std::printf("%-28s %12.2f\n", "off", off_mops);
+    std::printf("%-28s %12.2f\n", "16 MB/s", mb16_mops);
+    std::printf("%-28s %12.2f\n", "64 MB/s", mb64_mops);
+    std::printf("  64 MB/s overhead: %.1f%%\n",
+                100.0 * (1.0 - mb64_mops / std::max(off_mops, 1e-9)));
+    json.Add("read_mops_scrub_off", off_mops);
+    json.Add("read_mops_scrub_16mb_s", mb16_mops);
+    json.Add("read_mops_scrub_64mb_s", mb64_mops);
+  }
   json.Write();
 
   std::printf("\nexpected shape: DRAM < Hybrid < PMem lookups; hybrid "

@@ -19,7 +19,9 @@
 #   * build-asan/ (POSEIDON_ASAN, ASan+UBSan): the fault-injection suites
 #     (ctest -L fault) — crash-point exploration, corrupt-segment recovery,
 #     diskgraph fault paths — where a missed bounds check on crafted-garbage
-#     input becomes a memory error;
+#     input becomes a memory error — plus the online-scrubbing suite
+#     (ctest -L scrub): randomized media faults, repair and quarantine,
+#     where repairs that dereference corrupt offsets become wild accesses;
 #   * build-psan/ (POSEIDON_PSAN): the persist-order sanitizer suites
 #     (ctest -L psan) — seeded-bug detection plus the commit pipeline and
 #     crash explorer re-run with durability-ordering checks armed.
@@ -48,8 +50,10 @@ if [ "${1:-}" = "--check" ]; then
   echo "FIG11 SMOKE DONE"
   cmake -B /root/repo/build-asan -S /root/repo -DPOSEIDON_ASAN=ON
   cmake --build /root/repo/build-asan -j"$(nproc)" --target \
-      crash_explorer_test fault_injection_test crash_property_test
+      crash_explorer_test fault_injection_test crash_property_test \
+      media_fault_test
   ctest --test-dir /root/repo/build-asan -L fault --output-on-failure
+  ctest --test-dir /root/repo/build-asan -L scrub --output-on-failure
   echo "ASAN FAULT CHECK DONE"
   cmake -B /root/repo/build-psan -S /root/repo -DPOSEIDON_PSAN=ON
   cmake --build /root/repo/build-psan -j"$(nproc)" --target \

@@ -1,8 +1,15 @@
 #include "core/graph_db.h"
 
+#include "pmem/psan.h"
+#include "util/env.h"
+
 namespace poseidon::core {
 
 GraphDb::~GraphDb() {
+  // Stop the scrubber before anything it can reach through the corruption
+  // handler (store, indexes, transaction manager) is torn down.
+  if (scrubber_ != nullptr) scrubber_->Stop();
+  if (pool_ != nullptr) pool_->SetCorruptionHandler(nullptr);
   if (engine_ != nullptr) engine_->WaitForBackgroundCompiles();
 }
 
@@ -57,6 +64,31 @@ Result<std::unique_ptr<GraphDb>> GraphDb::Init(const GraphDbOptions& options,
     POSEIDON_RETURN_IF_ERROR(db->txm_->RecoverInFlight());
   }
 
+  if (db->pool_->checksums_enabled()) {
+    // Read-repair wiring: corrupt lines route storage-first (tables,
+    // dictionary, root), then to the index rebuild leg; anything unclaimed
+    // falls back to the pool's default (quarantine). Record resurrection
+    // rolls a corrupt slot back to its newest retained DRAM version.
+    storage::GraphStore* store = db->store_.get();
+    index::IndexManager* indexes = db->indexes_.get();
+    tx::TransactionManager* txm = db->txm_.get();
+    store->SetResurrectors(
+        [txm](storage::RecordId id, storage::NodeRecord* out) {
+          return txm->ResurrectNode(id, out);
+        },
+        [txm](storage::RecordId id, storage::RelationshipRecord* out) {
+          return txm->ResurrectRel(id, out);
+        });
+    db->pool_->SetCorruptionHandler(
+        [store, indexes](pmem::Offset line_off) {
+          if (auto out = store->RepairLine(line_off)) return *out;
+          if (auto out = indexes->RepairLine(line_off)) return *out;
+          return pmem::Pool::RepairOutcome::kUnrepairable;
+        });
+    db->scrubber_ = std::make_unique<pmem::Scrubber>(db->pool_.get());
+    if (util::EnvU64("POSEIDON_SCRUB", 0) == 1) db->scrubber_->Start();
+  }
+
   if (options.enable_query_cache &&
       db->pool_->mode() == pmem::PoolMode::kPmem) {
     auto* root = db->store_->root();
@@ -98,7 +130,33 @@ std::string GraphDb::Explain(const query::Plan& plan) const {
   ann.rts_deferred = txs.rts_deferred;
   ann.snapshot_reuse = txm_->snapshot_epoch_us() > 0;
   ann.snapshot_ts = txm_->snapshot_ts();
+  ann.scrub_on = pool_->checksums_enabled();
+  const pmem::Pool::ScrubStats& ss = pool_->scrub_stats();
+  ann.scrub_verified = ss.lines_verified.load(std::memory_order_relaxed);
+  ann.scrub_repaired = ss.repaired.load(std::memory_order_relaxed);
+  ann.scrub_quarantined = pool_->quarantined_lines();
   return plan.ToString(&store_->dict(), &ann);
+}
+
+GraphDb::HealthReport GraphDb::Health() const {
+  HealthReport h;
+  h.recovery = pool_->recovery_report();
+  const pmem::Pool::ScrubStats& ss = pool_->scrub_stats();
+  h.scrub_lines_verified = ss.lines_verified.load(std::memory_order_relaxed);
+  h.scrub_mismatches = ss.mismatches.load(std::memory_order_relaxed);
+  h.scrub_repaired = ss.repaired.load(std::memory_order_relaxed);
+  h.scrub_adopted = ss.adopted.load(std::memory_order_relaxed);
+  h.scrub_quarantined = ss.quarantined.load(std::memory_order_relaxed);
+  h.scrub_resealed = ss.resealed.load(std::memory_order_relaxed);
+  h.quarantined_lines = pool_->quarantined_lines();
+  h.checksums_enabled = pool_->checksums_enabled();
+  if (scrubber_ != nullptr) {
+    h.scrub_passes = scrubber_->passes();
+    h.scrubber_running = scrubber_->running();
+    h.scrub_rate_mb_s = scrubber_->rate_mb_s();
+  }
+  h.psan_violations = pmem::PsanTotalViolations();
+  return h;
 }
 
 Result<query::QueryResult> GraphDb::Execute(
@@ -115,7 +173,22 @@ Result<query::QueryResult> GraphDb::ExecuteIn(
     const query::Plan& plan, tx::Transaction* tx,
     const std::vector<query::Value>& params, jit::ExecutionMode mode,
     jit::ExecStats* stats, const jit::JitOptions& options) {
-  return engine_->Execute(plan, tx, params, mode, stats, options);
+  if (stats == nullptr || !pool_->checksums_enabled()) {
+    return engine_->Execute(plan, tx, params, mode, stats, options);
+  }
+  // Attribute scrub activity overlapping this execution (background pass
+  // plus any first-touch verification the query itself triggered).
+  const pmem::Pool::ScrubStats& ss = pool_->scrub_stats();
+  uint64_t v0 = ss.lines_verified.load(std::memory_order_relaxed);
+  uint64_t r0 = ss.repaired.load(std::memory_order_relaxed);
+  uint64_t q0 = ss.quarantined.load(std::memory_order_relaxed);
+  auto result = engine_->Execute(plan, tx, params, mode, stats, options);
+  stats->scrub_verified =
+      ss.lines_verified.load(std::memory_order_relaxed) - v0;
+  stats->scrub_repaired = ss.repaired.load(std::memory_order_relaxed) - r0;
+  stats->scrub_quarantined =
+      ss.quarantined.load(std::memory_order_relaxed) - q0;
+  return result;
 }
 
 Status GraphDb::CreateIndex(std::string_view label, std::string_view key,

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "jit/jit_query_engine.h"
+#include "pmem/scrubber.h"
 
 namespace poseidon::core {
 
@@ -130,6 +131,30 @@ class GraphDb {
   /// True if Open() had to recover from an unclean shutdown.
   bool recovered_from_crash() const { return recovered_; }
 
+  /// One-stop integrity snapshot: the last recovery's outcome plus the live
+  /// scrub / repair / quarantine counters (see DESIGN.md "Online scrubbing
+  /// & media faults").
+  struct HealthReport {
+    pmem::RecoveryReport recovery;  ///< redo-log recovery of the last Open
+    uint64_t scrub_lines_verified = 0;
+    uint64_t scrub_mismatches = 0;
+    uint64_t scrub_repaired = 0;
+    uint64_t scrub_adopted = 0;
+    uint64_t scrub_quarantined = 0;
+    uint64_t scrub_resealed = 0;
+    uint64_t scrub_passes = 0;       ///< background full passes completed
+    uint64_t quarantined_lines = 0;  ///< currently quarantined 64 B lines
+    bool checksums_enabled = false;
+    bool scrubber_running = false;
+    uint64_t scrub_rate_mb_s = 0;
+    uint64_t psan_violations = 0;
+  };
+  HealthReport Health() const;
+
+  /// Background scrubber (null when the pool maintains no checksums).
+  /// Started automatically when POSEIDON_SCRUB=1; tests drive ScrubOnce().
+  pmem::Scrubber* scrubber() { return scrubber_.get(); }
+
   // Component access for benchmarks, tests, and advanced users.
   pmem::Pool* pool() { return pool_.get(); }
   storage::GraphStore* store() { return store_.get(); }
@@ -145,6 +170,7 @@ class GraphDb {
                                                bool create);
 
   std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<pmem::Scrubber> scrubber_;
   std::unique_ptr<storage::GraphStore> store_;
   std::unique_ptr<index::IndexManager> indexes_;
   std::unique_ptr<tx::TransactionManager> txm_;

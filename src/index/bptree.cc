@@ -464,4 +464,44 @@ Status BPlusTree::RebuildInner() {
   return Status::Ok();
 }
 
+bool BPlusTree::ContainsPoolOffset(pmem::Offset line_off) const {
+  if (placement_ == Placement::kVolatile) return false;
+  std::shared_lock lock(mu_);
+  pmem::Offset line_end = line_off + pmem::kCacheLineSize;
+  auto overlaps = [&](uint64_t base, uint64_t len) {
+    return base != 0 && base < line_end && line_off < base + len;
+  };
+  if (overlaps(meta_off_, sizeof(Meta))) return true;
+  // Leaf chain. The ownership test precedes every `next` dereference, so a
+  // corrupt line inside the node being examined is claimed without reading
+  // through it; a wild `next` (from a second, unrelated fault) just bounds-
+  // checks out and ends the walk.
+  uint64_t hops = 0;
+  uint64_t max_hops = pool_->capacity() / sizeof(LeafNode) + 2;
+  for (uint64_t ref = first_leaf_; ref != 0;) {
+    if (overlaps(ref, sizeof(LeafNode))) return true;
+    if (ref + sizeof(LeafNode) > pool_->capacity() || ++hops > max_hops) break;
+    ref = pool_->ToPtr<LeafNode>(ref)->next;
+  }
+  if (placement_ == Placement::kPersistent && height_ > 1) {
+    std::vector<uint64_t> level{root_};
+    for (int l = height_; l > 1; --l) {
+      std::vector<uint64_t> next_level;
+      for (uint64_t ref : level) {
+        if (overlaps(ref, sizeof(InnerNode))) return true;
+        if (ref + sizeof(InnerNode) > pool_->capacity()) continue;
+        // psan: read-only level walk, no stores through this pointer
+        const auto* inner = pool_->ToPtr<InnerNode>(ref);
+        if (l > 2 && inner->count <= kInnerEntries) {
+          for (uint32_t i = 0; i <= inner->count; ++i) {
+            next_level.push_back(inner->children[i]);
+          }
+        }
+      }
+      level = std::move(next_level);
+    }
+  }
+  return false;
+}
+
 }  // namespace poseidon::index

@@ -114,6 +114,12 @@ class BPlusTree {
   /// trees to refresh the volatile root pointer cache.
   Status RebuildInner();
 
+  /// True when the 64 B line at `line_off` overlaps one of this tree's
+  /// PMem-resident nodes (meta block, leaf chain, and — for kPersistent —
+  /// inner nodes). Always false for volatile trees. Used by the media-fault
+  /// repair pipeline to attribute corrupt lines to an index.
+  bool ContainsPoolOffset(pmem::Offset line_off) const;
+
  private:
   struct LeafNode;
   struct InnerNode;

@@ -55,7 +55,7 @@ Status IndexManager::EnsureDirectory() {
 }
 
 Status IndexManager::LoadPersistent() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto* root = store_->root();
   if (root->index_dir == 0) return Status::Ok();
   auto* dir = store_->pool()->ToPtr<Directory>(root->index_dir);
@@ -71,7 +71,7 @@ Status IndexManager::LoadPersistent() {
 
 Result<BPlusTree*> IndexManager::CreateIndex(DictCode label, DictCode key,
                                              Placement placement) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& e : entries_) {
     if (e.label == label && e.key == key) {
       return Status::AlreadyExists("index already exists");
@@ -123,11 +123,63 @@ Status IndexManager::BulkLoad(BPlusTree* tree, DictCode label, DictCode key) {
 }
 
 BPlusTree* IndexManager::Find(DictCode label, DictCode key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& e : entries_) {
     if (e.label == label && e.key == key) return e.tree.get();
   }
   return nullptr;
+}
+
+std::optional<pmem::Pool::RepairOutcome> IndexManager::RepairLine(
+    pmem::Offset line_off) {
+  using Outcome = pmem::Pool::RepairOutcome;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  pmem::Pool* pool = store_->pool();
+
+  // Directory block: fully re-derivable from the DRAM registry.
+  pmem::Offset dir_off = store_->root()->index_dir;
+  if (dir_off != 0 && dir_off < line_off + pmem::kCacheLineSize &&
+      line_off < dir_off + sizeof(Directory)) {
+    Directory fresh{};
+    for (const auto& e : entries_) {
+      if (e.placement == Placement::kVolatile) continue;
+      DirEntry& slot = fresh.slots[fresh.count++];
+      slot.label = e.label;
+      slot.key = e.key;
+      slot.placement = static_cast<uint32_t>(e.placement);
+      slot.meta = e.tree->meta_offset();
+    }
+    pool->RepairStore(dir_off, &fresh, sizeof(Directory));
+    return Outcome::kRepaired;
+  }
+
+  for (auto& e : entries_) {
+    if (e.placement == Placement::kVolatile) continue;
+    if (!e.tree->ContainsPoolOffset(line_off)) continue;
+    // Rebuild-and-swap: indexes are secondary, so a fresh tree bulk-loaded
+    // from the (already repaired or quarantined) primary tables is always
+    // consistent. The old tree's nodes are leaked rather than freed — some
+    // may be the very lines under repair.
+    auto rebuilt = BPlusTree::Create(pool, e.placement);
+    if (!rebuilt.ok()) return Outcome::kUnrepairable;
+    if (!BulkLoad(rebuilt->get(), e.label, e.key).ok()) {
+      return Outcome::kUnrepairable;
+    }
+    auto* dir = pool->ToPtr<Directory>(store_->root()->index_dir);
+    for (uint64_t i = 0; i < dir->count; ++i) {
+      DirEntry& slot = dir->slots[i];
+      if (slot.label == e.label && slot.key == e.key) {
+        uint64_t meta = (*rebuilt)->meta_offset();
+        pool->RepairStore(pool->ToOffset(&slot.meta), &meta, sizeof(meta));
+        break;
+      }
+    }
+    e.tree = std::move(*rebuilt);
+    // The corrupt line now belongs to a leaked, unreferenced node; its
+    // bytes are dead and the current content can be blessed as-is.
+    return Outcome::kAdopted;
+  }
+  return std::nullopt;
 }
 
 void IndexManager::OnNodeUpserted(RecordId id, DictCode label, DictCode key,

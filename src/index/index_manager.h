@@ -66,6 +66,13 @@ class IndexManager {
   };
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Corruption-handler leg for index-owned lines. A corrupt line inside a
+  /// persistent/hybrid tree triggers a full rebuild-and-swap from primary
+  /// data (indexes are secondary: rebuild is always safe); a corrupt
+  /// directory line is rewritten from the DRAM registry. Returns nullopt
+  /// when no index structure owns the line.
+  std::optional<pmem::Pool::RepairOutcome> RepairLine(pmem::Offset line_off);
+
  private:
   Status EnsureDirectory();
   Status BulkLoad(BPlusTree* tree, storage::DictCode label,
@@ -73,7 +80,7 @@ class IndexManager {
 
   storage::GraphStore* store_;
   std::vector<Entry> entries_;
-  mutable std::mutex mu_;
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace poseidon::index

@@ -51,6 +51,12 @@ struct ExecStats {
   /// entirely by shared-snapshot read-only transactions.
   uint64_t rts_skipped = 0;
   uint64_t rts_deferred = 0;
+  /// Integrity-scrub activity overlapping this execution (pool checksums
+  /// enabled only): lines verified, repaired in place, and quarantined —
+  /// includes cold-chunk first-touch verification the query triggered.
+  uint64_t scrub_verified = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_quarantined = 0;
 };
 
 class JitQueryEngine {

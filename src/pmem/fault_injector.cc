@@ -1,5 +1,10 @@
 #include "pmem/fault_injector.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
 #include "pmem/pool.h"
 
 namespace poseidon::pmem {
@@ -13,6 +18,81 @@ void FaultInjector::OnPersistPoint(Pool* pool) {
   armed_.store(0, std::memory_order_release);
   pool->FreezeShadow();
   fired_at_.store(point, std::memory_order_release);
+}
+
+void FaultInjector::RecordMediaLine(Offset off) {
+  std::lock_guard<std::mutex> lock(media_mu_);
+  media_lines_.push_back(off / kCacheLineSize);
+}
+
+void FaultInjector::InjectBitFlip(Pool* pool, Offset off, uint32_t bit) {
+  pool->FlipDurableBit(off, bit);
+  RecordMediaLine(off);
+}
+
+void FaultInjector::InjectTornLine(Pool* pool, Offset off) {
+  // A torn line: the first half of the 64 B write retired, the second half
+  // never reached media — emulated by stomping the tail with a pattern.
+  Offset line_off = off & ~(kCacheLineSize - 1);
+  char torn[kCacheLineSize / 2];
+  std::memset(torn, 0x5a, sizeof(torn));
+  pool->CorruptDurable(line_off + kCacheLineSize / 2, torn, sizeof(torn));
+  RecordMediaLine(off);
+}
+
+std::vector<uint64_t> FaultInjector::InjectRandomMediaFaults(Pool* pool,
+                                                             uint64_t count,
+                                                             uint64_t seed) {
+  std::vector<uint64_t> sealed;
+  pool->CollectSealedLines(&sealed);
+  std::vector<uint64_t> hit;
+  if (sealed.empty() || count == 0) return hit;
+  std::mt19937_64 rng(seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t line = sealed[rng() % sealed.size()];
+    uint64_t byte = rng() % kCacheLineSize;
+    uint32_t bit = static_cast<uint32_t>(rng() % 8);
+    InjectBitFlip(pool, line * kCacheLineSize + byte, bit);
+    hit.push_back(line);
+  }
+  std::sort(hit.begin(), hit.end());
+  hit.erase(std::unique(hit.begin(), hit.end()), hit.end());
+  return hit;
+}
+
+void FaultInjector::ArmMediaFaults(uint64_t count, uint64_t seed) {
+  media_seed_.store(seed, std::memory_order_release);
+  media_armed_count_.store(count, std::memory_order_release);
+}
+
+void FaultInjector::ArmMediaFaultsFromEnv() {
+  const char* v = std::getenv("POSEIDON_FAULT_MEDIA");
+  if (v == nullptr || *v == '\0') return;
+  char* end = nullptr;
+  uint64_t count = std::strtoull(v, &end, 10);
+  if (end == v || count == 0) return;
+  uint64_t seed = count;
+  if (*end == ':') {
+    const char* s = end + 1;
+    uint64_t parsed = std::strtoull(s, &end, 10);
+    if (end != s) seed = parsed;
+  }
+  ArmMediaFaults(count, seed);
+}
+
+void FaultInjector::ApplyPendingMediaFaults(Pool* pool) {
+  uint64_t count = media_armed_count_.exchange(0, std::memory_order_acq_rel);
+  if (count == 0) return;
+  InjectRandomMediaFaults(pool, count,
+                          media_seed_.load(std::memory_order_acquire));
+}
+
+std::vector<uint64_t> FaultInjector::media_faulted_lines() const {
+  std::lock_guard<std::mutex> lock(media_mu_);
+  std::vector<uint64_t> lines = media_lines_;
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return lines;
 }
 
 }  // namespace poseidon::pmem

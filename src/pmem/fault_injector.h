@@ -30,10 +30,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace poseidon::pmem {
 
 class Pool;
+using Offset = uint64_t;
 
 class FaultInjector {
  public:
@@ -69,10 +72,51 @@ class FaultInjector {
 
   bool crash_fired() const { return crash_fired_at() != 0; }
 
+  // --- Media faults (tentpole leg 3 of the scrubbing subsystem) -----------
+  //
+  // Unlike crash points (which cut the persistence stream), media faults
+  // mutate bytes that were already durable: a single-bit flip or a torn
+  // 64 B line written into the crash shadow, so SimulateCrash() surfaces
+  // damage exactly as decayed media would after a power loss. Without a
+  // shadow the live image is corrupted directly.
+
+  /// Flips bit `bit` (0..7) of the durable byte at pool offset `off`.
+  void InjectBitFlip(Pool* pool, Offset off, uint32_t bit);
+
+  /// Overwrites the second half of the 64 B durable line containing `off`
+  /// with a recognizable pattern — a torn-line write (partial line made it
+  /// to media before power loss).
+  void InjectTornLine(Pool* pool, Offset off);
+
+  /// Deterministically injects `count` single-bit flips into randomly
+  /// chosen *sealed* (checksummed) lines of the pool's data area. Returns
+  /// the affected line numbers (offset / 64; deduplicated, sorted). Fewer
+  /// than `count` faults land only when the pool has fewer sealed lines.
+  std::vector<uint64_t> InjectRandomMediaFaults(Pool* pool, uint64_t count,
+                                                uint64_t seed);
+
+  /// Parses POSEIDON_FAULT_MEDIA=<count>[:<seed>] (seed defaults to the
+  /// count) and arms that many random bit flips to be applied by the next
+  /// SimulateCrash().
+  void ArmMediaFaultsFromEnv();
+  void ArmMediaFaults(uint64_t count, uint64_t seed);
+
+  /// Called by Pool::SimulateCrash(): applies armed media faults (once).
+  void ApplyPendingMediaFaults(Pool* pool);
+
+  /// Lines damaged by this injector so far (deduplicated, sorted).
+  std::vector<uint64_t> media_faulted_lines() const;
+
  private:
   std::atomic<uint64_t> counter_{0};   // points assigned so far
   std::atomic<uint64_t> armed_{0};     // 0 = disarmed
   std::atomic<uint64_t> fired_at_{0};  // 0 = not fired
+  std::atomic<uint64_t> media_armed_count_{0};
+  std::atomic<uint64_t> media_seed_{0};
+  mutable std::mutex media_mu_;
+  std::vector<uint64_t> media_lines_;  // lines damaged so far
+
+  void RecordMediaLine(Offset off);
 };
 
 }  // namespace poseidon::pmem

@@ -45,7 +45,7 @@ namespace poseidon::pmem {
 namespace {
 
 constexpr uint64_t kMagic = 0x504f534549444f4eull;  // "POSEIDON"
-constexpr uint64_t kVersion = 3;  // v3: checksummed header + redo segments
+constexpr uint64_t kVersion = 4;  // v4: per-line CRC32C sidecar region
 constexpr uint64_t kHeaderReserved = 4096;
 constexpr uint64_t kDefaultRedoSize = 8ull << 20;
 constexpr uint64_t kMaxSizeClassBytes = 64ull << 10;
@@ -54,6 +54,14 @@ constexpr uint64_t kSegmentHeaderBytes = kRedoSegmentHeaderBytes;
 
 uint64_t AlignUp(uint64_t x, uint64_t align) {
   return (x + align - 1) & ~(align - 1);
+}
+
+/// Sidecar region size for a pool of `capacity` bytes: one 4-byte CRC32C
+/// slot per 64 B line of the whole pool, block-aligned. Slots below the
+/// data area are simply never used — indexing by absolute line number keeps
+/// the hot-path slot lookup a single shift+add.
+uint64_t SidecarBytes(uint64_t capacity) {
+  return AlignUp(capacity / kCacheLineSize * 4, kPmemBlockSize);
 }
 
 using poseidon::util::EnvInt;
@@ -116,24 +124,31 @@ struct Pool::Header {
   uint64_t redo_area;
   uint64_t redo_size;
   uint64_t redo_segments;
+  uint64_t sidecar_area;  // v4: per-line CRC32C region (redo end .. data)
+  uint64_t sidecar_size;
   uint64_t free_lists[kNumSizeClasses];
   /// CRC32C of the immutable configuration fields (magic, version,
-  /// capacity, pool_id, redo_area, redo_size, redo_segments). Written once
-  /// at InitHeader; Open refuses a header whose configuration no longer
-  /// hashes — a bit flip in, say, redo_segments would otherwise silently
-  /// change the segment geometry recovery walks. Mutable fields (root,
-  /// bump, free lists, clean_shutdown) are protected by the redo protocol
-  /// instead.
+  /// capacity, pool_id, redo_area, redo_size, redo_segments, sidecar_area,
+  /// sidecar_size). Written once at InitHeader; Open refuses a header whose
+  /// configuration no longer hashes — a bit flip in, say, redo_segments
+  /// would otherwise silently change the segment geometry recovery walks.
+  /// Mutable fields (root, bump, free lists, clean_shutdown) are protected
+  /// by the redo protocol instead.
   uint64_t config_crc;
+  /// 1 while a session maintains the CRC sidecar (unseal-on-flush +
+  /// reseal-at-boundary). A session running with checksums off mutates
+  /// sealed lines without unsealing them, so a later checksum-enabled
+  /// reopen must treat every seal as stale and reseed the sidecar.
+  uint64_t checksums_live;
 };
 
 namespace {
 /// Folds the immutable header fields: magic..pool_id (bytes [0,32)) and
-/// redo_area..redo_segments (bytes [56,80)).
+/// redo_area..sidecar_size (bytes [56,96)).
 uint64_t HeaderConfigCrc(const void* header_base) {
   const char* h = static_cast<const char*>(header_base);
   uint32_t crc = util::Crc32c(h, 32);
-  crc = util::Crc32c(h + 56, 24, crc);
+  crc = util::Crc32c(h + 56, 40, crc);
   return crc;
 }
 }  // namespace
@@ -153,8 +168,18 @@ void Pool::Configure(const PoolOptions& options) {
 }
 
 Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
-                                           const PoolOptions& options) {
-  if (options.capacity < kHeaderReserved + kDefaultRedoSize + (1 << 20)) {
+                                           const PoolOptions& opts_in) {
+  PoolOptions options = opts_in;
+  // Scrubbing implies the crash shadow: the sidecar CRCs cover the
+  // *durable* image, and without a shadow the live mapping is that image —
+  // volatile in-record fields (MVTO lock words, rts bumps) would then
+  // drift under sealed lines and read as media corruption.
+  if (EnvInt("POSEIDON_SCRUB", 0) != 0 ||
+      EnvInt("POSEIDON_CHECKSUMS", 0) != 0) {
+    options.crash_shadow = true;
+  }
+  if (options.capacity < kHeaderReserved + kDefaultRedoSize +
+                             SidecarBytes(options.capacity) + (1 << 20)) {
     return Status::InvalidArgument("pool capacity too small");
   }
   auto pool = std::unique_ptr<Pool>(new Pool());
@@ -175,7 +200,13 @@ Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
     pool->fault_injector_ = std::make_unique<FaultInjector>();
     uint64_t crash_point = util::EnvU64("POSEIDON_CRASH_POINT", 0);
     if (crash_point != 0) pool->fault_injector_->ArmCrashPoint(crash_point);
+    pool->fault_injector_->ArmMediaFaultsFromEnv();
   }
+  pool->ConfigureChecksums(options);
+  pool->header()->checksums_live = pool->checksums_ ? 1 : 0;
+  POOL_PSAN_MARK(pool->psan_.get(), &pool->header()->checksums_live,
+                 sizeof(uint64_t));
+  pool->Persist(&pool->header()->checksums_live, sizeof(uint64_t));
   pool->redo_log_ = std::make_unique<RedoLog>(
       pool.get(), pool->header()->redo_area, pool->header()->redo_size,
       static_cast<uint32_t>(pool->header()->redo_segments));
@@ -183,7 +214,14 @@ Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
 }
 
 Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
-                                         const PoolOptions& options) {
+                                         const PoolOptions& opts_in) {
+  PoolOptions options = opts_in;
+  // Same promotion as Create: checksums are only sound over a shadowed
+  // durable image, so the scrubbing knobs imply the crash shadow.
+  if (EnvInt("POSEIDON_SCRUB", 0) != 0 ||
+      EnvInt("POSEIDON_CHECKSUMS", 0) != 0) {
+    options.crash_shadow = true;
+  }
   if (options.mode != PoolMode::kPmem) {
     return Status::InvalidArgument("only pmem pools can be reopened");
   }
@@ -206,7 +244,9 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
     pool->fault_injector_ = std::make_unique<FaultInjector>();
     uint64_t crash_point = util::EnvU64("POSEIDON_CRASH_POINT", 0);
     if (crash_point != 0) pool->fault_injector_->ArmCrashPoint(crash_point);
+    pool->fault_injector_->ArmMediaFaultsFromEnv();
   }
+  pool->ConfigureChecksums(options);
   // The header's segment count is authoritative: it fixed the segment
   // geometry at creation, and trusting a different env/options value here
   // would make recovery walk segment boundaries that don't match the
@@ -234,6 +274,21 @@ Result<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
       segments);
   size_t pre_recovery_warnings = pool->recovery_report_.warnings.size();
   pool->redo_log_->Recover(&pool->recovery_report_);
+  // Replayed entries unsealed their lines; recovery end is a commit
+  // boundary, so their checksums are valid again now.
+  pool->SealPending();
+  // A previous session that ran with checksums off mutated sealed lines
+  // without unsealing them, so every seal on media is suspect: rebuild
+  // the whole sidecar from the recovered image before trusting it.
+  if (pool->checksums_ && pool->header()->checksums_live == 0) {
+    pool->ReseedSidecar();
+  }
+  if (pool->header()->checksums_live != (pool->checksums_ ? 1u : 0u)) {
+    pool->header()->checksums_live = pool->checksums_ ? 1 : 0;
+    POOL_PSAN_MARK(pool->psan_.get(), &pool->header()->checksums_live,
+                   sizeof(uint64_t));
+    pool->Persist(&pool->header()->checksums_live, sizeof(uint64_t));
+  }
   // Degraded-recovery diagnostics live in recovery_report(); stderr echo is
   // opt-in so test and benchmark runs stay quiet by default.
   if (EnvInt("POSEIDON_VERBOSE", 0) != 0) {
@@ -259,6 +314,7 @@ Result<std::unique_ptr<Pool>> Pool::CreateVolatile(uint64_t capacity) {
 
 Pool::~Pool() {
   if (base_ == nullptr) return;
+  if (checksums_) SealPending();
   if (mode_ == PoolMode::kPmem && fd_ >= 0) {
     header()->clean_shutdown = 1;
     POOL_PSAN_MARK(psan_.get(), &header()->clean_shutdown, sizeof(uint64_t));
@@ -328,8 +384,9 @@ void Pool::InitHeader(const PoolOptions& options) {
                 "header must fit reserved page");
   static_assert(offsetof(Header, pool_id) == 24 &&
                     offsetof(Header, redo_area) == 56 &&
-                    offsetof(Header, redo_segments) == 72,
-                "HeaderConfigCrc hashes bytes [0,32) and [56,80)");
+                    offsetof(Header, sidecar_area) == 80 &&
+                    offsetof(Header, free_lists) == 96,
+                "HeaderConfigCrc hashes bytes [0,32) and [56,96)");
   uint32_t segments = options.redo_segments != 0
                           ? options.redo_segments
                           : static_cast<uint32_t>(std::clamp(
@@ -350,8 +407,10 @@ void Pool::InitHeader(const PoolOptions& options) {
   h->redo_area = kHeaderReserved;
   h->redo_size = kDefaultRedoSize;
   h->redo_segments = segments;
+  h->sidecar_area = kHeaderReserved + kDefaultRedoSize;
+  h->sidecar_size = SidecarBytes(options.capacity);
   h->config_crc = HeaderConfigCrc(h);
-  h->bump = AlignUp(kHeaderReserved + kDefaultRedoSize, kPmemBlockSize);
+  h->bump = AlignUp(h->sidecar_area + h->sidecar_size, kPmemBlockSize);
   // Ensure every redo segment starts idle.
   uint64_t seg_size = (h->redo_size / segments) & ~(kCacheLineSize - 1);
   for (uint32_t i = 0; i < segments; ++i) {
@@ -397,6 +456,11 @@ Status Pool::ValidateHeader() const {
                               std::to_string(h->redo_segments) +
                               " outside [1, " +
                               std::to_string(kMaxRedoSegments) + "]");
+  }
+  if (h->sidecar_area < h->redo_area + h->redo_size ||
+      h->sidecar_area + h->sidecar_size > h->capacity ||
+      h->sidecar_area + h->sidecar_size < h->sidecar_area) {
+    return Status::Corruption("pool header checksum sidecar out of bounds");
   }
   if (h->bump > h->capacity || h->root >= h->capacity) {
     return Status::Corruption("pool header allocator state out of bounds");
@@ -497,6 +561,32 @@ void Pool::CopyToShadow(uint64_t begin, uint64_t end) {
 void Pool::FlushAccounted(const void* addr, uint64_t len,
                           uint64_t unique_lines) {
   if (len == 0) return;
+  // Seals and data flushes over the checksummed area are mutually
+  // exclusive: seal_mu_ is held from the unseal below through the shadow
+  // copy at the bottom, and SealLine computes+publishes its CRC under the
+  // same mutex. Any interleaving of a commit-boundary seal with an
+  // in-flight write to the same line would otherwise be able to publish a
+  // checksum computed before this call's data lands — invisible
+  // in-process (the line stays pending and reseals on touch), but a crash
+  // wipes the pending set and recovery would then quarantine a perfectly
+  // good committed line. The recursive FlushAccounted for the sidecar
+  // slots stays below data_begin_ and skips this lock.
+  std::unique_lock<std::mutex> seal_lock;
+  if (checksums_) {
+    auto a = reinterpret_cast<uint64_t>(addr);
+    auto base_addr = reinterpret_cast<uint64_t>(base_);
+    uint64_t begin = (a / kCacheLineSize) * kCacheLineSize;
+    uint64_t end = ((a + len - 1) / kCacheLineSize + 1) * kCacheLineSize;
+    if (begin < base_addr) begin = base_addr;
+    if (end > base_addr + capacity_) end = base_addr + capacity_;
+    if (begin < end && end - base_addr > data_begin_) {
+      seal_lock = std::unique_lock<std::mutex>(seal_mu_);
+      // Unseal covered lines BEFORE their data reaches the durable image:
+      // a crash between the sidecar flush and the data flush then reads as
+      // "unsealed" (unverified), never as a false checksum mismatch.
+      UnsealForFlush(begin - base_addr, end - base_addr);
+    }
+  }
   // Crash-point scheduling: every flush is a numbered injection point, and
   // an armed point freezes the shadow BEFORE this flush copies into it —
   // the simulated power loss hits just as the clwb was about to retire.
@@ -612,16 +702,31 @@ void Pool::set_root(Offset off) {
 void Pool::SimulateCrash() {
   assert(shadow_ != nullptr &&
          "SimulateCrash requires PoolOptions::crash_shadow");
-  std::lock_guard<std::mutex> lock(shadow_mu_);
-  std::memcpy(base_, shadow_.get(), capacity_);
-  recovered_from_crash_ = true;
+  // Media decay armed via POSEIDON_FAULT_MEDIA lands in the durable image
+  // now, so the crash surfaces it exactly like a real power loss would.
+  if (fault_injector_ != nullptr) fault_injector_->ApplyPendingMediaFaults(this);
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    std::memcpy(base_, shadow_.get(), capacity_);
+    recovered_from_crash_ = true;
 #ifdef POSEIDON_PSAN
-  // The memory image was reverted: pre-crash tracking no longer describes
-  // it. Violation counters survive — they were real before the crash.
-  if (psan_ != nullptr) psan_->Reset();
+    // The memory image was reverted: pre-crash tracking no longer describes
+    // it. Violation counters survive — they were real before the crash.
+    if (psan_ != nullptr) psan_->Reset();
 #endif
-  // The durable image and the live image coincide again: resume recording.
-  shadow_frozen_.store(false, std::memory_order_release);
+    // The durable image and the live image coincide again: resume recording.
+    shadow_frozen_.store(false, std::memory_order_release);
+  }
+  // Scrub state describes the pre-crash image: drop the pending-seal set
+  // (those lines read as unsealed now, which is the truth) and the
+  // quarantine (re-detection after the crash is what keeps crash-point
+  // sweeps deterministic), and tell the scrubber to restart its pass.
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    pending_seal_.clear();
+  }
+  ClearQuarantine();
+  scrub_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Pool::FreezeShadow() {
@@ -629,6 +734,328 @@ void Pool::FreezeShadow() {
   // Acquire the shadow lock so no in-flight flush straddles the freeze.
   std::lock_guard<std::mutex> lock(shadow_mu_);
   shadow_frozen_.store(true, std::memory_order_release);
+}
+
+// --- Integrity: CRC sidecar, scrubbing, quarantine --------------------------
+
+void Pool::ConfigureChecksums(const PoolOptions& options) {
+  const auto* h = header();
+  data_begin_ = AlignUp(h->sidecar_area + h->sidecar_size, kPmemBlockSize);
+  bool want = options.crash_shadow || EnvInt("POSEIDON_SCRUB", 0) != 0;
+  checksums_ = EnvInt("POSEIDON_CHECKSUMS", want ? 1 : 0) != 0;
+  if (h->sidecar_size == 0) checksums_ = false;
+  // Soundness guard: the sidecar CRCs cover the durable image. Without a
+  // crash shadow the live mapping *is* that image, and volatile in-record
+  // fields (MVTO lock words, rts bumps) are stored without flushes — they
+  // would drift under sealed lines and scrub as false media corruption.
+  if (shadow_ == nullptr) checksums_ = false;
+}
+
+void Pool::ReseedSidecar() {
+  auto* h = header();
+  std::memset(base_ + h->sidecar_area, 0, h->sidecar_size);
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    std::memset(shadow_.get() + h->sidecar_area, 0, h->sidecar_size);
+  }
+  uint64_t first = data_begin_ / kCacheLineSize;
+  uint64_t last = AlignUp(h->bump, kCacheLineSize) / kCacheLineSize;
+  for (uint64_t line = first; line < last; ++line) SealLine(line);
+}
+
+uint32_t* Pool::SidecarSlot(uint64_t line) const {
+  return reinterpret_cast<uint32_t*>(base_ + header()->sidecar_area +
+                                     line * 4);
+}
+
+uint32_t Pool::DurableSlotValue(uint64_t line) const {
+  uint64_t slot_off = header()->sidecar_area + line * 4;
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    uint32_t v;
+    std::memcpy(&v, shadow_.get() + slot_off, sizeof(v));
+    return v;
+  }
+  return std::atomic_ref<const uint32_t>(
+             *reinterpret_cast<const uint32_t*>(base_ + slot_off))
+      .load(std::memory_order_acquire);
+}
+
+void Pool::ReadDurableLine(uint64_t line, void* buf64) const {
+  uint64_t off = line * kCacheLineSize;
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    AtomicLoadCopy(buf64, shadow_.get() + off, kCacheLineSize);
+    return;
+  }
+  AtomicLoadCopy(buf64, base_ + off, kCacheLineSize);
+}
+
+uint32_t Pool::ComputeDurableLineCrc(uint64_t line) const {
+  alignas(kCacheLineSize) char buf[kCacheLineSize];
+  ReadDurableLine(line, buf);
+  uint32_t crc = util::Crc32c(buf, kCacheLineSize);
+  // 0 is the "unsealed" sentinel; bias real checksums away from it.
+  return crc == 0 ? 1u : crc;
+}
+
+Pool::LineVerify Pool::VerifyLine(uint64_t line) const {
+  if (!checksums_ || line < data_begin_ / kCacheLineSize ||
+      line >= capacity_ / kCacheLineSize) {
+    return LineVerify::kNotCovered;
+  }
+  uint32_t stored = DurableSlotValue(line);
+  if (stored == 0) return LineVerify::kUnsealed;
+  return ComputeDurableLineCrc(line) == stored ? LineVerify::kClean
+                                               : LineVerify::kMismatch;
+}
+
+void Pool::UnsealForFlush(uint64_t begin, uint64_t end) {
+  // begin/end are pool-relative, line-aligned and pool-clamped.
+  uint64_t first = std::max(begin / kCacheLineSize,
+                            data_begin_ / kCacheLineSize);
+  uint64_t last_excl = end / kCacheLineSize;
+  if (first >= last_excl) return;
+  // Caller (FlushAccounted) holds seal_mu_, making the whole
+  // unseal-then-copy sequence atomic against SealLine.
+  for (uint64_t line = first; line < last_excl; ++line) {
+    pending_seal_.insert(line);
+  }
+  uint64_t flush_lo = 0, flush_hi = 0;
+  for (uint64_t line = first; line < last_excl; ++line) {
+    uint32_t* slot = SidecarSlot(line);
+    if (std::atomic_ref<uint32_t>(*slot).load(std::memory_order_relaxed) ==
+        0) {
+      continue;  // already unsealed since the last seal
+    }
+    std::atomic_ref<uint32_t>(*slot).store(0, std::memory_order_release);
+    POOL_PSAN_MARK(psan_.get(), slot, sizeof(uint32_t));
+    auto s = reinterpret_cast<uint64_t>(slot);
+    if (flush_hi == 0) flush_lo = s;
+    flush_hi = s + sizeof(uint32_t);
+  }
+  // One flush over the touched slot range — consecutive data lines share
+  // sidecar lines 16:1, so this is almost always a single line. It must
+  // reach the durable image BEFORE the caller's data flush does (the whole
+  // point of the unseal-first protocol). The recursive FlushAccounted skips
+  // this branch: sidecar slots live below data_begin_.
+  if (flush_hi != 0) {
+    Flush(reinterpret_cast<void*>(flush_lo), flush_hi - flush_lo);
+  }
+}
+
+void Pool::SealLine(uint64_t line) {
+  if (!checksums_ || line < data_begin_ / kCacheLineSize ||
+      line >= capacity_ / kCacheLineSize) {
+    return;
+  }
+  // Mutual exclusion with in-flight data flushes (see FlushAccounted): the
+  // CRC is computed and published with no concurrent write able to land in
+  // the durable image between the two, so a published seal always matches
+  // the durable content at publication time.
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  uint32_t crc = ComputeDurableLineCrc(line);
+  uint32_t* slot = SidecarSlot(line);
+  std::atomic_ref<uint32_t>(*slot).store(crc, std::memory_order_release);
+  POOL_PSAN_MARK(psan_.get(), slot, sizeof(uint32_t));
+  Flush(slot, sizeof(uint32_t));
+}
+
+void Pool::SealPending() {
+  if (!checksums_) return;
+  std::unordered_set<uint64_t> pending;
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    pending.swap(pending_seal_);
+  }
+  for (uint64_t line : pending) SealLine(line);
+}
+
+void Pool::SetCorruptionHandler(CorruptionHandler handler) {
+  std::lock_guard<std::recursive_mutex> lock(repair_mu_);
+  corruption_handler_ = std::move(handler);
+}
+
+Pool::RepairOutcome Pool::HandleCorruptLine(uint64_t line) {
+  std::lock_guard<std::recursive_mutex> repair_lock(repair_mu_);
+  // A line awaiting its commit-boundary seal can race a concurrent seal
+  // into a stale checksum; that is an in-flight line, not corruption —
+  // reseal it from the durable image.
+  bool was_pending;
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    was_pending = pending_seal_.erase(line) != 0;
+  }
+  if (was_pending) {
+    SealLine(line);
+    scrub_stats_.resealed.fetch_add(1, std::memory_order_relaxed);
+    return RepairOutcome::kAdopted;
+  }
+  if (VerifyLine(line) != LineVerify::kMismatch) {
+    return RepairOutcome::kAdopted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (quarantined_set_.count(line) != 0) {
+      return RepairOutcome::kUnrepairable;  // already reported
+    }
+  }
+  scrub_stats_.mismatches.fetch_add(1, std::memory_order_relaxed);
+  RepairOutcome out = RepairOutcome::kUnrepairable;
+  if (corruption_handler_) {
+    out = corruption_handler_(line * kCacheLineSize);
+  }
+  switch (out) {
+    case RepairOutcome::kRepaired:
+      // The handler rewrote and persisted the content (RepairStore seals on
+      // its own; seal again here in case it used staged redo writes).
+      {
+        std::lock_guard<std::mutex> lock(seal_mu_);
+        pending_seal_.erase(line);
+      }
+      SealLine(line);
+      scrub_stats_.repaired.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepairOutcome::kAdopted:
+      // Free slot / structure rebuilt elsewhere: current durable bytes are
+      // acceptable, bless them.
+      {
+        std::lock_guard<std::mutex> lock(seal_mu_);
+        pending_seal_.erase(line);
+      }
+      SealLine(line);
+      scrub_stats_.adopted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepairOutcome::kUnrepairable:
+      // Content lost. Keep the mismatched checksum (it is the truth) and
+      // quarantine: reads touching this line degrade to Status::Corruption,
+      // the verify paths skip it from now on.
+      QuarantineLine(line);
+      scrub_stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return out;
+}
+
+uint64_t Pool::VerifyAndRepairRange(Offset off, uint64_t len) {
+  if (!checksums_ || len == 0) return 0;
+  uint64_t first = std::max(off / kCacheLineSize,
+                            data_begin_ / kCacheLineSize);
+  uint64_t last = (off + len - 1) / kCacheLineSize;
+  uint64_t end_line = capacity_ / kCacheLineSize;
+  if (last >= end_line) last = end_line - 1;
+  uint64_t mismatches = 0;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (quarantine_count_.load(std::memory_order_relaxed) != 0) {
+      std::lock_guard<std::mutex> lock(quarantine_mu_);
+      if (quarantined_set_.count(line) != 0) continue;
+    }
+    LineVerify v = VerifyLine(line);
+    if (v == LineVerify::kClean) {
+      scrub_stats_.lines_verified.fetch_add(1, std::memory_order_relaxed);
+    } else if (v == LineVerify::kMismatch) {
+      ++mismatches;
+      HandleCorruptLine(line);
+    }
+  }
+  return mismatches;
+}
+
+void Pool::RepairStore(Offset dst, const void* src, uint64_t len) {
+  assert(dst + len <= capacity_);
+  char* p = base_ + dst;
+  AtomicStoreCopy(p, src, len);
+  POOL_PSAN_MARK(psan_.get(), p, len);
+  Persist(p, len);
+  if (!checksums_) return;
+  uint64_t first = dst / kCacheLineSize;
+  uint64_t last = (dst + len - 1) / kCacheLineSize;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (line < data_begin_ / kCacheLineSize) continue;
+    {
+      std::lock_guard<std::mutex> lock(seal_mu_);
+      pending_seal_.erase(line);
+    }
+    SealLine(line);
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (quarantined_set_.erase(line) != 0) {
+      quarantine_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Pool::QuarantineLine(uint64_t line) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  if (quarantined_set_.insert(line).second) {
+    quarantine_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Pool::IsQuarantinedRangeSlow(const void* addr, uint64_t len) const {
+  auto a = reinterpret_cast<uint64_t>(addr);
+  auto base_addr = reinterpret_cast<uint64_t>(base_);
+  if (a < base_addr || a >= base_addr + capacity_) return false;
+  uint64_t off = a - base_addr;
+  uint64_t first = off / kCacheLineSize;
+  uint64_t last = (off + (len == 0 ? 1 : len) - 1) / kCacheLineSize;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  for (uint64_t line = first; line <= last; ++line) {
+    if (quarantined_set_.count(line) != 0) return true;
+  }
+  return false;
+}
+
+void Pool::ClearQuarantine() {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_set_.clear();
+  quarantine_count_.store(0, std::memory_order_relaxed);
+}
+
+void Pool::CorruptDurable(Offset off, const void* bytes, uint64_t len) {
+  assert(off + len <= capacity_);
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    std::memcpy(shadow_.get() + off, bytes, len);
+    return;
+  }
+  AtomicStoreCopy(base_ + off, bytes, len);
+}
+
+void Pool::FlipDurableBit(Offset off, uint32_t bit) {
+  assert(off < capacity_);
+  char mask = static_cast<char>(1u << (bit & 7));
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_[off] ^= mask;
+    return;
+  }
+  auto* p = reinterpret_cast<uint8_t*>(base_ + off);
+  std::atomic_ref<uint8_t> ref(*p);
+  ref.store(ref.load(std::memory_order_relaxed) ^ static_cast<uint8_t>(mask),
+            std::memory_order_relaxed);
+}
+
+void Pool::CollectSealedLines(std::vector<uint64_t>* out) const {
+  if (!checksums_) return;
+  uint64_t begin_line = data_begin_ / kCacheLineSize;
+  uint64_t end_line = header()->bump / kCacheLineSize;
+  uint64_t sidecar = header()->sidecar_area;
+  if (shadow_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    for (uint64_t line = begin_line; line < end_line; ++line) {
+      uint32_t v;
+      std::memcpy(&v, shadow_.get() + sidecar + line * 4, sizeof(v));
+      if (v != 0) out->push_back(line);
+    }
+    return;
+  }
+  for (uint64_t line = begin_line; line < end_line; ++line) {
+    if (std::atomic_ref<const uint32_t>(
+            *reinterpret_cast<const uint32_t*>(base_ + sidecar + line * 4))
+            .load(std::memory_order_relaxed) != 0) {
+      out->push_back(line);
+    }
+  }
 }
 
 // --- Introspection ----------------------------------------------------------
@@ -948,6 +1375,12 @@ Status RedoTx::CommitPipelined(uint64_t commit_ts, const DrainFn& drain) {
   std::atomic_ref<uint64_t>(*state).store(0, std::memory_order_release);
   POOL_PSAN_MARK(pool->psan_.get(), seg_, sizeof(uint64_t));
   batch.Flush(seg_, sizeof(uint64_t));
+
+  // Commit boundary: every covered line this commit flushed is durable
+  // again — recompute and store its sidecar checksum. Piggybacks on the
+  // FlushBatch dedup set's work (the pending set holds exactly the unique
+  // lines), so checksum upkeep costs no extra pool walks.
+  pool->SealPending();
   return Status::Ok();
 }
 
@@ -996,6 +1429,9 @@ Status RedoTx::CommitSerialized(uint64_t commit_ts, const DrainFn& drain) {
   std::memcpy(log, &zero, sizeof(zero));
   POOL_PSAN_MARK(pool->psan_.get(), log, sizeof(zero));
   pool->Persist(log, sizeof(zero));
+
+  // Commit boundary: reseal the lines this commit unsealed.
+  pool->SealPending();
   return Status::Ok();
 }
 

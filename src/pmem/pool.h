@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "pmem/latency_model.h"
@@ -272,6 +273,122 @@ class Pool {
   /// instrumented store and every Flush/Drain reports to it.
   PersistSanitizer* psan() const { return psan_.get(); }
 
+  // --- Integrity: per-line CRC32C sidecar, scrubbing, quarantine ----------
+  //
+  // Pool layout v4 reserves a sidecar region between the redo log and the
+  // data area: one 4-byte CRC32C slot per 64 B cache line. A slot value of
+  // 0 means "unsealed": the line has been flushed since the last commit
+  // boundary and its checksum is not currently valid (computed CRCs of 0
+  // are biased to 1 so 0 stays reserved). FlushAccounted unseals covered
+  // lines *before* the data flush, so a crash between the two degrades to
+  // "unverified", never to a false mismatch; SealPending() — called at the
+  // end of every redo commit, at recovery, at close, and by the scrubber —
+  // seals them again with the CRC of the *durable* image (the crash shadow
+  // when present, live memory otherwise: the shadow is the media).
+
+  /// Verdict for a single 64 B line.
+  enum class LineVerify {
+    kNotCovered,  ///< below the data area (header/redo/sidecar), or off
+    kUnsealed,    ///< slot is 0 — flushed since last seal, not judged
+    kClean,       ///< stored CRC matches the durable content
+    kMismatch,    ///< stored CRC does not match — media corruption
+  };
+
+  /// What a corruption handler (or HandleCorruptLine itself) decided about
+  /// a mismatched line.
+  enum class RepairOutcome {
+    kUnrepairable,  ///< content lost — line quarantined, reads degrade
+    kRepaired,      ///< content rewritten in place from a redundant source
+    kAdopted,       ///< current content acceptable as-is (free slot,
+                    ///< structure rebuilt elsewhere) — line resealed
+  };
+
+  using CorruptionHandler = std::function<RepairOutcome(Offset line_off)>;
+
+  /// True when line checksums are maintained. On for crash-shadow pools and
+  /// whenever POSEIDON_SCRUB=1; POSEIDON_CHECKSUMS=0/1 overrides both.
+  bool checksums_enabled() const { return checksums_; }
+
+  /// First byte of the checksummed data area (everything from here up to
+  /// capacity is covered by the sidecar).
+  Offset data_begin() const { return data_begin_; }
+
+  /// Verifies one line (`line` = pool offset / kCacheLineSize) against its
+  /// sidecar slot.
+  LineVerify VerifyLine(uint64_t line) const;
+
+  /// Verifies every line overlapping [off, off+len); mismatches are routed
+  /// through HandleCorruptLine. Returns the number of mismatches found.
+  /// Cold-structure first-touch hooks and the scrubber both land here.
+  uint64_t VerifyAndRepairRange(Offset off, uint64_t len);
+
+  /// Seals every line unsealed since the last call: recomputes the CRC of
+  /// the durable image and stores it in the sidecar. Runs automatically at
+  /// redo-commit boundaries, recovery end, and pool close.
+  void SealPending();
+
+  /// Installs the repair dispatcher (GraphDb wires this to the storage and
+  /// index layers). Invoked with the pool offset of a corrupt line; runs
+  /// without pool-internal locks held.
+  void SetCorruptionHandler(CorruptionHandler handler);
+
+  /// Detect→repair→quarantine pipeline for one mismatched line:
+  /// re-verifies (a pending-seal line is just resealed), invokes the
+  /// corruption handler, seals repaired/adopted lines, quarantines
+  /// unrepairable ones.
+  RepairOutcome HandleCorruptLine(uint64_t line);
+
+  /// Sanctioned repair write: atomically stores [src, src+len) at `dst`,
+  /// marks it for the persist sanitizer, persists it, and reseals + clears
+  /// quarantine on the covered lines. Storage-layer repair code uses this
+  /// instead of raw stores (recognised by tools/lint_pptr_stores.py).
+  void RepairStore(Offset dst, const void* src, uint64_t len);
+
+  /// True when any line overlapping [addr, addr+len) is quarantined.
+  /// Fast path: one relaxed load when nothing is quarantined (the common
+  /// case on every record read).
+  bool IsQuarantinedRange(const void* addr, uint64_t len) const {
+    if (quarantine_count_.load(std::memory_order_relaxed) == 0) return false;
+    return IsQuarantinedRangeSlow(addr, len);
+  }
+
+  void QuarantineLine(uint64_t line);
+  uint64_t quarantined_lines() const {
+    return quarantine_count_.load(std::memory_order_relaxed);
+  }
+  void ClearQuarantine();
+
+  /// Monotonic epoch bumped by SimulateCrash(); the scrubber re-reads it
+  /// between batches and resets its cursor on change, keeping crash-point
+  /// sweeps deterministic under POSEIDON_SCRUB=1.
+  uint64_t scrub_epoch() const {
+    return scrub_epoch_.load(std::memory_order_acquire);
+  }
+
+  struct ScrubStats {
+    std::atomic<uint64_t> lines_verified{0};  ///< sealed lines checked clean
+    std::atomic<uint64_t> mismatches{0};      ///< CRC mismatches detected
+    std::atomic<uint64_t> repaired{0};        ///< lines rebuilt in place
+    std::atomic<uint64_t> adopted{0};         ///< resealed as-is (free slot)
+    std::atomic<uint64_t> quarantined{0};     ///< unrepairable, reads degrade
+    std::atomic<uint64_t> resealed{0};        ///< pending lines sealed late
+  };
+  const ScrubStats& scrub_stats() const { return scrub_stats_; }
+
+  // --- Media-fault injection (FaultInjector / tests) ----------------------
+
+  /// Overwrites `len` bytes at `off` in the *durable image only* (the crash
+  /// shadow when present, live memory otherwise) without flush accounting —
+  /// emulating media decay. SimulateCrash() surfaces the damage.
+  void CorruptDurable(Offset off, const void* bytes, uint64_t len);
+
+  /// Flips one bit of the durable image (byte `off`, bit index 0..7).
+  void FlipDurableBit(Offset off, uint32_t bit);
+
+  /// Appends the line numbers of every currently sealed covered line — the
+  /// candidate set for randomized media-fault injection.
+  void CollectSealedLines(std::vector<uint64_t>* out) const;
+
   // --- Introspection ------------------------------------------------------
 
   PoolMode mode() const { return mode_; }
@@ -297,6 +414,9 @@ class Pool {
   void InitHeader(const PoolOptions& options);
   Status ValidateHeader() const;
   void Configure(const PoolOptions& options);
+  /// Derives data_begin_ from the (validated) header and decides whether
+  /// line checksums are maintained. Runs after the crash shadow exists.
+  void ConfigureChecksums(const PoolOptions& options);
   static int SizeClassFor(uint64_t size);
   static uint64_t SizeClassBytes(int size_class);
 
@@ -305,6 +425,22 @@ class Pool {
   /// FlushBatch, which passes the deduplicated line count.
   void FlushAccounted(const void* addr, uint64_t len, uint64_t unique_lines);
   void CopyToShadow(uint64_t begin_addr, uint64_t end_addr);
+
+  // Integrity internals. Lines are pool offsets / kCacheLineSize; only
+  // lines at or above data_begin_ have sidecar slots.
+  uint32_t* SidecarSlot(uint64_t line) const;
+  uint32_t DurableSlotValue(uint64_t line) const;
+  void ReadDurableLine(uint64_t line, void* buf64) const;
+  uint32_t ComputeDurableLineCrc(uint64_t line) const;
+  /// Unseals covered lines in [begin_addr, end_addr) before their data
+  /// flush and records them for the next SealPending().
+  void UnsealForFlush(uint64_t begin_addr, uint64_t end_addr);
+  void SealLine(uint64_t line);
+  /// Zeroes the sidecar and recomputes every allocated line's CRC from the
+  /// durable image. Used on reopen when a prior session ran with checksums
+  /// off (header checksums_live == 0) and left the on-media seals stale.
+  void ReseedSidecar();
+  bool IsQuarantinedRangeSlow(const void* addr, uint64_t len) const;
 
   char* base_ = nullptr;
   uint64_t capacity_ = 0;
@@ -319,7 +455,7 @@ class Pool {
   // source bytes are read with 8-byte atomic loads so a flush racing a
   // commit apply on a neighbouring record in the same line is benign.
   std::unique_ptr<char[]> shadow_;
-  std::mutex shadow_mu_;
+  mutable std::mutex shadow_mu_;
   std::atomic<bool> shadow_frozen_{false};
 
   std::unique_ptr<RedoLog> redo_log_;
@@ -328,6 +464,23 @@ class Pool {
   RecoveryReport recovery_report_;
   mutable std::mutex alloc_mu_;
   mutable PoolStats stats_;
+
+  // Integrity layer (header v4 sidecar). data_begin_ is also the initial
+  // bump pointer: header | redo | sidecar | data.
+  bool checksums_ = false;
+  Offset data_begin_ = 0;
+  std::mutex seal_mu_;
+  std::unordered_set<uint64_t> pending_seal_;
+  mutable std::mutex quarantine_mu_;
+  std::unordered_set<uint64_t> quarantined_set_;
+  std::atomic<uint64_t> quarantine_count_{0};
+  std::atomic<uint64_t> scrub_epoch_{0};
+  // Serializes HandleCorruptLine pipelines. Recursive because a repair
+  // handler may rebuild a structure whose rebuild scan first-touch-verifies
+  // other chunks and finds further corruption on the same thread.
+  std::recursive_mutex repair_mu_;
+  CorruptionHandler corruption_handler_;
+  mutable ScrubStats scrub_stats_;
 };
 
 /// Per-commit cache-line flush coalescing (Götze et al.: flush dedup at

@@ -1,0 +1,94 @@
+#include "pmem/scrubber.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pmem/pool.h"
+#include "util/env.h"
+
+namespace poseidon::pmem {
+
+namespace {
+/// Lines verified per scheduling quantum: 4096 lines = 256 KiB, small
+/// enough that Stop() and rate changes take effect promptly.
+constexpr uint64_t kBatchLines = 4096;
+}  // namespace
+
+Scrubber::Scrubber(Pool* pool)
+    : pool_(pool),
+      rate_mb_s_(util::EnvU64("POSEIDON_SCRUB_RATE_MB_S", 64)) {}
+
+Scrubber::~Scrubber() { Stop(); }
+
+void Scrubber::Start() {
+  if (!pool_->checksums_enabled()) return;
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Scrubber::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+uint64_t Scrubber::ScrubOnce() {
+  if (!pool_->checksums_enabled()) return 0;
+  // Seal in-flight lines first: anything flushed since the last commit
+  // boundary reads as "unsealed" and would silently escape verification.
+  pool_->SealPending();
+  Offset begin = pool_->data_begin();
+  uint64_t end = pool_->bytes_used();
+  if (end <= begin) return 0;
+  return pool_->VerifyAndRepairRange(begin, end - begin);
+}
+
+void Scrubber::Loop() {
+  Offset cursor = pool_->data_begin();
+  uint64_t epoch = pool_->scrub_epoch();
+  while (!stop_.load(std::memory_order_acquire)) {
+    uint64_t now_epoch = pool_->scrub_epoch();
+    if (now_epoch != epoch) {
+      // SimulateCrash reverted the image: restart the pass so the sweep's
+      // verification schedule is independent of where the cursor was.
+      epoch = now_epoch;
+      cursor = pool_->data_begin();
+    }
+    uint64_t rate = rate_mb_s_.load(std::memory_order_acquire);
+    uint64_t end = pool_->bytes_used();
+    uint64_t batch_bytes = kBatchLines * kCacheLineSize;
+    if (rate == 0) {
+      // Paused: idle until Stop or a rate change.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    if (cursor >= end) {
+      // Pass complete: seal stragglers, publish, restart.
+      pool_->SealPending();
+      passes_.fetch_add(1, std::memory_order_acq_rel);
+      cursor = pool_->data_begin();
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      continue;
+    }
+    uint64_t len = std::min(batch_bytes, end - cursor);
+    pool_->VerifyAndRepairRange(cursor, len);
+    cursor += len;
+    // Rate limiting: a batch of B bytes at R MB/s takes B/R microseconds
+    // per MB — sleep the budgeted time instead of scanning flat out.
+    uint64_t sleep_us = len / rate;  // (bytes / (MB/s)) == microseconds
+    if (sleep_us > 0) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(sleep_us));
+    }
+  }
+}
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,78 @@
+// Background integrity scrubber (tentpole leg 2 of the scrubbing
+// subsystem).
+//
+// Walks the pool's checksummed data area at a bounded rate
+// (POSEIDON_SCRUB_RATE_MB_S, default 64 MB/s) verifying each 64 B line
+// against its CRC32C sidecar slot; mismatches are routed through
+// Pool::HandleCorruptLine, which repairs re-derivable structures in place
+// and quarantines the rest. The cursor restarts whenever
+// Pool::scrub_epoch() changes (SimulateCrash bumps it), so crash-point
+// sweeps stay deterministic with the scrubber enabled.
+//
+// GraphDb owns one Scrubber per pool and starts it when POSEIDON_SCRUB=1;
+// tests drive ScrubOnce() for a synchronous full pass.
+
+#ifndef POSEIDON_PMEM_SCRUBBER_H_
+#define POSEIDON_PMEM_SCRUBBER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace poseidon::pmem {
+
+class Pool;
+
+class Scrubber {
+ public:
+  explicit Scrubber(Pool* pool);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Spawns the background thread (no-op when already running or when the
+  /// pool maintains no checksums).
+  void Start();
+
+  /// Stops and joins the background thread (no-op when not running).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Scan-rate budget in MB/s; 0 pauses the background thread without
+  /// stopping it.
+  void SetRate(uint64_t mb_s) {
+    rate_mb_s_.store(mb_s, std::memory_order_release);
+  }
+  uint64_t rate_mb_s() const {
+    return rate_mb_s_.load(std::memory_order_acquire);
+  }
+
+  /// Synchronous full pass over the allocated data area: seals in-flight
+  /// lines, then verifies everything. Returns the number of mismatches
+  /// detected (all of them routed through the repair pipeline). Safe to
+  /// call with the background thread running (verification is idempotent).
+  uint64_t ScrubOnce();
+
+  /// Full passes the background thread has completed.
+  uint64_t passes() const { return passes_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop();
+
+  Pool* pool_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> rate_mb_s_;
+  std::atomic<uint64_t> passes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace poseidon::pmem
+
+#endif  // POSEIDON_PMEM_SCRUBBER_H_

@@ -168,6 +168,11 @@ std::string AnnotationSuffix(const ExplainAnnotation* ann) {
   if (ann->snapshot_reuse) {
     out += " snapshot=" + std::to_string(ann->snapshot_ts);
   }
+  if (ann->scrub_on) {
+    out += " scrub=" + std::to_string(ann->scrub_verified) + "/" +
+           std::to_string(ann->scrub_repaired) + "/" +
+           std::to_string(ann->scrub_quarantined);
+  }
   return out + "]";
 }
 

@@ -145,6 +145,14 @@ struct ExplainAnnotation {
   uint64_t rts_deferred = 0;
   bool snapshot_reuse = false;
   uint64_t snapshot_ts = 0;
+  /// Online integrity scrubbing, rendered on pipeline sources when the pool
+  /// maintains checksums: `[scrub=verified/repaired/quarantined]`.
+  /// verified/repaired are pool-lifetime totals at EXPLAIN time;
+  /// quarantined is the number of currently quarantined lines.
+  bool scrub_on = false;
+  uint64_t scrub_verified = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_quarantined = 0;
 };
 
 /// A complete query plan. `root` is the sink-most operator.

@@ -99,6 +99,7 @@ class ChunkedTable {
     PsanStore(pool, &meta->tail_chunk, uint64_t{0});
     pool->Persist(meta, sizeof(TableMeta));
     table->ReserveMirror();
+    table->SyncMetaMirror();
     return table;
   }
 
@@ -149,6 +150,10 @@ class ChunkedTable {
     for (FreeShard& s : table->free_shards_) {
       std::sort(s.slots.begin(), s.slots.end(), std::greater<RecordId>());
     }
+    // A reopened pool may carry media damage the previous session never
+    // saw: verify each chunk against its checksum sidecar on first touch.
+    table->EnableVerifyOnFirstTouch();
+    table->SyncMetaMirror();
     return table;
   }
 
@@ -177,6 +182,9 @@ class ChunkedTable {
       }
       id = fresh;
     }
+    // Cold-chunk first-touch verification (reopened pools only): catch
+    // media damage before a record is written next to it.
+    MaybeVerifyChunk(id / kRecordsPerChunk);
     char* slot = SlotPtr(id);
     // Word-atomic store: concurrent stable readers (seqlock-style copies)
     // may race a slot being recycled; record structs are 8-byte multiples
@@ -218,6 +226,17 @@ class ChunkedTable {
   R* AtOccupied(RecordId id) const {
     if (!IsOccupied(id)) return nullptr;
     return At(id);
+  }
+
+  /// True when `id`'s slot bytes overlap a media-fault quarantined line.
+  /// Valid for free (e.g. tombstoned) slots too; one relaxed load when the
+  /// pool has no quarantined lines.
+  bool IsQuarantined(RecordId id) const {
+    if (pool_ == nullptr || id == kNullId ||
+        id / kRecordsPerChunk >= num_chunks_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return pool_->IsQuarantinedRange(SlotPtr(id), sizeof(R));
   }
 
   /// Marks the slot free (8-byte-atomic bitmap clear) and recycles it
@@ -295,6 +314,7 @@ class ChunkedTable {
       uint64_t chunk = id / kRecordsPerChunk;
       if (chunk != cur_chunk) {
         cur_chunk = chunk;
+        MaybeVerifyChunk(chunk);
         uint64_t next_chunk = chunk + 1;
         if (opts.prefetch_distance != 0 &&
             next_chunk * kRecordsPerChunk < end) {
@@ -361,7 +381,145 @@ class ChunkedTable {
     ForEachBatchRange(0, NumSlots(), opts, std::forward<F>(f));
   }
 
+  // --- Integrity repair (media-fault tolerance) -------------------------
+  //
+  // GraphStore's corruption handler dispatches a corrupt 64 B line here.
+  // Chunk headers and the directory are re-derivable from the DRAM mirror
+  // (with the documented exception of occupancy bitmap words, which are
+  // adopted as-is); record slots are the caller's problem — it decides
+  // between rewrite (version store), adopt (free slot) and tombstone.
+
+  enum class LineKind { kNone, kMeta, kDirectory, kHeader, kRecords };
+
+  struct LineOwner {
+    LineKind kind = LineKind::kNone;
+    uint64_t chunk = 0;       ///< kHeader / kRecords
+    RecordId first_id = 0;    ///< kRecords: slots overlapping the line
+    RecordId last_id = 0;     ///< inclusive
+  };
+
+  /// Classifies the line starting at pool offset `line_off`.
+  LineOwner OwnerOfLine(pmem::Offset line_off) const {
+    LineOwner owner;
+    if (line_off >= meta_off_ && line_off < meta_off_ + sizeof(TableMeta)) {
+      owner.kind = LineKind::kMeta;
+      return owner;
+    }
+    const auto* m = meta();
+    if (line_off >= m->directory &&
+        line_off < m->directory + m->directory_capacity * sizeof(uint64_t)) {
+      owner.kind = LineKind::kDirectory;
+      return owner;
+    }
+    uint64_t n = num_chunks_.load(std::memory_order_acquire);
+    for (uint64_t c = 0; c < n; ++c) {
+      pmem::Offset chunk_off = pool_->ToOffset(chunk_ptrs_[c]);
+      if (line_off < chunk_off || line_off >= chunk_off + kChunkBytes) {
+        continue;
+      }
+      owner.chunk = c;
+      if (line_off < chunk_off + kHeaderBytes) {
+        owner.kind = LineKind::kHeader;
+        return owner;
+      }
+      uint64_t rel = line_off - chunk_off - kHeaderBytes;
+      uint64_t first_slot = rel / sizeof(R);
+      uint64_t last_slot = (rel + pmem::kCacheLineSize - 1) / sizeof(R);
+      if (first_slot >= kRecordsPerChunk) break;  // tail padding
+      last_slot = std::min(last_slot, kRecordsPerChunk - 1);
+      owner.kind = LineKind::kRecords;
+      owner.first_id = c * kRecordsPerChunk + first_slot;
+      owner.last_id = c * kRecordsPerChunk + last_slot;
+      return owner;
+    }
+    return owner;
+  }
+
+  /// Rebuilds a corrupt chunk-header line from the DRAM mirror: next link
+  /// and first_id are fully re-derivable; occupancy bitmap words are NOT
+  /// (they are the only authority on slot liveness) and keep whatever the
+  /// durable image holds.
+  void RepairHeaderLine(uint64_t chunk) {
+    uint64_t n = num_chunks_.load(std::memory_order_acquire);
+    uint64_t fields[2];
+    fields[0] = chunk + 1 < n ? pool_->ToOffset(chunk_ptrs_[chunk + 1]) : 0;
+    fields[1] = chunk * kRecordsPerChunk;
+    pool_->RepairStore(pool_->ToOffset(chunk_ptrs_[chunk]), fields,
+                       sizeof(fields));
+  }
+
+  /// Rewrites the whole table-meta block from the DRAM mirror (refreshed
+  /// under grow_mu_ at every growth step — the only time TableMeta changes).
+  void RepairMetaLine() {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    pool_->RepairStore(meta_off_, &meta_mirror_, sizeof(TableMeta));
+  }
+
+  /// Rewrites the directory entries covered by the corrupt line from the
+  /// DRAM chunk-pointer mirror.
+  void RepairDirectoryLine(pmem::Offset line_off) {
+    const auto* m = meta();
+    if (m->directory == 0 || line_off < m->directory ||
+        m->directory + m->directory_capacity * sizeof(uint64_t) >
+            pool_->capacity()) {
+      return;  // meta itself is damaged; its own repair must run first
+    }
+    uint64_t first = (line_off - m->directory) / sizeof(uint64_t);
+    uint64_t count = std::min<uint64_t>(
+        pmem::kCacheLineSize / sizeof(uint64_t), m->directory_capacity - first);
+    uint64_t n = num_chunks_.load(std::memory_order_acquire);
+    uint64_t entries[pmem::kCacheLineSize / sizeof(uint64_t)] = {};
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t c = first + i;
+      entries[i] = c < n ? pool_->ToOffset(chunk_ptrs_[c]) : 0;
+    }
+    pool_->RepairStore(m->directory + first * sizeof(uint64_t), entries,
+                       count * sizeof(uint64_t));
+  }
+
+  /// Rewrites an (occupied) slot in place from a redundant copy.
+  void RewriteRecord(RecordId id, const R& record) {
+    pool_->RepairStore(pool_->ToOffset(SlotPtr(id)), &record, sizeof(R));
+  }
+
+  /// Marks an unrepairable slot dead: clears the occupancy bit (scans skip
+  /// it) WITHOUT recycling it through the free shards — the slot stays
+  /// quarantined for this session so point reads keep reporting
+  /// Status::Corruption instead of serving a recycled stranger. Returns
+  /// false when the bit was already clear.
+  bool Tombstone(RecordId id) {
+    if (id == kNullId ||
+        id / kRecordsPerChunk >= num_chunks_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (!ClearBit(id)) return false;
+    num_records_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Arms cold-chunk first-touch verification (no-op unless the pool
+  /// maintains checksums). Open() arms it automatically; Create()d tables
+  /// skip it — every line they own was written by this session.
+  void EnableVerifyOnFirstTouch() {
+    if (pool_ == nullptr || !pool_->checksums_enabled()) return;
+    verified_chunks_ =
+        std::make_unique<std::atomic<uint8_t>[]>(chunk_ptrs_.size());
+    verify_touch_.store(true, std::memory_order_release);
+  }
+
  private:
+  /// First touch of a chunk after reopen: verify it against the sidecar
+  /// before serving records from it. One-shot per chunk (atomic flag).
+  void MaybeVerifyChunk(uint64_t chunk) const {
+    if (!verify_touch_.load(std::memory_order_acquire)) return;
+    if (chunk >= num_chunks_.load(std::memory_order_acquire)) return;
+    if (verified_chunks_[chunk].load(std::memory_order_relaxed) != 0) return;
+    if (verified_chunks_[chunk].exchange(1, std::memory_order_acq_rel) != 0) {
+      return;
+    }
+    pool_->VerifyAndRepairRange(pool_->ToOffset(chunk_ptrs_[chunk]),
+                                kChunkBytes);
+  }
   TableMeta* meta() const { return pool_->ToPtr<TableMeta>(meta_off_); }
 
   void ReserveMirror() {
@@ -460,8 +618,14 @@ class ChunkedTable {
 
     chunk_ptrs_[n] = pool_->ToPtr<char>(chunk_off);
     num_chunks_.store(n + 1, std::memory_order_release);
+    SyncMetaMirror();
     return Status::Ok();
   }
+
+  /// Refreshes the DRAM TableMeta mirror from the (just persisted) pool
+  /// copy. Called wherever TableMeta mutates — create/open and chunk/
+  /// directory growth, all serialized by grow_mu_ or single-threaded setup.
+  void SyncMetaMirror() { std::memcpy(&meta_mirror_, meta(), sizeof(TableMeta)); }
 
   Status GrowDirectory() {
     auto* m = meta();
@@ -482,11 +646,14 @@ class ChunkedTable {
     PsanStore(pool_, &m->directory_capacity, new_cap);
     pool_->Persist(&m->directory_capacity, sizeof(uint64_t));
     pool_->Free(old_dir, old_cap * sizeof(uint64_t));
+    SyncMetaMirror();
     return Status::Ok();
   }
 
   pmem::Pool* pool_ = nullptr;
   pmem::Offset meta_off_ = 0;
+  /// DRAM copy of the persistent TableMeta (media-fault repair source).
+  TableMeta meta_mirror_{};
 
   // Volatile mirror (rebuilt on Open): direct chunk pointers indexed by
   // chunk number, lock-free for readers (slots are published before
@@ -507,6 +674,11 @@ class ChunkedTable {
   std::mutex grow_mu_;  // serializes AddChunk / GrowDirectory
   std::atomic<uint64_t> next_fresh_slot_{0};
   std::atomic<uint64_t> num_records_{0};
+
+  // Cold-chunk first-touch verification (armed by Open on checksummed
+  // pools): one byte per mirror slot, flipped once per chunk.
+  std::atomic<bool> verify_touch_{false};
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> verified_chunks_;
 };
 
 }  // namespace poseidon::storage

@@ -1,5 +1,6 @@
 #include "storage/dictionary.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "pmem/pptr.h"
@@ -30,6 +31,12 @@ struct Dictionary::Bucket {
   uint64_t code;  // 0 = empty
 };
 
+void Dictionary::SyncMetaMirrorLocked() {
+  static_assert(sizeof(Meta) == sizeof(meta_mirror_),
+                "Meta mirror in dictionary.h sized for 8 words");
+  std::memcpy(meta_mirror_, meta(), sizeof(Meta));
+}
+
 Result<std::unique_ptr<Dictionary>> Dictionary::Create(pmem::Pool* pool) {
   auto dict = std::unique_ptr<Dictionary>(new Dictionary());
   dict->pool_ = pool;
@@ -49,6 +56,7 @@ Result<std::unique_ptr<Dictionary>> Dictionary::Create(pmem::Pool* pool) {
   POSEIDON_ASSIGN_OR_RETURN(m->arena, pool->Allocate(kInitialArenaBytes));
   PsanMarkRange(pool, m, sizeof(Meta));
   pool->Persist(m, sizeof(Meta));
+  dict->SyncMetaMirrorLocked();  // single-threaded setup: no lock needed
   return dict;
 }
 
@@ -61,6 +69,7 @@ Result<std::unique_ptr<Dictionary>> Dictionary::Open(pmem::Pool* pool,
   if (m->bucket_capacity == 0 || (m->bucket_capacity & (m->bucket_capacity - 1)) != 0) {
     return Status::Corruption("dictionary bucket capacity invalid");
   }
+  dict->SyncMetaMirrorLocked();  // single-threaded setup: no lock needed
   return dict;
 }
 
@@ -73,6 +82,26 @@ std::string_view Dictionary::StringAt(pmem::Offset off) const {
   const char* p = pool_->ToPtr<char>(off);
   uint32_t len;
   std::memcpy(&len, p, sizeof(len));
+  pool_->TouchRead(p, sizeof(len) + len);
+  return std::string_view(p + sizeof(len), len);
+}
+
+Result<std::string_view> Dictionary::StringAtChecked(pmem::Offset off) const {
+  if (off == 0 || off + sizeof(uint32_t) > pool_->capacity()) {
+    return Status::Corruption("dictionary string offset out of bounds");
+  }
+  const char* p = pool_->ToPtr<char>(off);
+  if (pool_->IsQuarantinedRange(p, sizeof(uint32_t))) {
+    return Status::Corruption("dictionary string quarantined by media fault");
+  }
+  uint32_t len;
+  std::memcpy(&len, p, sizeof(len));
+  if (off + sizeof(len) + len > pool_->capacity()) {
+    return Status::Corruption("dictionary string length implausible");
+  }
+  if (pool_->IsQuarantinedRange(p, sizeof(len) + len)) {
+    return Status::Corruption("dictionary string quarantined by media fault");
+  }
   pool_->TouchRead(p, sizeof(len) + len);
   return std::string_view(p + sizeof(len), len);
 }
@@ -129,12 +158,16 @@ Result<DictCode> Dictionary::Encode(std::string_view s) {
   POSEIDON_RETURN_IF_ERROR(InsertLocked(s, hash, new_code));
   PsanStore(pool_, &m->count, uint64_t{new_code});
   pool_->Persist(&m->count, sizeof(uint64_t));
+  SyncMetaMirrorLocked();
   return new_code;
 }
 
 Result<std::string_view> Dictionary::Decode(DictCode code) const {
   {
     std::shared_lock lock(mu_);
+    if (!quarantined_codes_.empty() && quarantined_codes_.count(code) != 0) {
+      return Status::Corruption("dictionary code lost to media fault");
+    }
     if (decode_cache_enabled_ && code < decode_cache_.size() &&
         decode_cache_[code] != nullptr) {
       // Hybrid fast path: the cached arena pointer avoids the PMem code
@@ -150,7 +183,10 @@ Result<std::string_view> Dictionary::Decode(DictCode code) const {
     }
     if (!decode_cache_enabled_) {
       const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
-      return StringAt(codes[code]);
+      if (pool_->IsQuarantinedRange(&codes[code], sizeof(uint64_t))) {
+        return Status::Corruption("dictionary code slot quarantined");
+      }
+      return StringAtChecked(codes[code]);
     }
   }
   // Cache miss: fill under the exclusive lock.
@@ -160,7 +196,10 @@ Result<std::string_view> Dictionary::Decode(DictCode code) const {
     return Status::NotFound("dictionary code out of range");
   }
   const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
-  std::string_view s = StringAt(codes[code]);
+  if (pool_->IsQuarantinedRange(&codes[code], sizeof(uint64_t))) {
+    return Status::Corruption("dictionary code slot quarantined");
+  }
+  POSEIDON_ASSIGN_OR_RETURN(std::string_view s, StringAtChecked(codes[code]));
   if (decode_cache_.size() <= code) decode_cache_.resize(code + 1, nullptr);
   decode_cache_[code] = pool_->ToPtr<char>(codes[code]);
   return s;
@@ -221,6 +260,7 @@ Status Dictionary::GrowBucketsLocked() {
   PsanStore(pool_, &m->bucket_capacity, new_cap);
   pool_->Persist(&m->bucket_capacity, sizeof(uint64_t));
   pool_->Free(old_off, old_cap * sizeof(Bucket));
+  SyncMetaMirrorLocked();
   return Status::Ok();
 }
 
@@ -240,6 +280,7 @@ Status Dictionary::GrowCodesLocked() {
   PsanStore(pool_, &m->code_capacity, new_cap);
   pool_->Persist(&m->code_capacity, sizeof(uint64_t));
   pool_->Free(old_off, old_cap * sizeof(uint64_t));
+  SyncMetaMirrorLocked();
   return Status::Ok();
 }
 
@@ -267,7 +308,126 @@ Result<pmem::Offset> Dictionary::AppendStringLocked(std::string_view s) {
   pool_->Persist(p, sizeof(len) + s.size());
   PsanStore(pool_, &m->arena_pos, m->arena_pos + need);
   pool_->Persist(&m->arena_pos, sizeof(uint64_t));
+  SyncMetaMirrorLocked();
   return off;
+}
+
+bool Dictionary::OwnsLine(pmem::Offset line_off) const {
+  std::shared_lock lock(mu_);
+  const auto* m = meta();
+  pmem::Offset line_end = line_off + pmem::kCacheLineSize;
+  auto overlaps = [&](pmem::Offset base, uint64_t len) {
+    return base != 0 && base < line_end && line_off < base + len;
+  };
+  // Orphaned blocks from growth (old bucket/code arrays were freed, old
+  // arena blocks leaked) are deliberately not claimed: the free ones may
+  // have been reallocated and the arena ones are covered per-string by
+  // StringAtChecked's quarantine test.
+  return overlaps(meta_off_, sizeof(Meta)) ||
+         overlaps(m->buckets, m->bucket_capacity * sizeof(Bucket)) ||
+         overlaps(m->codes, m->code_capacity * sizeof(uint64_t)) ||
+         overlaps(m->arena, m->arena_cap);
+}
+
+void Dictionary::RebuildBucketsLocked() {
+  auto* m = meta();
+  uint64_t cap = m->bucket_capacity;
+  std::vector<Bucket> fresh(cap, Bucket{0, 0, 0});
+  const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+  uint64_t mask = cap - 1;
+  for (uint64_t code = 1; code <= m->count; ++code) {
+    auto sr = StringAtChecked(codes[code]);
+    // A code whose string bytes are themselves lost cannot be re-hashed;
+    // it stays out of the table (Lookup would never match it anyway).
+    if (!sr.ok()) continue;
+    uint64_t hash = HashString(*sr);
+    for (uint64_t j = hash & mask;; j = (j + 1) & mask) {
+      if (fresh[j].code == 0) {
+        fresh[j] = Bucket{hash, codes[code], code};
+        break;
+      }
+    }
+  }
+  pool_->RepairStore(m->buckets, fresh.data(), cap * sizeof(Bucket));
+}
+
+pmem::Pool::RepairOutcome Dictionary::RepairLine(pmem::Offset line_off) {
+  std::unique_lock lock(mu_);
+  pmem::Offset line_end = line_off + pmem::kCacheLineSize;
+  auto overlaps = [&](pmem::Offset base, uint64_t len) {
+    return base != 0 && base < line_end && line_off < base + len;
+  };
+  // Meta first: every other branch dereferences its offsets, so a corrupt
+  // meta must never be allowed to route the repair to a wild address. The
+  // DRAM mirror (refreshed at every mutation, and only consulted with mu_
+  // held so no mutation is mid-flight) rewrites the block wholesale.
+  if (overlaps(meta_off_, sizeof(Meta))) {
+    if (meta_mirror_[2] == 0) {  // bucket_capacity: 0 means never synced
+      return pmem::Pool::RepairOutcome::kUnrepairable;
+    }
+    pool_->RepairStore(meta_off_, meta_mirror_, sizeof(Meta));
+    return pmem::Pool::RepairOutcome::kRepaired;
+  }
+  auto* m = meta();
+  // Guard against a *still-corrupt* meta (its own line not yet scrubbed)
+  // steering the branches below into out-of-pool reads or writes.
+  auto plausible = [&](pmem::Offset base, uint64_t len) {
+    return base != 0 && len != 0 && base + len > base &&
+           base + len <= pool_->capacity();
+  };
+  if (overlaps(m->buckets, m->bucket_capacity * sizeof(Bucket))) {
+    if (!plausible(m->buckets, m->bucket_capacity * sizeof(Bucket)) ||
+        !plausible(m->codes, m->code_capacity * sizeof(uint64_t))) {
+      return pmem::Pool::RepairOutcome::kUnrepairable;
+    }
+    // The hash table is a pure function of the surviving strings: rebuild
+    // the whole array (a single corrupt bucket shifts probe chains, so a
+    // line-local fix is not possible).
+    RebuildBucketsLocked();
+    return pmem::Pool::RepairOutcome::kRepaired;
+  }
+  if (overlaps(m->codes, m->code_capacity * sizeof(uint64_t))) {
+    // The code array is the sole authority for code -> string; poison the
+    // codes whose slots the line covers so Decode degrades loudly.
+    uint64_t first =
+        line_off > m->codes ? (line_off - m->codes) / sizeof(uint64_t) : 0;
+    uint64_t last = std::min(m->code_capacity, (line_end - m->codes +
+                                                sizeof(uint64_t) - 1) /
+                                                   sizeof(uint64_t));
+    for (uint64_t c = std::max<uint64_t>(first, 1); c < last && c <= m->count;
+         ++c) {
+      quarantined_codes_.insert(static_cast<DictCode>(c));
+    }
+    return pmem::Pool::RepairOutcome::kUnrepairable;
+  }
+  if (overlaps(m->arena, m->arena_cap)) {
+    if (!plausible(m->arena, m->arena_cap) ||
+        !plausible(m->codes, m->code_capacity * sizeof(uint64_t))) {
+      return pmem::Pool::RepairOutcome::kUnrepairable;
+    }
+    // String bytes have no redundant copy; poison every code whose string
+    // overlaps the corrupt line.
+    const auto* codes = pool_->ToPtr<uint64_t>(m->codes);
+    for (uint64_t c = 1; c <= m->count; ++c) {
+      pmem::Offset so = codes[c];
+      if (so < m->arena || so >= m->arena + m->arena_cap) continue;
+      uint32_t len;
+      std::memcpy(&len, pool_->ToPtr<char>(so), sizeof(len));
+      uint64_t span =
+          sizeof(len) + std::min<uint64_t>(len, m->arena_cap);
+      if (so < line_end && line_off < so + span) {
+        quarantined_codes_.insert(static_cast<DictCode>(c));
+      }
+    }
+    return pmem::Pool::RepairOutcome::kUnrepairable;
+  }
+  // Claimed via corrupt meta values that no healthy branch matches.
+  return pmem::Pool::RepairOutcome::kUnrepairable;
+}
+
+uint64_t Dictionary::quarantined_codes() const {
+  std::shared_lock lock(mu_);
+  return quarantined_codes_.size();
 }
 
 }  // namespace poseidon::storage

@@ -20,6 +20,7 @@
 
 #include <shared_mutex>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "pmem/pool.h"
@@ -64,6 +65,24 @@ class Dictionary {
   /// Number of distinct strings.
   uint64_t size() const;
 
+  // --- Integrity repair (media-fault tolerance) -------------------------
+  /// True when the 64 B line at `line_off` lies inside one of the
+  /// dictionary's *current* persistent structures (meta, bucket array,
+  /// code array, active arena block). Orphaned blocks left behind by
+  /// growth are not claimed.
+  bool OwnsLine(pmem::Offset line_off) const;
+
+  /// Repairs or quarantines a corrupt owned line. The meta block and the
+  /// bucket array are fully re-derivable (DRAM mirror / re-hashing every
+  /// assigned code) -> kRepaired. Code-array entries and arena string bytes
+  /// are the sole authority for code -> string, so the affected codes are
+  /// quarantined and Decode on them returns Status::Corruption ->
+  /// kUnrepairable.
+  pmem::Pool::RepairOutcome RepairLine(pmem::Offset line_off);
+
+  /// Number of codes poisoned by unrepairable media faults.
+  uint64_t quarantined_codes() const;
+
  private:
   struct Meta;
   struct Bucket;
@@ -75,10 +94,20 @@ class Dictionary {
   /// Lookup under an already-held lock.
   DictCode FindLocked(std::string_view s, uint64_t hash) const;
   Status InsertLocked(std::string_view s, uint64_t hash, DictCode code);
+  /// Zeroes the bucket array and re-inserts every assigned code by
+  /// re-hashing its (intact) arena string; used by RepairLine.
+  void RebuildBucketsLocked();
+  /// Refreshes the DRAM Meta mirror (media-fault repair source) from the
+  /// just-persisted pool copy. Call under the exclusive lock after every
+  /// Meta mutation.
+  void SyncMetaMirrorLocked();
   Status GrowBucketsLocked();
   Status GrowCodesLocked();
   Result<pmem::Offset> AppendStringLocked(std::string_view s);
   std::string_view StringAt(pmem::Offset off) const;
+  /// StringAt that refuses quarantined or implausible string bytes instead
+  /// of returning garbage.
+  Result<std::string_view> StringAtChecked(pmem::Offset off) const;
 
   pmem::Pool* pool_ = nullptr;
   pmem::Offset meta_off_ = 0;
@@ -86,6 +115,13 @@ class Dictionary {
   bool decode_cache_enabled_ = false;
   // code -> pointer to the length-prefixed arena string (stable addresses).
   mutable std::vector<const char*> decode_cache_;
+  // Codes whose string bytes or code-array slot took an unrepairable media
+  // fault: Decode on them reports Corruption instead of garbage. Volatile —
+  // rebuilt by the scrubber after reopen. Guarded by mu_.
+  std::unordered_set<DictCode> quarantined_codes_;
+  // DRAM copy of the persistent Meta block (media-fault repair source;
+  // sizeof(Meta) == 8 words, asserted in the .cc). Guarded by mu_.
+  uint64_t meta_mirror_[8] = {};
 };
 
 }  // namespace poseidon::storage

@@ -53,6 +53,78 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(pmem::Pool* pool) {
   return store;
 }
 
+template <typename R, uint64_t N, typename Resurrect>
+pmem::Pool::RepairOutcome GraphStore::RepairRecordLine(
+    ChunkedTable<R, N>* table, const typename ChunkedTable<R, N>::LineOwner& owner,
+    const Resurrect& resurrect) {
+  using Outcome = pmem::Pool::RepairOutcome;
+  bool any_lost = false;
+  bool any_rewritten = false;
+  for (RecordId id = owner.first_id; id <= owner.last_id; ++id) {
+    if (!table->IsOccupied(id)) continue;  // free slot: content is dead bytes
+    R fresh;
+    if (resurrect && resurrect(id, &fresh)) {
+      table->RewriteRecord(id, fresh);
+      any_rewritten = true;
+    } else {
+      // No redundant copy: drop the slot from the bitmap but keep it
+      // quarantined so point reads degrade to Corruption, not garbage.
+      table->Tombstone(id);
+      any_lost = true;
+    }
+  }
+  if (any_lost) return Outcome::kUnrepairable;
+  return any_rewritten ? Outcome::kRepaired : Outcome::kAdopted;
+}
+
+std::optional<pmem::Pool::RepairOutcome> GraphStore::RepairLine(
+    pmem::Offset line_off) {
+  using Outcome = pmem::Pool::RepairOutcome;
+
+  auto dispatch = [&](auto* table,
+                      const auto& resurrect) -> std::optional<Outcome> {
+    auto owner = table->OwnerOfLine(line_off);
+    using Kind = typename std::decay_t<decltype(*table)>::LineKind;
+    switch (owner.kind) {
+      case Kind::kNone:
+        return std::nullopt;
+      case Kind::kMeta:
+        // TableMeta is mirrored in DRAM (refreshed at every growth step):
+        // rewrite the whole block so the directory pointer and chunk count
+        // never dangle.
+        table->RepairMetaLine();
+        return Outcome::kRepaired;
+      case Kind::kDirectory:
+        table->RepairDirectoryLine(line_off);
+        return Outcome::kRepaired;
+      case Kind::kHeader:
+        // Only the first header line carries re-derivable fields (next,
+        // first_id); the rest is occupancy bitmap, the sole authority on
+        // slot liveness, and is adopted as-is.
+        table->RepairHeaderLine(owner.chunk);
+        return Outcome::kAdopted;
+      case Kind::kRecords:
+        return RepairRecordLine(table, owner, resurrect);
+    }
+    return std::nullopt;
+  };
+
+  if (auto r = dispatch(nodes_.get(), node_resurrect_)) return r;
+  if (auto r = dispatch(rels_.get(), rel_resurrect_)) return r;
+  // Property chains are immutable and their old versions are GC'd: no
+  // redundant copy exists, so corrupt slots are tombstoned and chain walks
+  // degrade via PropertyStore::CheckChain.
+  static const std::function<bool(RecordId, PropertyRecord*)> kNoResurrect{};
+  if (auto r = dispatch(prop_table_.get(), kNoResurrect)) return r;
+  if (dict_->OwnsLine(line_off)) return dict_->RepairLine(line_off);
+  if (line_off >= root_off_ && line_off < root_off_ + sizeof(GraphRoot)) {
+    // The root directory's qcache/index/timestamp fields have no redundant
+    // source.
+    return Outcome::kUnrepairable;
+  }
+  return std::nullopt;
+}
+
 void GraphStore::PersistTimestamp(Timestamp ts) {
   // CAS-max: concurrent committers race to advance the high-water mark.
   auto* root = this->root();

@@ -9,7 +9,9 @@
 #ifndef POSEIDON_STORAGE_GRAPH_STORE_H_
 #define POSEIDON_STORAGE_GRAPH_STORE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "pmem/pool.h"
@@ -66,8 +68,37 @@ class GraphStore {
   /// Encodes a label/key string, inserting into the dictionary if needed.
   Result<DictCode> Code(std::string_view s) { return dict_->Encode(s); }
 
+  // --- Integrity repair (media-fault tolerance) -------------------------
+
+  /// Produces a replacement image for a corrupt record slot, typically by
+  /// rolling back to the newest retained version in the DRAM version store.
+  /// Returns false when no redundant copy exists.
+  using NodeResurrectFn = std::function<bool(RecordId, NodeRecord*)>;
+  using RelResurrectFn = std::function<bool(RecordId, RelationshipRecord*)>;
+
+  /// Installs the record resurrectors used by RepairLine (wired by GraphDb
+  /// to the transaction manager's version store).
+  void SetResurrectors(NodeResurrectFn node_fn, RelResurrectFn rel_fn) {
+    node_resurrect_ = std::move(node_fn);
+    rel_resurrect_ = std::move(rel_fn);
+  }
+
+  /// Corruption-handler leg for storage-owned lines: dispatches the corrupt
+  /// line to the owning table or the dictionary and repairs, adopts, or
+  /// gives up per the structure's repair matrix. Returns nullopt when no
+  /// storage structure owns the line (indexes and the pool default are the
+  /// caller's next legs).
+  std::optional<pmem::Pool::RepairOutcome> RepairLine(pmem::Offset line_off);
+
  private:
   GraphStore() = default;
+
+  /// Repairs a record-kind line of one table: free slots are adopted,
+  /// occupied slots are resurrected in place or tombstoned.
+  template <typename R, uint64_t N, typename Resurrect>
+  pmem::Pool::RepairOutcome RepairRecordLine(
+      ChunkedTable<R, N>* table, const typename ChunkedTable<R, N>::LineOwner& owner,
+      const Resurrect& resurrect);
 
   pmem::Pool* pool_ = nullptr;
   pmem::Offset root_off_ = 0;
@@ -76,6 +107,8 @@ class GraphStore {
   std::unique_ptr<PropertyTable> prop_table_;
   std::unique_ptr<PropertyStore> prop_store_;
   std::unique_ptr<Dictionary> dict_;
+  NodeResurrectFn node_resurrect_;
+  RelResurrectFn rel_resurrect_;
 };
 
 }  // namespace poseidon::storage

@@ -47,6 +47,29 @@ PVal PropertyStore::Get(RecordId head, DictCode key) const {
   return PVal::Null();
 }
 
+Status PropertyStore::CheckChain(RecordId head) const {
+  pmem::Pool* pool = table_->pool();
+  if (pool == nullptr || pool->quarantined_lines() == 0) return Status::Ok();
+  // A corrupt `next` could point anywhere, including into a cycle; cap the
+  // walk at the table's slot count (a chain can never be longer).
+  uint64_t hops = 0;
+  uint64_t max_hops = table_->NumSlots() + 1;
+  for (RecordId cur = head; cur != kNullId;) {
+    if (cur >= table_->NumSlots() || ++hops > max_hops) {
+      return Status::Corruption("property chain walk escaped the table");
+    }
+    const PropertyRecord* rec = table_->At(cur);
+    if (rec == nullptr) {
+      return Status::Corruption("property chain reaches a freed slot");
+    }
+    if (pool->IsQuarantinedRange(rec, sizeof(PropertyRecord))) {
+      return Status::Corruption("property record quarantined by media fault");
+    }
+    cur = rec->next;
+  }
+  return Status::Ok();
+}
+
 Status PropertyStore::FreeChain(RecordId head) {
   for (RecordId cur = head; cur != kNullId;) {
     RecordId next = table_->At(cur)->next;

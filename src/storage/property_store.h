@@ -51,6 +51,12 @@ class PropertyStore {
   /// Caller must guarantee no snapshot reader can still reach the chain.
   Status FreeChain(RecordId head);
 
+  /// Walks the chain at `head` checking each record against the pool's
+  /// media-fault quarantine BEFORE dereferencing its `next` pointer, so a
+  /// corrupt record degrades to Status::Corruption instead of a wild walk.
+  /// One relaxed load when nothing is quarantined (the common case).
+  Status CheckChain(RecordId head) const;
+
   PropertyTable* table() const { return table_; }
 
  private:

@@ -128,7 +128,15 @@ Result<Resolved<R>> Transaction::GetRecord(const Table& table,
     return r;
   }
   if (id == kNullId || !table.IsOccupied(id)) {
+    // A tombstoned slot (bitmap cleared by the repair pipeline, line still
+    // quarantined) must report loss, not absence.
+    if (table.IsQuarantined(id)) {
+      return Status::Corruption("record lost to an unrepairable media fault");
+    }
     return Status::NotFound("record does not exist");
+  }
+  if (table.IsQuarantined(id)) {
+    return Status::Corruption("record quarantined by media fault");
   }
   util::Backoff backoff(mgr_->visibility_backoff_);
   do {
@@ -216,18 +224,21 @@ Result<Resolved<RelationshipRecord>> Transaction::GetRelationship(
 Result<PVal> Transaction::GetNodeProperty(RecordId id, DictCode key) {
   POSEIDON_ASSIGN_OR_RETURN(auto r, GetNode(id));
   if (r.from_snapshot) return FindProp(r.snapshot, key);
+  POSEIDON_RETURN_IF_ERROR(store_->properties().CheckChain(r.rec.props));
   return store_->properties().Get(r.rec.props, key);
 }
 
 Result<PVal> Transaction::GetRelationshipProperty(RecordId id, DictCode key) {
   POSEIDON_ASSIGN_OR_RETURN(auto r, GetRelationship(id));
   if (r.from_snapshot) return FindProp(r.snapshot, key);
+  POSEIDON_RETURN_IF_ERROR(store_->properties().CheckChain(r.rec.props));
   return store_->properties().Get(r.rec.props, key);
 }
 
 Result<std::vector<Property>> Transaction::GetNodeProperties(RecordId id) {
   POSEIDON_ASSIGN_OR_RETURN(auto r, GetNode(id));
   if (r.from_snapshot) return std::move(r.snapshot);
+  POSEIDON_RETURN_IF_ERROR(store_->properties().CheckChain(r.rec.props));
   std::vector<Property> props;
   store_->properties().ReadChain(r.rec.props, &props);
   return props;
@@ -237,6 +248,7 @@ Result<std::vector<Property>> Transaction::GetRelationshipProperties(
     RecordId id) {
   POSEIDON_ASSIGN_OR_RETURN(auto r, GetRelationship(id));
   if (r.from_snapshot) return std::move(r.snapshot);
+  POSEIDON_RETURN_IF_ERROR(store_->properties().CheckChain(r.rec.props));
   std::vector<Property> props;
   store_->properties().ReadChain(r.rec.props, &props);
   return props;
@@ -1290,6 +1302,39 @@ Status TransactionManager::RecoverInFlight() {
   }
   pool->Drain();
   return Status::Ok();
+}
+
+namespace {
+
+template <typename R, typename Chains>
+bool ResurrectFrom(const Chains& chains, storage::GraphStore* store,
+                   RecordId id, R* out) {
+  auto v = chains.Newest(id);
+  if (!v.has_value()) return false;
+  R rec = v->rec;
+  // The retained version's PMem property chain may already be recycled by
+  // GC: rewrite a fresh chain from the DRAM snapshot.
+  auto head = store->properties().CreateChain(id, v->props);
+  if (!head.ok()) return false;
+  rec.props = *head;
+  // Normalize to "latest committed, unlocked": the resurrected image takes
+  // over as the record's only version.
+  rec.tx.txn_id = kUnlocked;
+  rec.tx.ets = kInfinityTs;
+  rec.tx.rts = rec.tx.bts;
+  *out = rec;
+  return true;
+}
+
+}  // namespace
+
+bool TransactionManager::ResurrectNode(RecordId id, storage::NodeRecord* out) {
+  return ResurrectFrom(node_versions_, store_, id, out);
+}
+
+bool TransactionManager::ResurrectRel(RecordId id,
+                                      storage::RelationshipRecord* out) {
+  return ResurrectFrom(rel_versions_, store_, id, out);
 }
 
 }  // namespace poseidon::tx

@@ -395,6 +395,17 @@ class TransactionManager {
     return snapshot_ts_.load(std::memory_order_acquire);
   }
 
+  // --- Media-fault repair ------------------------------------------------
+
+  /// Produces a replacement image for a corrupt record slot from the newest
+  /// retained version in the DRAM version chain: the record rolls back to
+  /// its most recent superseded committed state (tx fields normalized to
+  /// "latest, unlocked", property chain rewritten from the DRAM snapshot
+  /// because the old PMem chain may already be recycled). Returns false
+  /// when no version is retained — the slot's content is then lost.
+  bool ResurrectNode(storage::RecordId id, storage::NodeRecord* out);
+  bool ResurrectRel(storage::RecordId id, storage::RelationshipRecord* out);
+
  private:
   friend class Transaction;
 

@@ -72,6 +72,17 @@ class VersionChains {
     return std::nullopt;
   }
 
+  /// Returns the newest retained version of `id` (largest bts), if any.
+  /// Used by media-fault repair to resurrect a corrupt PMem record from its
+  /// most recent superseded image.
+  std::optional<Version<R>> Newest(storage::RecordId id) const {
+    const Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(id);
+    if (it == s.map.end() || it->second.empty()) return std::nullopt;
+    return it->second.back();  // chains are sorted by bts ascending
+  }
+
   /// Drops every version no active transaction can read (ets <= min_active)
   /// and erases emptied chains. Returns the number of versions reclaimed.
   uint64_t Prune(storage::Timestamp min_active) {

@@ -6,12 +6,18 @@
 //
 // Semantics: construct, do the attempt, and call Next() after a failed
 // attempt. Next() spins for the current delay (exponentially growing,
-// capped) and returns false once the attempt budget is exhausted — the
-// caller then gives up with a Status instead of looping forever.
+// capped, optionally jittered) and returns false once the attempt budget is
+// exhausted — the caller then gives up with a Status instead of looping
+// forever.
 //
 // Knobs (see EXPERIMENTS.md):
-//   POSEIDON_BACKOFF_BASE_NS  first-retry spin (default 64 ns; 0 = no spin)
-//   POSEIDON_BACKOFF_MAX_NS   per-retry spin cap (default 8192 ns)
+//   POSEIDON_BACKOFF_BASE_NS     first-retry spin (default 64 ns; 0 = no spin)
+//   POSEIDON_BACKOFF_MAX_NS      per-retry spin cap (default 8192 ns)
+//   POSEIDON_BACKOFF_JITTER_PCT  +/- randomization of each spin, in percent
+//                                (default 0 = deterministic; max 100).
+//                                De-synchronizes convoys of readers that all
+//                                collided with the same commit and would
+//                                otherwise retry in lockstep.
 
 #ifndef POSEIDON_UTIL_BACKOFF_H_
 #define POSEIDON_UTIL_BACKOFF_H_
@@ -29,6 +35,14 @@ class Backoff {
     int max_attempts = 64;        ///< total attempts (incl. the first)
     uint64_t base_spin_ns = 64;   ///< spin before the first retry
     uint64_t max_spin_ns = 8192;  ///< spin cap (exponential growth stops)
+    /// Jitter amplitude in percent of the current spin: each Next() spins
+    /// a value uniform in [spin * (100-j)/100, spin * (100+j)/100], still
+    /// clamped to max_spin_ns. 0 = exact exponential (seed behavior).
+    uint32_t jitter_pct = 0;
+    /// Seed for the per-instance deterministic jitter stream (xorshift64).
+    /// 0 picks a fixed default; tests pass explicit seeds for reproducible
+    /// bounds checks.
+    uint64_t jitter_seed = 0;
   };
 
   /// Default spin parameters honour the POSEIDON_BACKOFF_* environment.
@@ -37,11 +51,18 @@ class Backoff {
     o.max_attempts = max_attempts;
     o.base_spin_ns = EnvU64("POSEIDON_BACKOFF_BASE_NS", o.base_spin_ns);
     o.max_spin_ns = EnvU64("POSEIDON_BACKOFF_MAX_NS", o.max_spin_ns);
+    uint64_t j = EnvU64("POSEIDON_BACKOFF_JITTER_PCT", 0);
+    o.jitter_pct = static_cast<uint32_t>(j > 100 ? 100 : j);
     return o;
   }
 
   explicit Backoff(const Options& options)
-      : options_(options), spin_ns_(options.base_spin_ns) {}
+      : options_(options),
+        spin_ns_(options.base_spin_ns),
+        rng_(options.jitter_seed != 0 ? options.jitter_seed
+                                      : 0x9e3779b97f4a7c15ull) {
+    if (options_.jitter_pct > 100) options_.jitter_pct = 100;
+  }
   explicit Backoff(int max_attempts) : Backoff(FromEnv(max_attempts)) {}
 
   /// Call after a failed attempt: spins (current delay, then doubles it up
@@ -49,7 +70,19 @@ class Backoff {
   bool Next() {
     ++attempt_;
     if (attempt_ >= options_.max_attempts) return false;
-    SpinWaitNs(spin_ns_);
+    uint64_t spin = spin_ns_;
+    if (options_.jitter_pct != 0 && spin != 0) {
+      // Deterministic xorshift64 stream: spin * (100 - j + r) / 100 with
+      // r uniform in [0, 2j] — i.e. +/- jitter_pct percent.
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      uint64_t r = rng_ % (2 * options_.jitter_pct + 1);
+      spin = spin * (100 - options_.jitter_pct + r) / 100;
+      if (spin > options_.max_spin_ns) spin = options_.max_spin_ns;
+    }
+    last_spin_ns_ = spin;
+    SpinWaitNs(spin);
     spin_ns_ = spin_ns_ >= options_.max_spin_ns ? options_.max_spin_ns
                                                 : spin_ns_ * 2;
     return true;
@@ -59,11 +92,15 @@ class Backoff {
   int attempts() const { return attempt_; }
   bool exhausted() const { return attempt_ >= options_.max_attempts; }
   uint64_t current_spin_ns() const { return spin_ns_; }
+  /// The (jittered) spin duration the last Next() actually waited.
+  uint64_t last_spin_ns() const { return last_spin_ns_; }
 
  private:
   Options options_;
   int attempt_ = 0;
   uint64_t spin_ns_;
+  uint64_t last_spin_ns_ = 0;
+  uint64_t rng_;
 };
 
 }  // namespace poseidon::util

@@ -337,7 +337,8 @@ void RunTortureRound(uint64_t seed) {
   (*store_r)->nodes().ForEach([&](RecordId id, storage::NodeRecord& rec) {
     EXPECT_EQ(rec.tx.txn_id, kUnlocked) << "seed " << seed << " node " << id;
     auto v = tx->GetNodeProperty(id, tag_key);
-    ASSERT_TRUE(v.ok()) << "seed " << seed << " node " << id;
+    ASSERT_TRUE(v.ok()) << "seed " << seed << " node " << id << ": "
+                        << v.status().ToString();
     ++tag_counts[v->AsInt()];
   });
   for (const auto& [tag, count] : tag_counts) {

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
+#include <vector>
 
+#include "util/backoff.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/random.h"
 #include "util/spin_timer.h"
@@ -219,6 +223,188 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   }
   pool.WaitIdle();
   EXPECT_GE(max_active.load(), 2);
+}
+
+// --- FaultRegistry env-spec parsing -----------------------------------------
+
+// Each test uses a unique site name: ShouldFail latches the environment on
+// the site's first evaluation, and Reset() forgets the latch but a previous
+// test's unsetenv would otherwise race with reuse.
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv(var_.c_str());
+    util::FaultRegistry::Instance().Reset();
+  }
+
+  /// Sets POSEIDON_FAULT_<SITE> for `site` (dots -> underscores, uppercase).
+  void SetSpec(const std::string& site, const char* spec) {
+    var_ = "POSEIDON_FAULT_";
+    for (char c : site) {
+      var_.push_back(c == '.' ? '_' : static_cast<char>(std::toupper(
+                                          static_cast<unsigned char>(c))));
+    }
+    setenv(var_.c_str(), spec, 1);
+  }
+
+  std::string var_ = "POSEIDON_FAULT_UTIL_TEST_UNUSED";
+};
+
+TEST_F(FaultEnvTest, PlainCountArmsOnceAtThatHit) {
+  SetSpec("env.plain", "3");
+  auto& reg = util::FaultRegistry::Instance();
+  EXPECT_FALSE(reg.ShouldFail("env.plain"));
+  EXPECT_FALSE(reg.ShouldFail("env.plain"));
+  EXPECT_TRUE(reg.ShouldFail("env.plain"));   // 3rd evaluation fires
+  EXPECT_FALSE(reg.ShouldFail("env.plain"));  // times defaults to 1
+  EXPECT_EQ(reg.fired("env.plain"), 1u);
+}
+
+TEST_F(FaultEnvTest, TimesSuffixKeepsFiring) {
+  SetSpec("env.times", "2:3");
+  auto& reg = util::FaultRegistry::Instance();
+  EXPECT_FALSE(reg.ShouldFail("env.times"));
+  EXPECT_TRUE(reg.ShouldFail("env.times"));
+  EXPECT_TRUE(reg.ShouldFail("env.times"));
+  EXPECT_TRUE(reg.ShouldFail("env.times"));
+  EXPECT_FALSE(reg.ShouldFail("env.times"));  // recovered after 3 failures
+  EXPECT_EQ(reg.fired("env.times"), 3u);
+}
+
+TEST_F(FaultEnvTest, AlwaysNeverRecovers) {
+  SetSpec("env.always", "always");
+  auto& reg = util::FaultRegistry::Instance();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(reg.ShouldFail("env.always"));
+  }
+  EXPECT_EQ(reg.fired("env.always"), 50u);
+}
+
+TEST_F(FaultEnvTest, MalformedSpecsLeaveSiteDisarmed) {
+  const char* bad[] = {"abc", "0", ":", "", ":4", "-3"};
+  int n = 0;
+  for (const char* spec : bad) {
+    std::string site = "env.bad" + std::to_string(n++);
+    SetSpec(site, spec);
+    auto& reg = util::FaultRegistry::Instance();
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(reg.ShouldFail(site)) << "spec '" << spec << "'";
+    }
+    unsetenv(var_.c_str());
+  }
+}
+
+TEST_F(FaultEnvTest, MalformedTimesSuffixFallsBackToOne) {
+  SetSpec("env.badtimes", "2:zzz");
+  auto& reg = util::FaultRegistry::Instance();
+  EXPECT_FALSE(reg.ShouldFail("env.badtimes"));
+  EXPECT_TRUE(reg.ShouldFail("env.badtimes"));
+  EXPECT_FALSE(reg.ShouldFail("env.badtimes"));  // times stayed at 1
+}
+
+TEST_F(FaultEnvTest, UnknownSiteNamesAreInertAndCounted) {
+  // Nothing ever arms a site nobody set a variable for: evaluations count
+  // but never fail, and fired() of a never-evaluated name is zero.
+  auto& reg = util::FaultRegistry::Instance();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(reg.ShouldFail("no.such.site"));
+  }
+  EXPECT_EQ(reg.hits("no.such.site"), 10u);
+  EXPECT_EQ(reg.fired("no.such.site"), 0u);
+  EXPECT_EQ(reg.hits("never.evaluated"), 0u);
+}
+
+TEST_F(FaultEnvTest, ExplicitArmOverridesEnvironment) {
+  SetSpec("env.override", "always");
+  auto& reg = util::FaultRegistry::Instance();
+  reg.Arm("env.override", 1, 1);  // arming first marks env as consumed
+  EXPECT_TRUE(reg.ShouldFail("env.override"));
+  EXPECT_FALSE(reg.ShouldFail("env.override"));  // "always" never kicked in
+}
+
+// --- Backoff jitter ----------------------------------------------------------
+
+TEST(BackoffTest, ZeroJitterIsExactExponential) {
+  util::Backoff::Options o;
+  o.max_attempts = 16;
+  o.base_spin_ns = 4;
+  o.max_spin_ns = 64;
+  util::Backoff b(o);
+  uint64_t expected = 4;
+  while (b.Next()) {
+    EXPECT_EQ(b.last_spin_ns(), expected);
+    expected = expected >= 64 ? 64 : expected * 2;
+  }
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.attempts(), 16);
+}
+
+TEST(BackoffTest, JitterStaysWithinPctBounds) {
+  util::Backoff::Options o;
+  o.max_attempts = 64;
+  o.base_spin_ns = 100;
+  o.max_spin_ns = 100000;
+  o.jitter_pct = 25;
+  o.jitter_seed = 42;
+  util::Backoff b(o);
+  uint64_t nominal = 100;
+  bool saw_deviation = false;
+  while (b.Next()) {
+    // last_spin_ns must lie in nominal * [0.75, 1.25], clamped to the cap.
+    uint64_t lo = nominal * 75 / 100;
+    uint64_t hi = nominal * 125 / 100;
+    if (hi > o.max_spin_ns) hi = o.max_spin_ns;
+    EXPECT_GE(b.last_spin_ns(), lo);
+    EXPECT_LE(b.last_spin_ns(), hi);
+    saw_deviation |= b.last_spin_ns() != nominal;
+    nominal = nominal >= o.max_spin_ns ? o.max_spin_ns : nominal * 2;
+  }
+  EXPECT_TRUE(saw_deviation) << "25% jitter never moved the spin";
+}
+
+TEST(BackoffTest, JitterNeverExceedsMaxSpin) {
+  util::Backoff::Options o;
+  o.max_attempts = 64;
+  o.base_spin_ns = 4096;
+  o.max_spin_ns = 8192;
+  o.jitter_pct = 100;
+  o.jitter_seed = 7;
+  util::Backoff b(o);
+  while (b.Next()) {
+    EXPECT_LE(b.last_spin_ns(), o.max_spin_ns);
+  }
+}
+
+TEST(BackoffTest, JitterStreamIsDeterministicPerSeed) {
+  util::Backoff::Options o;
+  o.max_attempts = 32;
+  o.base_spin_ns = 1;  // tiny spins keep the test instant
+  o.max_spin_ns = 8192;
+  o.jitter_pct = 50;
+  o.jitter_seed = 1234;
+  std::vector<uint64_t> a, bvals;
+  {
+    util::Backoff b(o);
+    while (b.Next()) a.push_back(b.last_spin_ns());
+  }
+  {
+    util::Backoff b(o);
+    while (b.Next()) bvals.push_back(b.last_spin_ns());
+  }
+  EXPECT_EQ(a, bvals);
+}
+
+TEST(BackoffTest, FromEnvReadsJitterPct) {
+  setenv("POSEIDON_BACKOFF_JITTER_PCT", "30", 1);
+  util::Backoff::Options o = util::Backoff::FromEnv(8);
+  EXPECT_EQ(o.jitter_pct, 30u);
+  setenv("POSEIDON_BACKOFF_JITTER_PCT", "250", 1);
+  o = util::Backoff::FromEnv(8);
+  EXPECT_EQ(o.jitter_pct, 100u) << "jitter percent clamps to 100";
+  unsetenv("POSEIDON_BACKOFF_JITTER_PCT");
+  o = util::Backoff::FromEnv(8);
+  EXPECT_EQ(o.jitter_pct, 0u);
 }
 
 }  // namespace

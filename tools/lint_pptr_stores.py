@@ -4,7 +4,8 @@
 Every store into pmem::Pool memory from the storage/tx/index layers must go
 through the sanctioned helpers in src/pmem/pptr.h (PsanStore, PsanAtomicStore,
 PsanStoreCopy, PsanMarkRange, PsanPublish) so the persist-order sanitizer can
-track it.  This lint flags assignments, atomic stores, and bulk copies whose
+track it.  Pool::RepairStore is sanctioned too: it is the media-fault repair
+write (atomic copy + PSAN mark + persist + reseal in one call).  This lint flags assignments, atomic stores, and bulk copies whose
 destination is a variable initialized from one of the pool raw-pointer
 producers:
 
@@ -47,7 +48,9 @@ DECL_RE = re.compile(
     r"(?P<var>[A-Za-z_]\w*)\s*=\s*(?P<init>.*)$"
 )
 
-SANCTIONED_RE = re.compile(r"\bPsan(?:Store|AtomicStore|StoreCopy|MarkRange|Publish)")
+SANCTIONED_RE = re.compile(
+    r"\bPsan(?:Store|AtomicStore|StoreCopy|MarkRange|Publish)|\bRepairStore\b"
+)
 
 SUPPRESS_RE = re.compile(r"psan", re.IGNORECASE)
 
