@@ -333,6 +333,97 @@ int Main() {
   txm->set_snapshot_epoch_us(100);
   txm->set_rts_coalesce(true);
 
+  // --- Overload: offered load > capacity, admission gate off vs on -------
+  //
+  // Saturated (think=0) write-only clients — far more offered work than one
+  // core serves — with the writer admission gate off (seed behavior: every
+  // client queues on the MVTO commit path) and on (POSEIDON_MAX_WRITERS=2:
+  // excess writers are shed with ResourceExhausted after a bounded wait).
+  // Reported per cell: committed ops/sec, shed rate, and the p99 latency of
+  // committed operations — the governed run trades sheds for a bounded tail.
+  {
+    uint64_t overload_ms = EnvU64("POSEIDON_BENCH_FIG11_OVERLOAD_MS", 500);
+    int overload_clients = static_cast<int>(
+        EnvU64("POSEIDON_BENCH_FIG11_OVERLOAD_CLIENTS", 8));
+    struct OverloadCell {
+      double ops_per_sec = 0;
+      double shed_per_sec = 0;
+      double p99_ms = 0;
+    };
+    auto run_cell = [&](int64_t max_writers) {
+      txm->set_max_writers(max_writers);
+      uint64_t shed_before = txm->Stats().writers_shed;
+      std::atomic<bool> stop{false};
+      std::atomic<uint64_t> ops{0};
+      std::mutex lat_mu;
+      std::vector<double> latencies_ms;
+      std::vector<std::thread> clients;
+      auto start = Clock::now();
+      for (int t = 0; t < overload_clients; ++t) {
+        clients.emplace_back([&, t] {
+          Rng rng(0x0ff10adull * (t + 1));
+          std::vector<double> local;
+          while (!stop.load(std::memory_order_relaxed)) {
+            auto t0 = Clock::now();
+            auto admitted = env->db->BeginWrite();
+            if (!admitted.ok()) continue;  // shed: counted via TxStats delta
+            auto tx = std::move(*admitted);
+            storage::RecordId person =
+                env->ds.persons[rng.Uniform(env->ds.persons.size())];
+            Status s = tx->SetNodeProperty(
+                person, env->ds.schema.browser_used,
+                storage::PVal::Int(
+                    static_cast<int64_t>(rng.Uniform(1 << 20))));
+            if (s.ok()) s = tx->Commit();
+            if (!s.ok()) {
+              tx->Abort();
+              continue;
+            }
+            ops.fetch_add(1, std::memory_order_relaxed);
+            local.push_back(std::chrono::duration<double, std::milli>(
+                                Clock::now() - t0)
+                                .count());
+          }
+          std::lock_guard<std::mutex> lock(lat_mu);
+          latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(overload_ms));
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& c : clients) c.join();
+      double secs =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      OverloadCell cell;
+      cell.ops_per_sec = static_cast<double>(ops.load()) / secs;
+      cell.shed_per_sec =
+          static_cast<double>(txm->Stats().writers_shed - shed_before) / secs;
+      if (!latencies_ms.empty()) {
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+        cell.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                            latencies_ms.size() * 99 / 100)];
+      }
+      return cell;
+    };
+    std::printf("\n--- overload (%d saturated write clients, %llu ms/cell, "
+                "admission gate off vs POSEIDON_MAX_WRITERS=2) ---\n"
+                "%-14s | %12s %12s %12s\n",
+                overload_clients,
+                static_cast<unsigned long long>(overload_ms), "admission",
+                "ops/sec", "shed/sec", "p99 ms");
+    for (int64_t max_writers : {int64_t{0}, int64_t{2}}) {
+      OverloadCell cell = run_cell(max_writers);
+      const char* name = max_writers == 0 ? "off" : "on";
+      std::printf("%-14s | %12.0f %12.0f %12.3f\n", name, cell.ops_per_sec,
+                  cell.shed_per_sec, cell.p99_ms);
+      std::fflush(stdout);
+      std::string prefix = "overload_admission_" + std::string(name);
+      json.Add(prefix + "_ops", cell.ops_per_sec);
+      json.Add(prefix + "_shed_per_sec", cell.shed_per_sec);
+      json.Add(prefix + "_p99_ms", cell.p99_ms);
+    }
+    txm->set_max_writers(0);
+  }
+
   json.Write();
   std::printf(
       "\nexpected shape: near-linear client scaling until the core "

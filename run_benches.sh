@@ -15,7 +15,9 @@
 #   * build-tsan/ (POSEIDON_TSAN): the race-sensitive suites (ctest -L tsan)
 #     — MVTO, commit pipeline, concurrency — plus the read-path scalability
 #     suite (ctest -L readpath): snapshot publication, rts coalescing and
-#     sharded tx-slot registration under concurrent readers and writers;
+#     sharded tx-slot registration under concurrent readers and writers, and
+#     the overload-governance suite (ctest -L overload): cross-thread
+#     cancellation, admission-gate sheds and watermark denials race-checked;
 #   * build-asan/ (POSEIDON_ASAN, ASan+UBSan): the fault-injection suites
 #     (ctest -L fault) — crash-point exploration, corrupt-segment recovery,
 #     diskgraph fault paths — where a missed bounds check on crafted-garbage
@@ -34,9 +36,10 @@ if [ "${1:-}" = "--check" ]; then
   cmake -B /root/repo/build-tsan -S /root/repo -DPOSEIDON_TSAN=ON
   cmake --build /root/repo/build-tsan -j"$(nproc)" --target \
       concurrency_test mvto_test commit_pipeline_test tx_edge_test \
-      adjacency_cache_test readpath_scaling_test
+      adjacency_cache_test readpath_scaling_test overload_test
   ctest --test-dir /root/repo/build-tsan -L tsan --output-on-failure
   ctest --test-dir /root/repo/build-tsan -L readpath --output-on-failure
+  ctest --test-dir /root/repo/build-tsan -L overload --output-on-failure
   echo "TSAN CHECK DONE"
   # fig11 smoke: a ~2 s closed-loop run of the throughput bench on the
   # regular build. Catches read-path regressions (snapshot publication
@@ -51,9 +54,10 @@ if [ "${1:-}" = "--check" ]; then
   cmake -B /root/repo/build-asan -S /root/repo -DPOSEIDON_ASAN=ON
   cmake --build /root/repo/build-asan -j"$(nproc)" --target \
       crash_explorer_test fault_injection_test crash_property_test \
-      media_fault_test
+      media_fault_test overload_test
   ctest --test-dir /root/repo/build-asan -L fault --output-on-failure
   ctest --test-dir /root/repo/build-asan -L scrub --output-on-failure
+  ctest --test-dir /root/repo/build-asan -L overload --output-on-failure
   echo "ASAN FAULT CHECK DONE"
   cmake -B /root/repo/build-psan -S /root/repo -DPOSEIDON_PSAN=ON
   cmake --build /root/repo/build-psan -j"$(nproc)" --target \

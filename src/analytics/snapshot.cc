@@ -26,6 +26,15 @@ Result<GraphSnapshot> GraphSnapshot::Build(tx::Transaction* tx,
       0, slots, scan_opts,
       [&](RecordId id, const storage::NodeRecord&) {
         if (!pass1_error.ok()) return;
+        // Cancellation poll at batch granularity (overload governance):
+        // bounds the latency of abandoning a whole-graph snapshot build.
+        if ((id & 1023u) == 0) {
+          Status c = tx->cancel_token()->Check();
+          if (!c.ok()) {
+            pass1_error = c;
+            return;
+          }
+        }
         auto n = tx->GetNode(id);
         if (!n.ok()) {
           if (!n.status().IsNotFound()) pass1_error = n.status();
@@ -46,6 +55,9 @@ Result<GraphSnapshot> GraphSnapshot::Build(tx::Transaction* tx,
   snap.offsets_.assign(num_v + 1, 0);
   std::vector<std::vector<uint32_t>> adj(num_v);
   for (uint32_t v = 0; v < num_v; ++v) {
+    if ((v & 1023u) == 0) {
+      POSEIDON_RETURN_IF_ERROR(tx->cancel_token()->Check());
+    }
     // ForEachNeighbor adopts cached DRAM adjacency arrays wholesale when the
     // snapshot transaction may serve them, so repeated analytics builds skip
     // the PMem chain walk entirely.

@@ -135,6 +135,17 @@ std::string GraphDb::Explain(const query::Plan& plan) const {
   ann.scrub_verified = ss.lines_verified.load(std::memory_order_relaxed);
   ann.scrub_repaired = ss.repaired.load(std::memory_order_relaxed);
   ann.scrub_quarantined = pool_->quarantined_lines();
+  ann.deadline_ms = txm_->default_deadline_ms();
+  ann.max_writers = txm_->max_writers();
+  ann.overload = ann.deadline_ms > 0 || ann.max_writers > 0 ||
+                 pool_->soft_watermark_pct() > 0;
+  ann.active_writers = txm_->active_writers();
+  ann.aborts_conflict = txs.aborts_conflict;
+  ann.aborts_deadline = txs.aborts_deadline;
+  ann.aborts_cancelled = txs.aborts_cancelled;
+  ann.aborts_space = txs.aborts_space;
+  ann.writers_shed = txs.writers_shed;
+  ann.space_denied = txs.space_denied;
   return plan.ToString(&store_->dict(), &ann);
 }
 
@@ -156,17 +167,42 @@ GraphDb::HealthReport GraphDb::Health() const {
     h.scrub_rate_mb_s = scrubber_->rate_mb_s();
   }
   h.psan_violations = pmem::PsanTotalViolations();
+  const tx::TxStats txs = txm_->Stats();
+  h.aborts_conflict = txs.aborts_conflict;
+  h.aborts_deadline = txs.aborts_deadline;
+  h.aborts_cancelled = txs.aborts_cancelled;
+  h.aborts_space = txs.aborts_space;
+  h.writers_shed = txs.writers_shed;
+  h.space_denied = txs.space_denied;
+  h.active_writers = txm_->active_writers();
+  h.max_writers = txm_->max_writers();
+  h.pool_bytes_used = pool_->bytes_used();
+  h.pool_capacity = pool_->capacity();
+  h.soft_watermark_pct = pool_->soft_watermark_pct();
+  h.above_soft_watermark = pool_->AboveSoftWatermark();
+  h.alloc_failures =
+      pool_->stats().alloc_failures.load(std::memory_order_relaxed);
   return h;
 }
 
 Result<query::QueryResult> GraphDb::Execute(
     const query::Plan& plan, jit::ExecutionMode mode,
-    const std::vector<query::Value>& params, jit::ExecStats* stats) {
+    const std::vector<query::Value>& params, jit::ExecStats* stats,
+    int64_t deadline_ms) {
   auto tx = Begin();
-  POSEIDON_ASSIGN_OR_RETURN(query::QueryResult result,
-                            ExecuteIn(plan, tx.get(), params, mode, stats));
+  if (deadline_ms > 0) {
+    tx->cancel_token()->SetDeadlineAfterMs(deadline_ms);  // per-query override
+  }
+  auto result = ExecuteIn(plan, tx.get(), params, mode, stats);
+  if (!result.ok()) {
+    // Classify the failure (deadline / cancel / space / conflict) so the
+    // manager's abort taxonomy counts it, then unwind the transaction.
+    tx->RecordAbortCause(result.status());
+    tx->Abort();
+    return result.status();
+  }
   POSEIDON_RETURN_IF_ERROR(tx->Commit());
-  return result;
+  return std::move(*result);
 }
 
 Result<query::QueryResult> GraphDb::ExecuteIn(

@@ -71,6 +71,20 @@ class GraphDb {
   /// Starts an MVTO transaction (snapshot isolation, §5).
   std::unique_ptr<tx::Transaction> Begin() { return txm_->Begin(); }
 
+  /// Starts a writer transaction through the admission gate (overload
+  /// governance): sheds with ResourceExhausted when POSEIDON_MAX_WRITERS
+  /// writers are already in flight after a bounded backoff wait, or when the
+  /// pool sits above its soft space watermark even after emergency GC.
+  Result<std::unique_ptr<tx::Transaction>> BeginWrite() {
+    return txm_->BeginWrite();
+  }
+
+  /// Cooperatively cancels the work running under `tx`: interpreter push
+  /// loops, compiled scan/expand loops, morsel workers, and analytics
+  /// snapshot builds observe the token at batch granularity and abort with
+  /// kCancelled. Safe from any thread.
+  static void Cancel(tx::Transaction* tx) { tx->cancel_token()->Cancel(); }
+
   /// Starts a read-only transaction. With snapshot reuse enabled
   /// (POSEIDON_SNAPSHOT_EPOCH_US > 0, the default) it reads at the shared
   /// published snapshot timestamp and never mutates shared state — no
@@ -88,12 +102,14 @@ class GraphDb {
     return store_->dict().Decode(code);
   }
 
-  /// Executes a plan in its own transaction (committed on success).
+  /// Executes a plan in its own transaction (committed on success, aborted
+  /// with the cause recorded on failure). `deadline_ms` > 0 overrides the
+  /// manager-wide POSEIDON_QUERY_DEADLINE_MS default for this query only.
   Result<query::QueryResult> Execute(
       const query::Plan& plan,
       jit::ExecutionMode mode = jit::ExecutionMode::kInterpret,
       const std::vector<query::Value>& params = {},
-      jit::ExecStats* stats = nullptr);
+      jit::ExecStats* stats = nullptr, int64_t deadline_ms = 0);
 
   /// Executes a plan inside a caller-managed transaction.
   Result<query::QueryResult> ExecuteIn(
@@ -148,6 +164,21 @@ class GraphDb {
     bool scrubber_running = false;
     uint64_t scrub_rate_mb_s = 0;
     uint64_t psan_violations = 0;
+    /// Overload governance: abort-cause taxonomy, admission-gate sheds, and
+    /// pool space pressure (see DESIGN.md "Overload governance").
+    uint64_t aborts_conflict = 0;
+    uint64_t aborts_deadline = 0;
+    uint64_t aborts_cancelled = 0;
+    uint64_t aborts_space = 0;
+    uint64_t writers_shed = 0;   ///< BeginWrite denied: too many writers
+    uint64_t space_denied = 0;   ///< BeginWrite denied: above soft watermark
+    int64_t active_writers = 0;
+    int64_t max_writers = 0;     ///< 0 = admission gate off
+    uint64_t pool_bytes_used = 0;
+    uint64_t pool_capacity = 0;
+    uint32_t soft_watermark_pct = 0;  ///< 0 = watermark off
+    bool above_soft_watermark = false;
+    uint64_t alloc_failures = 0;  ///< pool allocations denied (incl. faults)
   };
   HealthReport Health() const;
 

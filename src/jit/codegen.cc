@@ -122,6 +122,10 @@ class CodeGenerator {
   /// Emits the conditional PMem read-latency injection for [ptr, ptr+len).
   void EmitTouch(llvm::Value* ptr, uint64_t len);
 
+  /// Emits a cooperative-cancellation poll (poseidon_should_yield) gated on
+  /// JitStateHeader::cancellable; a fired token branches to ret_err_.
+  void EmitCancelPoll(const char* tag);
+
   /// Emits a software prefetch for [ptr, ptr+len): the hardware prefetch
   /// instruction unconditionally, plus the emulated-PMem asynchronous-fill
   /// helper when the pool charges read latency.
@@ -183,6 +187,7 @@ class CodeGenerator {
   llvm::Value* hdr_prop_nc_ = nullptr;
   llvm::Value* hdr_ts_ = nullptr;
   llvm::Value* hdr_has_latency_ = nullptr;  // i1
+  llvm::Value* hdr_cancellable_ = nullptr;  // i1
 
   llvm::BasicBlock* entry_ = nullptr;
   llvm::BasicBlock* ret_ok_ = nullptr;
@@ -195,7 +200,7 @@ class CodeGenerator {
 
   llvm::FunctionCallee h_node_ref_, h_rel_ref_, h_get_prop_, h_param_,
       h_compare_, h_index_matches_, h_index_match_at_, h_emit_, h_touch_,
-      h_prefetch_, h_expand_cached_;
+      h_prefetch_, h_expand_cached_, h_should_yield_;
 
   std::map<int, Col> params_;
   std::vector<Col> cols_;
@@ -242,6 +247,24 @@ void CodeGenerator::DeclareHelpers() {
   h_expand_cached_ = module_->getOrInsertFunction(
       "poseidon_expand_cached",
       llvm::FunctionType::get(ptr, {ptr, i64, i32, i32, i32, i64p}, false));
+  h_should_yield_ = module_->getOrInsertFunction(
+      "poseidon_should_yield", llvm::FunctionType::get(i32, {ptr}, false));
+}
+
+/// Emits a cooperative-cancellation poll: when the state is cancellable,
+/// calls poseidon_should_yield and branches to the error exit (state->error
+/// carries kCancelled / kDeadlineExceeded) on a nonzero answer. Placed at
+/// batch granularity — occupancy word, gather batch, expand hop — so
+/// compiled queries stay interruptible (paper-survey requirement: compiled
+/// loops need explicit interruption points).
+void CodeGenerator::EmitCancelPoll(const char* tag) {
+  auto* poll = NewBlock(std::string(tag) + ".poll");
+  auto* cont = NewBlock(std::string(tag) + ".poll.cont");
+  b().CreateCondBr(hdr_cancellable_, poll, cont);
+  b().SetInsertPoint(poll);
+  auto* ans = b().CreateCall(h_should_yield_, {arg_state_});
+  b().CreateCondBr(b().CreateICmpNE(ans, C32(0)), ret_err_, cont);
+  b().SetInsertPoint(cont);
 }
 
 std::pair<llvm::Value*, uint32_t> CodeGenerator::AllocHandle() {
@@ -631,6 +654,9 @@ Status CodeGenerator::EmitExpand(const Op* op, size_t i,
     return Status::InvalidArgument("codegen: expand needs a node column");
   }
   bool out = op->dir == query::Direction::kOut;
+  // Cancellation poll per expanded tuple: bounds a hub node's neighbor walk
+  // (the scan loops provide the per-record cadence upstream).
+  EmitCancelPoll("exp");
   auto* rec = LoadRec(handle_ptrs_[c.handle_slot]);
   auto* first = LoadField64(rec, out ? storage::kOffsetOfNodeFirstOut
                                      : storage::kOffsetOfNodeFirstIn);
@@ -824,6 +850,7 @@ Status CodeGenerator::EmitExpandTransitive(const Op* op, size_t i,
   b().CreateBr(head);
 
   b().SetInsertPoint(head);
+  EmitCancelPoll("tr");  // once per transitive hop
   auto* cur = b().CreateLoad(I64(), cur_addr);
   auto* visible = EmitRecordRef(/*is_node=*/true, cur, node_slot, node_idx);
   auto* have = NewBlock("tr.have");
@@ -983,8 +1010,10 @@ Status CodeGenerator::EmitNodeScanBatched() {
   b().CreateCondBr(b().CreateICmpULT(w, w_end), wbody, ret_ok_);
 
   // wbody: load the word, mask the partial first/last words of the morsel,
-  // skip the whole word when nothing survives.
+  // skip the whole word when nothing survives. Cancellation poll once per
+  // occupancy word (64 slots).
   b().SetInsertPoint(wbody);
+  EmitCancelPoll("scan");
   auto* chunk = b().CreateLShr(w, C64(3), "chunk");  // 8 words per chunk
   auto* base = b().CreateLoad(
       PtrTy(), b().CreateGEP(PtrTy(), hdr_node_chunks_, chunk), "chunk_base");
@@ -1096,6 +1125,7 @@ Status CodeGenerator::EmitNodeScanScalar() {
   b().CreateCondBr(b().CreateICmpULT(id, arg_end_), body, ret_ok_);
 
   b().SetInsertPoint(body);
+  EmitCancelPoll("scan");
   auto* visible = EmitRecordRef(/*is_node=*/true, id, slot, slot_idx);
   auto* check = NewBlock("scan.check");
   b().CreateCondBr(visible, check, latch);
@@ -1144,6 +1174,7 @@ Status CodeGenerator::EmitIndexScanSource() {
   b().CreateCondBr(b().CreateICmpULT(iv, limit), body, ret_ok_);
 
   b().SetInsertPoint(body);
+  EmitCancelPoll("idx");
   auto* id =
       b().CreateCall(h_index_match_at_, {arg_state_, arg_thread_, iv});
   auto* visible = EmitRecordRef(/*is_node=*/true, id, slot, slot_idx);
@@ -1294,6 +1325,7 @@ Result<CodegenResult> CodeGenerator::Generate() {
   hdr_prop_nc_ = load_hdr_u64(40);
   hdr_ts_ = load_hdr_u64(48);
   hdr_has_latency_ = b().CreateICmpNE(load_hdr_u64(56), C64(0));
+  hdr_cancellable_ = b().CreateICmpNE(load_hdr_u64(64), C64(0));
 
   std::function<void(const Op*)> collect = [&](const Op* op) {
     if (op == nullptr) return;

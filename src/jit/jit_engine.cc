@@ -62,6 +62,7 @@ llvm::Error RegisterRuntimeSymbols(llvm::orc::LLJIT* jit,
   add("poseidon_touch", &poseidon_touch);
   add("poseidon_prefetch", &poseidon_prefetch);
   add("poseidon_expand_cached", &poseidon_expand_cached);
+  add("poseidon_should_yield", &poseidon_should_yield);
   return jd.define(llvm::orc::absoluteSymbols(std::move(symbols)));
 }
 

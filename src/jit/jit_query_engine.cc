@@ -30,6 +30,11 @@ std::unique_ptr<JitRuntimeState> MakeState(const query::Plan& plan,
   state->header.prop_num_chunks = props.num_chunks();
   state->header.ts = ctx.tx->id();
   state->header.read_latency = ctx.store->pool()->latency().read_block_ns;
+  // The token always exists, and an explicit Cancel may arrive at any time,
+  // so generated loops always poll. The flag stays in the header so compiled
+  // code cached before this field existed remains well-defined (it simply
+  // never polls) and future fast paths can gate on it.
+  state->header.cancellable = 1;
   state->ctx = ctx;
   state->collector = collector;
   state->executor = exec;
@@ -96,6 +101,7 @@ Status JitQueryEngine::RunCompiledSerial(const CompiledQuery& compiled,
   }
   for (uint64_t begin = 0; begin < slots;
        begin += QueryEngine::kMorselSize) {
+    POSEIDON_RETURN_IF_ERROR(state->ctx.tx->cancel_token()->Check());
     uint64_t end = std::min(begin + QueryEngine::kMorselSize, slots);
     int32_t code = compiled.fn(state, begin, end, 0);
     if (stats != nullptr) ++stats->jit_morsels;
@@ -141,6 +147,9 @@ Result<QueryResult> JitQueryEngine::Execute(
   PipelineExecutor exec(plan, ctx, &collector);
   POSEIDON_RETURN_IF_ERROR(exec.Prepare());
 
+  // The body runs in an IIFE so a cancellation/deadline abort still flows
+  // through the stats classification below before propagating to the caller.
+  Status run_status = [&]() -> Status {
   switch (mode) {
     case ExecutionMode::kInterpret: {
       POSEIDON_RETURN_IF_ERROR(exec.Run());
@@ -159,6 +168,14 @@ Result<QueryResult> JitQueryEngine::Execute(
       Status first_error;
       for (uint64_t begin = 0; begin < slots;
            begin += QueryEngine::kMorselSize) {  // parallel morsels
+        // Stop feeding the pool once the token trips; in-flight morsels
+        // observe the same token inside RunMorsel's push loops.
+        Status admit = tx->cancel_token()->Check();
+        if (!admit.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (first_error.ok()) first_error = admit;
+          break;
+        }
         uint64_t end = std::min(begin + QueryEngine::kMorselSize, slots);
         pool_.Submit([&exec, &status_mu, &first_error, begin, end] {
           Status s = exec.RunMorsel(begin, end);
@@ -268,6 +285,12 @@ Result<QueryResult> JitQueryEngine::Execute(
       std::atomic<bool> stop{false};
       for (uint64_t begin = 0; begin < slots;
            begin += QueryEngine::kMorselSize) {
+        Status admit = tx->cancel_token()->Check();
+        if (!admit.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (first_error.ok()) first_error = admit;
+          break;
+        }
         uint64_t end = std::min(begin + QueryEngine::kMorselSize, slots);
         pool_.Submit([&, begin, end] {
           if (stop.load(std::memory_order_acquire)) return;
@@ -301,6 +324,14 @@ Result<QueryResult> JitQueryEngine::Execute(
       stats->used_jit = stats->jit_morsels > 0;
       break;
     }
+  }
+  return Status::Ok();
+  }();
+
+  if (!run_status.ok()) {
+    stats->deadline_exceeded = run_status.IsDeadlineExceeded();
+    stats->cancelled = run_status.IsCancelled();
+    return run_status;
   }
 
   const tx::AdjacencyCacheStats adj_after =

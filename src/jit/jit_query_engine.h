@@ -57,6 +57,11 @@ struct ExecStats {
   uint64_t scrub_verified = 0;
   uint64_t scrub_repaired = 0;
   uint64_t scrub_quarantined = 0;
+  /// Overload governance (cooperative cancellation): set when this execution
+  /// was cut short by the transaction's CancelToken. Exactly one of the two
+  /// may be set; the returned Status carries the same code.
+  bool deadline_exceeded = false;
+  bool cancelled = false;
 };
 
 class JitQueryEngine {

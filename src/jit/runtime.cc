@@ -212,6 +212,14 @@ void poseidon_prefetch(void* state, const void* ptr, uint64_t len) {
   State(state)->ctx.store->pool()->TouchPrefetch(ptr, len);
 }
 
+int32_t poseidon_should_yield(void* state) {
+  auto* s = State(state);
+  Status st = s->ctx.tx->cancel_token()->Check();
+  if (st.ok()) return 0;
+  s->SetError(st);
+  return 1;
+}
+
 int32_t poseidon_emit(void* state, int32_t tail_idx, uint32_t n,
                       const uint64_t* vals, const uint8_t* kinds) {
   auto* s = State(state);

@@ -42,6 +42,10 @@ struct JitStateHeader {
   uint64_t prop_num_chunks = 0;
   uint64_t ts = 0;             ///< transaction timestamp (id)
   uint64_t read_latency = 0;   ///< nonzero: generated code calls poseidon_touch
+  /// Nonzero when the transaction's CancelToken carries a deadline or may be
+  /// cancelled (always set today — the token always exists). Generated loops
+  /// poll poseidon_should_yield at batch granularity when this is nonzero.
+  uint64_t cancellable = 0;
 };
 
 /// A resolved record reference living in a stack slot of generated code.
@@ -155,6 +159,12 @@ void poseidon_prefetch(void* state, const void* ptr, uint64_t len);
 const void* poseidon_expand_cached(void* state, uint64_t node_id,
                                    uint32_t dir_out, uint32_t thread,
                                    uint32_t slot, uint64_t* count_out);
+
+/// Cooperative-cancellation poll for generated loops (overload governance):
+/// checks the transaction's CancelToken. Returns 0 (keep going) or nonzero
+/// (stop: kCancelled / kDeadlineExceeded recorded in state->error, the
+/// generated code branches to its error exit).
+int32_t poseidon_should_yield(void* state);
 
 /// Emits a finished tuple. `tail_idx` < 0 sends it to the collector;
 /// otherwise the tuple enters the interpreter pipeline at operator

@@ -17,6 +17,7 @@
 #include "pmem/psan.h"
 #include "util/crc32c.h"
 #include "util/env.h"
+#include "util/fault.h"
 
 // Persist-order sanitizer marking for the pool's own durable stores
 // (allocator metadata, redo segments, header fields). Compiled away
@@ -165,6 +166,9 @@ void Pool::Configure(const PoolOptions& options) {
     latency_ = mode_ == PoolMode::kPmem ? LatencyModel::EmulatedPmem()
                                         : LatencyModel::Dram();
   }
+  uint64_t soft = util::EnvU64("POSEIDON_POOL_SOFT_WATERMARK_PCT", 0);
+  soft_watermark_pct_.store(static_cast<uint32_t>(soft > 100 ? 100 : soft),
+                            std::memory_order_relaxed);
 }
 
 Result<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
@@ -487,6 +491,15 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
   if (align < 8 || (align & (align - 1)) != 0) {
     return Status::InvalidArgument("alignment must be a power of two >= 8");
   }
+  // Named fault site: the space-exhaustion sweep arms POSEIDON_FAULT_PMEM_ALLOC
+  // to fail the Nth allocation, exercising the transactional unwind path at
+  // every allocation call site without needing a genuinely full pool.
+  if (util::FaultRegistry::Instance().ShouldFail("pmem.alloc")) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "pool exhausted (injected pmem.alloc fault): requested " +
+        std::to_string(size) + " bytes align " + std::to_string(align));
+  }
   std::lock_guard<std::mutex> lock(alloc_mu_);
   auto* h = header();
   stats_.alloc_calls.fetch_add(1, std::memory_order_relaxed);
@@ -510,7 +523,12 @@ Result<Offset> Pool::Allocate(uint64_t size, uint64_t align) {
 
   Offset off = AlignUp(h->bump, align);
   if (off + size > capacity_) {
-    return Status::ResourceExhausted("pool exhausted");
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "pool exhausted: requested " + std::to_string(size) +
+        " bytes align " + std::to_string(align) + ", " +
+        std::to_string(capacity_ - h->bump) + " of " +
+        std::to_string(capacity_) + " bytes free");
   }
   h->bump = off + size;
   POOL_PSAN_MARK(psan_.get(), &h->bump, sizeof(uint64_t));

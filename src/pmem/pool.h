@@ -114,6 +114,9 @@ struct PoolStats {
   /// is compiled in and enabled). These are the flushes the dedup machinery
   /// did NOT absorb but a flush-pruning optimisation could.
   std::atomic<uint64_t> psan_redundant_lines{0};
+  /// Allocations denied for lack of space — bump exhaustion or an injected
+  /// `pmem.alloc` fault (overload governance).
+  std::atomic<uint64_t> alloc_failures{0};
 };
 
 /// Copies `len` bytes with 8-byte atomic word accesses (release stores /
@@ -394,6 +397,27 @@ class Pool {
   PoolMode mode() const { return mode_; }
   uint64_t capacity() const { return capacity_; }
   uint64_t bytes_used() const;
+
+  // --- Space watermarks (overload governance) -----------------------------
+
+  /// Soft-watermark threshold in percent of capacity (bump allocator high-
+  /// water mark). 0 disables the watermark (seed behavior). Configured from
+  /// POSEIDON_POOL_SOFT_WATERMARK_PCT at Create/Open; tests may override.
+  uint32_t soft_watermark_pct() const {
+    return soft_watermark_pct_.load(std::memory_order_relaxed);
+  }
+  void set_soft_watermark_pct(uint32_t pct) {
+    soft_watermark_pct_.store(pct > 100 ? 100 : pct,
+                              std::memory_order_relaxed);
+  }
+  /// True when the bump high-water mark crossed the soft watermark. The
+  /// admission gate denies new writers above it and kicks emergency GC +
+  /// adjacency-cache shrink; readers are unaffected.
+  bool AboveSoftWatermark() const {
+    uint32_t pct = soft_watermark_pct();
+    if (pct == 0) return false;
+    return bytes_used() * 100 >= capacity() * pct;
+  }
   uint64_t pool_id() const;
   const LatencyModel& latency() const { return latency_; }
   const PoolStats& stats() const { return stats_; }
@@ -449,6 +473,8 @@ class Pool {
   LatencyModel latency_;
   bool recovered_from_crash_ = false;
   bool pipelined_ = true;
+  /// Soft-watermark percent of capacity; 0 = disabled (seed behavior).
+  std::atomic<uint32_t> soft_watermark_pct_{0};
 
   // Crash simulation shadow: bytes flushed so far (i.e. durable content).
   // shadow_mu_ serializes shadow writes from concurrent flushers; the

@@ -278,6 +278,9 @@ Status PipelineExecutor::RunSourceRange(uint64_t begin, uint64_t end) {
       if (!opts.batch_enabled) {
         // Seed behaviour: slot-at-a-time occupancy probing, no prefetch.
         for (uint64_t id = begin; id < end; ++id) {
+          if ((id & 63u) == 0) {
+            POSEIDON_RETURN_IF_ERROR(ctx_.tx->cancel_token()->Check());
+          }
           if (!table.IsOccupied(id)) continue;
           auto n = ctx_.tx->GetNode(id);
           if (!n.ok()) {
@@ -303,6 +306,8 @@ Status PipelineExecutor::RunSourceRange(uint64_t begin, uint64_t end) {
       uint64_t d = opts.prefetch_distance;
       RecordId cursor = begin;
       for (;;) {
+        // Cancellation poll per gathered batch (<= batch_size records).
+        POSEIDON_RETURN_IF_ERROR(ctx_.tx->cancel_token()->Check());
         uint64_t count = table.ScanBatch(&cursor, end, opts, ids.data(), cap);
         if (count == 0) return Status::Ok();
         for (uint64_t i = 0; i < count; ++i) {
@@ -335,6 +340,9 @@ Status PipelineExecutor::RunSourceRange(uint64_t begin, uint64_t end) {
       uint64_t d = opts.batch_enabled ? opts.prefetch_distance : 0;
       auto& table = ctx_.store->nodes();
       for (uint64_t i = begin; i < end; ++i) {
+        if ((i & 63u) == 0) {
+          POSEIDON_RETURN_IF_ERROR(ctx_.tx->cancel_token()->Check());
+        }
         if (d != 0 && i + d < end) table.Prefetch(source_matches_[i + d]);
         Status s = PushIndexMatch(src, source_matches_[i], t);
         if (!s.ok()) return s;
@@ -413,6 +421,9 @@ Status PipelineExecutor::Push(size_t i, Tuple& t) {
       if (v.kind() != Value::Kind::kNode) {
         return Status::InvalidArgument("Expand requires a node column");
       }
+      // Cancellation poll per expanded tuple (the scan loops cover the
+      // per-record cadence; this bounds a hub node's full neighbor walk).
+      POSEIDON_RETURN_IF_ERROR(ctx_.tx->cancel_token()->Check());
       Status inner = Status::Ok();
       auto visit = [&](RecordId rel_id, storage::DictCode rel_label,
                        RecordId neighbor) {
@@ -455,6 +466,7 @@ Status PipelineExecutor::Push(size_t i, Tuple& t) {
       // Follow the first matching relationship per hop until a node with
       // the stop label is reached (e.g. replyOf* up to the root Post).
       for (int hop = 0; hop < 4096; ++hop) {
+        POSEIDON_RETURN_IF_ERROR(ctx_.tx->cancel_token()->Check());
         POSEIDON_ASSIGN_OR_RETURN(auto n, ctx_.tx->GetNode(cur));
         if (n.rec.label == op->label2) {
           t.push_back(Value::Node(cur));

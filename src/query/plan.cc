@@ -173,6 +173,17 @@ std::string AnnotationSuffix(const ExplainAnnotation* ann) {
            std::to_string(ann->scrub_repaired) + "/" +
            std::to_string(ann->scrub_quarantined);
   }
+  if (ann->overload) {
+    out += " deadline=" + std::to_string(ann->deadline_ms) + "ms writers=" +
+           std::to_string(ann->active_writers) + "/" +
+           std::to_string(ann->max_writers) +
+           " aborts=" + std::to_string(ann->aborts_conflict) + "/" +
+           std::to_string(ann->aborts_deadline) + "/" +
+           std::to_string(ann->aborts_cancelled) + "/" +
+           std::to_string(ann->aborts_space) +
+           " shed=" + std::to_string(ann->writers_shed) + "+" +
+           std::to_string(ann->space_denied);
+  }
   return out + "]";
 }
 

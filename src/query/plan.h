@@ -153,6 +153,22 @@ struct ExplainAnnotation {
   uint64_t scrub_verified = 0;
   uint64_t scrub_repaired = 0;
   uint64_t scrub_quarantined = 0;
+  /// Overload governance, rendered on pipeline sources:
+  /// `[... deadline=<ms> writers=<active>/<max>
+  ///    aborts=conflict/deadline/cancel/space shed=N+M]`.
+  /// The deadline is the manager-wide default (0 = none); the abort
+  /// taxonomy and shed counters are engine-lifetime totals at EXPLAIN time
+  /// (shed = admission-gate sheds + soft-watermark space denials).
+  bool overload = false;  ///< gate or deadline configured: render the block
+  int64_t deadline_ms = 0;
+  int64_t active_writers = 0;
+  int64_t max_writers = 0;
+  uint64_t aborts_conflict = 0;
+  uint64_t aborts_deadline = 0;
+  uint64_t aborts_cancelled = 0;
+  uint64_t aborts_space = 0;
+  uint64_t writers_shed = 0;
+  uint64_t space_denied = 0;
 };
 
 /// A complete query plan. `root` is the sink-most operator.

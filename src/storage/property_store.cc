@@ -19,7 +19,15 @@ Result<RecordId> PropertyStore::CreateChain(
       const Property& p = props[remaining - batch + i];
       rec.entries[i].set(p.key, p.value);
     }
-    POSEIDON_ASSIGN_OR_RETURN(next, table_->Insert(rec));
+    auto inserted = table_->Insert(rec);
+    if (!inserted.ok()) {
+      // Free the partial tail: the head was never published, so the records
+      // built so far are unreachable and would leak their slots (pool
+      // exhaustion mid-chain is the canonical trigger).
+      if (next != kNullId) (void)FreeChain(next);
+      return inserted.status();
+    }
+    next = std::move(inserted).value();
     remaining -= batch;
   }
   return next;

@@ -53,7 +53,25 @@ using poseidon::util::EnvInt;
 // --- Transaction: lifecycle --------------------------------------------------
 
 Transaction::Transaction(TransactionManager* mgr, Timestamp ts)
-    : mgr_(mgr), store_(mgr->store()), id_(ts) {}
+    : mgr_(mgr), store_(mgr->store()), id_(ts) {
+  // Arm the default cooperative deadline (POSEIDON_QUERY_DEADLINE_MS;
+  // 0 = none). Per-query overrides re-arm the token after Begin.
+  int64_t deadline_ms = mgr->default_deadline_ms();
+  if (deadline_ms > 0) cancel_.SetDeadlineAfterMs(deadline_ms);
+}
+
+AbortCause Transaction::CauseFromStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return AbortCause::kDeadline;
+    case StatusCode::kCancelled:
+      return AbortCause::kCancelled;
+    case StatusCode::kResourceExhausted:
+      return AbortCause::kSpace;
+    default:
+      return AbortCause::kConflict;
+  }
+}
 
 Transaction::~Transaction() {
   if (!finished_) Abort();
@@ -608,6 +626,7 @@ Status Transaction::Commit() {
   }
   Status s = CommitImpl();
   if (!s.ok()) {
+    RecordAbortCause(s);
     Abort();
     return s;
   }
@@ -633,6 +652,22 @@ Status Transaction::CommitImpl() {
   std::vector<std::pair<RecordId, NodeWrite*>> node_deletes_for_index;
   std::vector<GcItem> gc_items;
 
+  // Property chains created below become reachable only once the redo
+  // transaction commits (each record image carrying the head is staged, not
+  // applied). If staging fails partway — a later CreateChain hitting pool
+  // exhaustion is the canonical case — the chains already built for earlier
+  // records are unreachable and must go back to the free lists, or every
+  // space-exhaustion abort leaks pool bytes.
+  struct ChainUnwind {
+    storage::GraphStore* store;
+    std::vector<RecordId> heads;
+    bool armed = true;
+    ~ChainUnwind() {
+      if (!armed) return;
+      for (RecordId h : heads) (void)store->properties().FreeChain(h);
+    }
+  } chain_unwind{store_};
+
   // Announce ourselves to the group-commit leader election for the whole
   // durable section (staging + redo commit): a leader only waits for
   // committers that are actually headed for a drain point.
@@ -654,6 +689,7 @@ Status Transaction::CommitImpl() {
       if (!w.props.empty()) {
         POSEIDON_ASSIGN_OR_RETURN(img.props,
                                   store_->properties().CreateChain(id, w.props));
+        chain_unwind.heads.push_back(img.props);
       }
       if (mgr_->indexes_ != nullptr) {
         for (const auto& p : w.props) {
@@ -683,6 +719,7 @@ Status Transaction::CommitImpl() {
       if (w.props_changed) {
         POSEIDON_ASSIGN_OR_RETURN(img.props,
                                   store_->properties().CreateChain(id, w.props));
+        chain_unwind.heads.push_back(img.props);
         if (w.before.props != kNullId) {
           gc_items.push_back(
               GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
@@ -732,6 +769,7 @@ Status Transaction::CommitImpl() {
       if (!w.props.empty()) {
         POSEIDON_ASSIGN_OR_RETURN(img.props,
                                   store_->properties().CreateChain(id, w.props));
+        chain_unwind.heads.push_back(img.props);
       }
     } else if (w.deleted) {
       img = w.before;
@@ -752,6 +790,7 @@ Status Transaction::CommitImpl() {
       if (w.props_changed) {
         POSEIDON_ASSIGN_OR_RETURN(img.props,
                                   store_->properties().CreateChain(id, w.props));
+        chain_unwind.heads.push_back(img.props);
         if (w.before.props != kNullId) {
           gc_items.push_back(
               GcItem{GcItem::Kind::kPropChain, id_, w.before.props});
@@ -778,6 +817,7 @@ Status Transaction::CommitImpl() {
     drain = [this] { mgr_->GroupDrain(); };
   }
   POSEIDON_RETURN_IF_ERROR(redo.Commit(id_, drain));
+  chain_unwind.armed = false;  // chains are now reachable from durable images
 
   // --- Post-commit bookkeeping (volatile / secondary) ----------------------
   for (auto& [id, w] : node_writes_) {
@@ -887,6 +927,15 @@ TransactionManager::TransactionManager(storage::GraphStore* store,
       std::memory_order_relaxed);
   rts_coalesce_.store(EnvInt("POSEIDON_RTS_COALESCE", 1) != 0,
                       std::memory_order_relaxed);
+  // Overload-governance knobs (DESIGN.md "Overload governance"): writer
+  // admission cap (0 = unlimited, the seed behavior), its bounded gate wait,
+  // and the default cooperative deadline armed on every transaction.
+  max_writers_.store(EnvInt("POSEIDON_MAX_WRITERS", 0),
+                     std::memory_order_relaxed);
+  admission_backoff_ =
+      util::Backoff::FromEnv(EnvInt("POSEIDON_ADMISSION_ATTEMPTS", 64));
+  default_deadline_ms_.store(EnvInt("POSEIDON_QUERY_DEADLINE_MS", 0),
+                             std::memory_order_relaxed);
   bool pipelined = store->pool()->pipelined();
   group_commit_enabled_ =
       pipelined && EnvInt("POSEIDON_GROUP_COMMIT", 1) != 0;
@@ -1010,6 +1059,41 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   return tx;
 }
 
+Result<std::unique_ptr<Transaction>> TransactionManager::BeginWrite() {
+  int64_t max = max_writers_.load(std::memory_order_relaxed);
+  if (max > 0 && active_writers_.load(std::memory_order_acquire) >= max) {
+    // Bounded wait: a writer slot usually frees within microseconds; if the
+    // backlog persists past the backoff budget, shed instead of queueing —
+    // over capacity, every admitted writer only adds MVTO conflict aborts.
+    util::Backoff backoff(admission_backoff_);
+    while (active_writers_.load(std::memory_order_acquire) >= max) {
+      if (!backoff.Next()) {
+        writers_shed_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "admission gate: " + std::to_string(max) +
+            " writers in flight (POSEIDON_MAX_WRITERS)");
+      }
+    }
+  }
+  auto* pool = store_->pool();
+  if (pool->AboveSoftWatermark()) {
+    // Emergency reclamation before denying: version-chain GC returns
+    // deferred property chains and deleted slots to the free lists, and the
+    // DRAM adjacency cache is dropped to relieve memory pressure overall.
+    RunGc();
+    adj_cache_.Clear();
+    if (pool->AboveSoftWatermark()) {
+      space_denied_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "pool above soft space watermark (" +
+          std::to_string(pool->soft_watermark_pct()) + "%): " +
+          std::to_string(pool->bytes_used()) + " of " +
+          std::to_string(pool->capacity()) + " bytes used");
+    }
+  }
+  return Begin();
+}
+
 std::unique_ptr<Transaction> TransactionManager::BeginReadOnly() {
   if (snapshot_epoch_us_.load(std::memory_order_relaxed) > 0) {
     // Refresh is commit-driven: every writer retirement republishes the
@@ -1131,6 +1215,20 @@ void TransactionManager::Finish(Transaction* t, bool committed) {
     commits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     aborts_.fetch_add(1, std::memory_order_relaxed);
+    switch (t->abort_cause_) {
+      case AbortCause::kDeadline:
+        aborts_deadline_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCause::kCancelled:
+        aborts_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCause::kSpace:
+        aborts_space_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCause::kConflict:
+        aborts_conflict_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
   // Transaction-level GC (paper §5.3): reclaim at transaction granularity.
   // With the commit pipeline, reclamation runs on the background epoch
@@ -1188,6 +1286,12 @@ TxStats TransactionManager::Stats() const {
   s.snapshot_refreshes = snapshot_refreshes_.load(std::memory_order_relaxed);
   s.snapshot_reads = snapshot_reads_.load(std::memory_order_relaxed);
   s.snapshot_fallbacks = snapshot_fallbacks_.load(std::memory_order_relaxed);
+  s.aborts_conflict = aborts_conflict_.load(std::memory_order_relaxed);
+  s.aborts_deadline = aborts_deadline_.load(std::memory_order_relaxed);
+  s.aborts_cancelled = aborts_cancelled_.load(std::memory_order_relaxed);
+  s.aborts_space = aborts_space_.load(std::memory_order_relaxed);
+  s.writers_shed = writers_shed_.load(std::memory_order_relaxed);
+  s.space_denied = space_denied_.load(std::memory_order_relaxed);
   return s;
 }
 

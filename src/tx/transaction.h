@@ -56,10 +56,21 @@
 #include "tx/adjacency_cache.h"
 #include "tx/version_store.h"
 #include "util/backoff.h"
+#include "util/cancel.h"
 
 namespace poseidon::tx {
 
 class TransactionManager;
+
+/// Why a transaction aborted (overload-governance taxonomy; DESIGN.md
+/// "Overload governance"). Sheds are a manager-level event — no transaction
+/// ever existed — and are counted separately (TxStats::writers_shed).
+enum class AbortCause {
+  kConflict = 0,  ///< MVTO conflict / lock / validation (seed behavior)
+  kDeadline,      ///< cooperative deadline expired (kDeadlineExceeded)
+  kCancelled,     ///< explicit cancel via CancelToken (kCancelled)
+  kSpace,         ///< pool allocation failed in-tx (kResourceExhausted)
+};
 
 /// Result of resolving a record to the version visible to a transaction.
 /// When `from_snapshot` is set the properties come from a DRAM snapshot
@@ -94,6 +105,21 @@ class Transaction {
   uint64_t rts_deferred() const {
     return rts_deferred_.load(std::memory_order_relaxed);
   }
+
+  /// Cooperative cancellation: executors poll this token at batch
+  /// granularity (scan word / morsel / expand hop); GraphDb::Cancel and the
+  /// POSEIDON_QUERY_DEADLINE_MS knob fire it. Never null.
+  util::CancelToken* cancel_token() { return &cancel_; }
+  const util::CancelToken* cancel_token() const { return &cancel_; }
+
+  /// The cause recorded for an (upcoming or past) abort; defaults to
+  /// kConflict, the only cause the seed engine had.
+  AbortCause abort_cause() const { return abort_cause_; }
+  /// Classifies `s` into the abort taxonomy and records it, so the
+  /// follow-up Abort() / failed Commit() is attributed correctly in
+  /// TxStats. Statuses outside the taxonomy count as conflicts.
+  void RecordAbortCause(const Status& s) { abort_cause_ = CauseFromStatus(s); }
+  static AbortCause CauseFromStatus(const Status& s);
 
   // --- Reads ----------------------------------------------------------
 
@@ -249,6 +275,8 @@ class Transaction {
   /// path.
   std::atomic<uint64_t> rts_skipped_{0};
   std::atomic<uint64_t> rts_deferred_{0};
+  util::CancelToken cancel_;
+  AbortCause abort_cause_ = AbortCause::kConflict;
 
   // std::map keeps commit staging deterministic (useful for tests).
   std::map<storage::RecordId, NodeWrite> node_writes_;
@@ -293,6 +321,20 @@ struct TxStats {
   /// POSEIDON_SNAPSHOT_MAX_LAG ids behind next_ts_ (a stalled writer
   /// pinning the frontier) and degraded to the seed fresh-ts protocol.
   uint64_t snapshot_fallbacks = 0;
+  // --- Overload governance (abort-cause taxonomy) ------------------------
+  /// Breakdown of `aborts` by cause: MVTO conflicts (plus anything not
+  /// otherwise classified), cooperative deadline expiries, explicit
+  /// cancellations, and in-tx pool-space exhaustion unwinds.
+  uint64_t aborts_conflict = 0;
+  uint64_t aborts_deadline = 0;
+  uint64_t aborts_cancelled = 0;
+  uint64_t aborts_space = 0;
+  /// Writers rejected by the admission gate (POSEIDON_MAX_WRITERS): no
+  /// transaction ever existed, so these are NOT included in `aborts`.
+  uint64_t writers_shed = 0;
+  /// Writers denied because the pool was above its soft space watermark
+  /// even after emergency reclamation (POSEIDON_POOL_SOFT_WATERMARK_PCT).
+  uint64_t space_denied = 0;
 };
 
 class TransactionManager {
@@ -317,6 +359,19 @@ class TransactionManager {
   Status RecoverInFlight();
 
   std::unique_ptr<Transaction> Begin();
+
+  /// Admission-gated Begin for user-facing writers (overload governance):
+  ///   * at most max_writers() read-write transactions in flight (0 =
+  ///     unlimited, the default); excess callers wait with a bounded
+  ///     util::Backoff (POSEIDON_ADMISSION_ATTEMPTS), then are shed with
+  ///     kResourceExhausted instead of piling onto MVTO aborts;
+  ///   * a pool above its soft space watermark triggers emergency
+  ///     reclamation (RunGc + adjacency-cache drop) and, if still above,
+  ///     denies the writer with kResourceExhausted.
+  /// The gate is advisory-approximate (counter check and slot claim are not
+  /// one atomic step); internal begins — BeginReadOnly's fallback path,
+  /// recovery — stay ungated through Begin().
+  Result<std::unique_ptr<Transaction>> BeginWrite();
 
   /// Starts a read-only transaction. With snapshot reuse enabled
   /// (POSEIDON_SNAPSHOT_EPOCH_US > 0, the default) the transaction reads at
@@ -393,6 +448,31 @@ class TransactionManager {
   /// Currently published snapshot timestamp (0 = none published yet).
   storage::Timestamp snapshot_ts() const {
     return snapshot_ts_.load(std::memory_order_acquire);
+  }
+
+  // --- Overload governance ----------------------------------------------
+
+  /// Max in-flight writers admitted by BeginWrite (POSEIDON_MAX_WRITERS;
+  /// 0 = unlimited). Runtime setter for benches/tests.
+  int64_t max_writers() const {
+    return max_writers_.load(std::memory_order_relaxed);
+  }
+  void set_max_writers(int64_t n) {
+    max_writers_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Default per-transaction deadline in ms (POSEIDON_QUERY_DEADLINE_MS;
+  /// 0 = none). Armed on every transaction's CancelToken at Begin.
+  int64_t default_deadline_ms() const {
+    return default_deadline_ms_.load(std::memory_order_relaxed);
+  }
+  void set_default_deadline_ms(int64_t ms) {
+    default_deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+  /// Read-write transactions currently in flight (admission-gate input).
+  int64_t active_writers() const {
+    return active_writers_.load(std::memory_order_acquire);
   }
 
   // --- Media-fault repair ------------------------------------------------
@@ -551,6 +631,16 @@ class TransactionManager {
   std::atomic<uint64_t> snapshot_refreshes_{0};
   std::atomic<uint64_t> snapshot_reads_{0};
   std::atomic<uint64_t> snapshot_fallbacks_{0};
+  std::atomic<uint64_t> aborts_conflict_{0};
+  std::atomic<uint64_t> aborts_deadline_{0};
+  std::atomic<uint64_t> aborts_cancelled_{0};
+  std::atomic<uint64_t> aborts_space_{0};
+  std::atomic<uint64_t> writers_shed_{0};
+  std::atomic<uint64_t> space_denied_{0};
+  // Admission knobs resolved once at construction (runtime setters above).
+  std::atomic<int64_t> max_writers_{0};
+  std::atomic<int64_t> default_deadline_ms_{0};
+  util::Backoff::Options admission_backoff_;  // gate wait (64 attempts)
   // Gates the scan-based refresh retry during a degraded (lag-capped)
   // phase to every 32nd stale begin; not user-visible.
   std::atomic<uint64_t> fallback_probe_gate_{0};

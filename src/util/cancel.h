@@ -1,0 +1,91 @@
+// Cooperative cancellation for long-running work (overload governance).
+//
+// A CancelToken carries two independent stop signals:
+//   * an explicit cancel flag (GraphDb::Cancel(tx), tests, shutdown), and
+//   * an optional absolute deadline (steady-clock ns), armed either from the
+//     POSEIDON_QUERY_DEADLINE_MS environment knob or a per-query override.
+//
+// Workers never block on it — they *poll* Check() at batch granularity
+// (occupancy word / morsel / index match / expand hop) and unwind with
+// kCancelled / kDeadlineExceeded when it fires. The token is plain atomics so
+// a poll on the fast path costs two relaxed loads; the clock is only read
+// once a deadline is actually armed.
+//
+// Knobs (see EXPERIMENTS.md):
+//   POSEIDON_QUERY_DEADLINE_MS  default per-query deadline (0 = none)
+
+#ifndef POSEIDON_UTIL_CANCEL_H_
+#define POSEIDON_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace poseidon::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Tokens are pinned inside their owning Transaction; copying one would
+  // silently fork the stop signal.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests explicit cancellation. Safe from any thread; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms (or re-arms) a deadline `ms` milliseconds from now. Values <= 0
+  /// disarm the deadline.
+  void SetDeadlineAfterMs(int64_t ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_release);
+      return;
+    }
+    deadline_ns_.store(NowNs() + ms * 1000000ll, std::memory_order_release);
+  }
+
+  /// True once Cancel() was called (deadline expiry does not set this).
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// True when a deadline is armed (regardless of expiry).
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The poll: OK while work may continue, kCancelled / kDeadlineExceeded
+  /// once a signal fired. Explicit cancellation wins over deadline expiry.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    uint64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0 && NowNs() >= dl) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+  /// Resets both signals (token reuse across transactions in one slot).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_release);
+    deadline_ns_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = disarmed
+};
+
+}  // namespace poseidon::util
+
+#endif  // POSEIDON_UTIL_CANCEL_H_

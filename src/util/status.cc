@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,8 @@ enum class StatusCode {
   kIoError,        // file / mmap / fsync failures
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,  // cooperative deadline expired (overload governance)
+  kCancelled,         // explicitly cancelled via CancelToken / GraphDb::Cancel
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ABORTED").
@@ -74,6 +76,12 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +89,13 @@ class Status {
 
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "CODE: message".
   std::string ToString() const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/backoff.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 #include "util/hash.h"
 #include "util/random.h"
@@ -33,9 +34,57 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, OverloadGovernanceCodes) {
+  Status d = Status::DeadlineExceeded("query deadline exceeded");
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.IsDeadlineExceeded());
+  EXPECT_FALSE(d.IsCancelled());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DEADLINE_EXCEEDED: query deadline exceeded");
+
+  Status c = Status::Cancelled("user abort");
+  EXPECT_TRUE(c.IsCancelled());
+  EXPECT_FALSE(c.IsDeadlineExceeded());
+  EXPECT_EQ(c.ToString(), "CANCELLED: user abort");
+
+  Status r = Status::ResourceExhausted("pool full");
+  EXPECT_TRUE(r.IsResourceExhausted());
+}
+
+// --- CancelToken -------------------------------------------------------------
+
+TEST(CancelTokenTest, DefaultPassesChecks) {
+  util::CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.has_deadline());
+  EXPECT_TRUE(t.Check().ok());
+}
+
+TEST(CancelTokenTest, ExplicitCancelWinsOverDeadline) {
+  util::CancelToken t;
+  t.SetDeadlineAfterMs(60'000);  // far future: deadline alone passes
+  EXPECT_TRUE(t.Check().ok());
+  t.Cancel();
+  Status s = t.Check();
+  EXPECT_TRUE(s.IsCancelled());
+  t.Reset();
+  EXPECT_TRUE(t.Check().ok());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  util::CancelToken t;
+  t.SetDeadlineAfterMs(1);
+  // Busy-wait past the deadline (steady clock; 1 ms).
+  while (t.Check().ok()) {
+  }
+  EXPECT_TRUE(t.Check().IsDeadlineExceeded());
+  t.SetDeadlineAfterMs(0);  // disarm
+  EXPECT_TRUE(t.Check().ok());
 }
 
 TEST(ResultTest, HoldsValue) {
